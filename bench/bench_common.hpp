@@ -1,0 +1,50 @@
+#pragma once
+// Shared helpers for the experiment-reproduction benches (one binary per
+// paper table/figure). Each bench prints the same rows/series the paper
+// reports; absolute numbers depend on this machine, the paper-vs-measured
+// comparison lives in EXPERIMENTS.md.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "rfdump/core/pipeline.hpp"
+#include "rfdump/core/scoring.hpp"
+#include "rfdump/emu/ether.hpp"
+#include "rfdump/traffic/traffic.hpp"
+
+namespace bench {
+
+/// Scale factor for workload sizes: RFDUMP_SCALE=1.0 reproduces the paper's
+/// packet counts exactly; the default 0.5 halves them to keep the whole bench
+/// suite fast on one core.
+inline double Scale() {
+  if (const char* env = std::getenv("RFDUMP_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 0.5;
+}
+
+inline std::size_t Scaled(std::size_t paper_count) {
+  const auto v = static_cast<std::size_t>(
+      static_cast<double>(paper_count) * Scale() + 0.5);
+  return v > 0 ? v : 1;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("(workload scale %.2f; set RFDUMP_SCALE=1 for paper-size runs)\n",
+              Scale());
+  std::printf("==============================================================\n");
+}
+
+/// Formats a miss rate the way the paper's figures read (log floor at 1e-4).
+inline std::string FmtRate(double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", rate);
+  return buf;
+}
+
+}  // namespace bench

@@ -1,0 +1,48 @@
+// Figure 6: 802.11 unicast microbenchmark — packet miss rate vs SNR for the
+// SIFS-timing detector and the DBPSK-phase detector.
+//
+// Paper: both detectors are near zero above ~9 dB; below that the miss rate
+// rises sharply (the peak-detector energy gate stops firing). The phase
+// detector's knee sits slightly higher than the timing detector's.
+//
+// Workload: ping generates ICMP echo request/reply pairs (500-byte frames at
+// 1 Mbps) plus MAC ACKs; paper used 250 pings = 1000 packets.
+
+#include "bench_common.hpp"
+
+int main() {
+  bench::PrintHeader("Figure 6 - 802.11 unicast: packet miss rate vs SNR");
+  std::printf("%6s %10s %18s %18s\n", "SNR", "packets", "SIFS-timing miss",
+              "DBPSK-phase miss");
+
+  const double snrs[] = {0, 3, 6, 7, 8, 9, 10, 12, 15, 20, 25, 30};
+  for (const double snr : snrs) {
+    rfdump::emu::Ether ether;
+    rfdump::traffic::WifiPingConfig cfg;
+    cfg.count = bench::Scaled(250);
+    cfg.snr_db = snr;
+    cfg.interval_us = 11000.0;
+    const auto session =
+        rfdump::traffic::GenerateUnicastPing(ether, cfg, 8000);
+    const auto x = ether.Render(session.end_sample + 8000);
+    const auto total = static_cast<std::int64_t>(x.size());
+
+    rfdump::core::RFDumpPipeline::Config pcfg;
+    pcfg.analysis.demodulate = false;
+    rfdump::core::RFDumpPipeline pipeline(pcfg);
+    const auto report = pipeline.Process(x);
+
+    const auto timing = rfdump::core::ScoreDetections(
+        ether.truth(), rfdump::core::Protocol::kWifi80211b, report.detections,
+        total, "80211-sifs-timing");
+    const auto phase = rfdump::core::ScoreDetections(
+        ether.truth(), rfdump::core::Protocol::kWifi80211b, report.detections,
+        total, "dbpsk-phase");
+    std::printf("%6.1f %10zu %18s %18s\n", snr, timing.truth_packets,
+                bench::FmtRate(timing.MissRate()).c_str(),
+                bench::FmtRate(phase.MissRate()).c_str());
+  }
+  std::printf("\npaper shape: ~0 miss above 9 dB, sharp rise below;\n"
+              "phase knee slightly above the timing knee.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 7: 802.11 broadcast microbenchmark — packet miss rate vs SNR for the
+// DIFS-timing detector on a broadcast flood (packets spaced DIFS + k x SlotTime).
+//
+// Paper: 4000 packets; near-zero misses above 9 dB, sharp rise below.
+
+#include "bench_common.hpp"
+
+int main() {
+  bench::PrintHeader("Figure 7 - 802.11 broadcast: packet miss rate vs SNR");
+  std::printf("%6s %10s %18s\n", "SNR", "packets", "DIFS-timing miss");
+
+  const double snrs[] = {0, 3, 6, 7, 8, 9, 10, 12, 15, 20, 25, 30};
+  for (const double snr : snrs) {
+    rfdump::emu::Ether ether;
+    rfdump::traffic::WifiBroadcastConfig cfg;
+    cfg.count = bench::Scaled(400);  // paper used 4000; 1/10 by default here
+    cfg.snr_db = snr;
+    const auto session =
+        rfdump::traffic::GenerateBroadcastFlood(ether, cfg, 8000);
+    const auto x = ether.Render(session.end_sample + 8000);
+
+    rfdump::core::RFDumpPipeline::Config pcfg;
+    pcfg.analysis.demodulate = false;
+    rfdump::core::RFDumpPipeline pipeline(pcfg);
+    const auto report = pipeline.Process(x);
+
+    const auto s = rfdump::core::ScoreDetections(
+        ether.truth(), rfdump::core::Protocol::kWifi80211b, report.detections,
+        static_cast<std::int64_t>(x.size()), "80211-difs-timing");
+    std::printf("%6.1f %10zu %18s\n", snr, s.truth_packets,
+                bench::FmtRate(s.MissRate()).c_str());
+  }
+  std::printf("\npaper shape: ~0 miss above 9 dB, rapid rise below.\n");
+  return 0;
+}

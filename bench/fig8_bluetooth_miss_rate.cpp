@@ -1,0 +1,49 @@
+// Figure 8: Bluetooth microbenchmark — packet miss rate vs SNR for the
+// slot-timing detector and the GFSK-phase detector, on l2ping traffic
+// (DH5 packets, sizes 225-339 B encoding sequence numbers, hopping over all
+// 79 channels with 8 visible).
+//
+// Paper: timing detector has a small nonzero floor even at high SNR (it
+// always misses the first packet of a session) but works down to ~6 dB
+// thanks to Bluetooth's constant-envelope modulation; the phase detector is
+// exact at high SNR and works down to ~9 dB.
+
+#include "bench_common.hpp"
+
+int main() {
+  bench::PrintHeader("Figure 8 - Bluetooth l2ping: packet miss rate vs SNR");
+  std::printf("%6s %10s %18s %18s\n", "SNR", "visible", "slot-timing miss",
+              "GFSK-phase miss");
+
+  const double snrs[] = {0, 3, 5, 6, 7, 8, 9, 10, 12, 15, 20, 25, 30};
+  for (const double snr : snrs) {
+    rfdump::emu::Ether ether;
+    rfdump::traffic::L2PingConfig cfg;
+    // Paper sent 6000 pings over all channels; we default to 1/10 via the
+    // common scale plus a 0.2 factor to bound the single-core runtime.
+    cfg.count = bench::Scaled(1200);
+    cfg.snr_db = snr;
+    const auto session = rfdump::traffic::GenerateL2Ping(ether, cfg, 8000);
+    const auto x = ether.Render(session.end_sample + 8000);
+    const auto total = static_cast<std::int64_t>(x.size());
+
+    rfdump::core::RFDumpPipeline::Config pcfg;
+    pcfg.analysis.demodulate = false;
+    rfdump::core::RFDumpPipeline pipeline(pcfg);
+    const auto report = pipeline.Process(x);
+
+    const auto timing = rfdump::core::ScoreDetections(
+        ether.truth(), rfdump::core::Protocol::kBluetooth, report.detections,
+        total, "bt-slot-timing");
+    const auto phase = rfdump::core::ScoreDetections(
+        ether.truth(), rfdump::core::Protocol::kBluetooth, report.detections,
+        total, "gfsk-phase");
+    std::printf("%6.1f %10zu %18s %18s\n", snr, timing.truth_packets,
+                bench::FmtRate(timing.MissRate()).c_str(),
+                bench::FmtRate(phase.MissRate()).c_str());
+  }
+  std::printf("\npaper shape: timing floor ~1e-4 at high SNR (first packet of\n"
+              "each session), usable to ~6 dB; phase exact at high SNR,\n"
+              "usable to ~9 dB.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Figure 9: efficiency — CPU time / real time vs medium utilization for all
+// nine monitoring configurations:
+//   naive; naive+energy; naive+energy (no demod);
+//   RFDump timing / phase / timing+phase, each with and without demodulation.
+//
+// Paper: naive is flat around 7x real time; energy detection scales with
+// utilization and converges toward naive when the ether is busy; RFDump is
+// ~2x cheaper than energy-gated and >=3x cheaper than naive, and detection
+// without demodulation is far below real time.
+//
+// Workload (like the paper): 802.11 (1 Mbps) unicast pings with varying
+// inter-ping spacing to reach different utilizations; analysis bank is one
+// 802.11 demodulator + 8 Bluetooth demodulators (one per visible channel).
+
+#include "bench_common.hpp"
+
+namespace {
+
+using rfdump::core::MonitorReport;
+namespace core = rfdump::core;
+
+struct Config {
+  const char* name;
+  bool is_rfdump;
+  bool energy_gate;     // naive only
+  bool timing, phase;   // rfdump only
+  bool demod;
+};
+
+MonitorReport Run(const Config& cfg, rfdump::dsp::const_sample_span x) {
+  core::AnalysisConfig analysis;
+  analysis.demodulate = cfg.demod;
+  if (cfg.is_rfdump) {
+    core::RFDumpPipeline::Config pcfg;
+    pcfg.timing_detectors = cfg.timing;
+    pcfg.phase_detectors = cfg.phase;
+    pcfg.analysis = analysis;
+    return core::RFDumpPipeline(pcfg).Process(x);
+  }
+  core::NaivePipeline::Config ncfg;
+  ncfg.energy_gate = cfg.energy_gate;
+  ncfg.analysis = analysis;
+  return core::NaivePipeline(ncfg).Process(x);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 9 - CPU time / real time vs medium utilization");
+
+  const Config configs[] = {
+      {"naive", false, false, false, false, true},
+      {"naive+energy", false, true, false, false, true},
+      {"energy no-demod", false, true, false, false, false},
+      {"RFDump timing", true, false, true, false, true},
+      {"RFDump phase", true, false, false, true, true},
+      {"RFDump t+p", true, false, true, true, true},
+      {"timing no-demod", true, false, true, false, false},
+      {"phase no-demod", true, false, false, true, false},
+      {"t+p no-demod", true, false, true, true, false},
+  };
+
+  // Inter-ping spacing (us) chosen to sweep utilization; one ping cycle is
+  // ~9.6 ms of airtime (two 500 B frames + two ACKs).
+  const double intervals[] = {200000, 100000, 48000, 24000, 16000, 12000,
+                              10500};
+
+  std::printf("%-18s", "util%");
+  std::vector<double> utils;
+  std::vector<rfdump::dsp::SampleVec> traces;
+  std::vector<std::vector<rfdump::emu::TruthRecord>> truths;
+  for (const double interval : intervals) {
+    rfdump::emu::Ether ether;
+    rfdump::traffic::WifiPingConfig cfg;
+    cfg.count = bench::Scaled(50);
+    cfg.snr_db = 25.0;
+    cfg.interval_us = interval;
+    const auto session =
+        rfdump::traffic::GenerateUnicastPing(ether, cfg, 8000);
+    auto x = ether.Render(session.end_sample + 8000);
+    const double util = rfdump::emu::MediumUtilization(
+        ether.truth(), static_cast<std::int64_t>(x.size()));
+    utils.push_back(util * 100.0);
+    std::printf(" %8.1f", util * 100.0);
+    traces.push_back(std::move(x));
+    truths.push_back(ether.truth());
+  }
+  std::printf("\n");
+
+  for (const Config& cfg : configs) {
+    std::printf("%-18s", cfg.name);
+    std::fflush(stdout);
+    for (const auto& x : traces) {
+      const auto report = Run(cfg, x);
+      std::printf(" %8.2f", report.CpuOverRealTime());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\npaper shape: naive flat & highest; energy-gated scales with\n"
+              "utilization toward naive; RFDump ~2x under energy-gated and\n"
+              ">=3x under naive; no-demod detection far below real time.\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// google-benchmark microbenches of the DSP primitives, each reported with a
+// derived "x real time" counter against the 8 Msps front-end rate. These are
+// the per-sample costs Table 1 and Figure 9 are built from.
+
+#include <benchmark/benchmark.h>
+
+#include "rfdump/channel/channel.hpp"
+#include "rfdump/core/peaks.hpp"
+#include "rfdump/core/phase_detectors.hpp"
+#include "rfdump/dsp/barker.hpp"
+#include "rfdump/dsp/fft.hpp"
+#include "rfdump/dsp/fir.hpp"
+#include "rfdump/dsp/phase.hpp"
+#include "rfdump/dsp/resampler.hpp"
+#include "rfdump/phybt/gfsk.hpp"
+#include "rfdump/util/rng.hpp"
+
+namespace dsp = rfdump::dsp;
+
+namespace {
+
+dsp::SampleVec NoiseBuffer(std::size_t n, std::uint64_t seed) {
+  dsp::SampleVec x(n);
+  rfdump::util::Xoshiro256 rng(seed);
+  rfdump::channel::AddAwgn(x, 1.0, rng);
+  return x;
+}
+
+void SetRealTimeRate(benchmark::State& state, std::size_t samples_per_iter) {
+  state.counters["samples/s"] = benchmark::Counter(
+      static_cast<double>(samples_per_iter) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["x_realtime"] = benchmark::Counter(
+      static_cast<double>(samples_per_iter) *
+          static_cast<double>(state.iterations()) / dsp::kSampleRateHz,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_Fft256(benchmark::State& state) {
+  dsp::FftPlan plan(256);
+  auto x = NoiseBuffer(256, 1);
+  for (auto _ : state) {
+    plan.Forward(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  SetRealTimeRate(state, 256);
+}
+BENCHMARK(BM_Fft256);
+
+void BM_FirFilter21(benchmark::State& state) {
+  dsp::FirFilter fir(dsp::DesignLowPass(600e3, 8e6, 21));
+  const auto x = NoiseBuffer(8192, 2);
+  dsp::SampleVec out;
+  for (auto _ : state) {
+    out.clear();
+    fir.Process(x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetRealTimeRate(state, x.size());
+}
+BENCHMARK(BM_FirFilter21);
+
+void BM_PhaseDiff(benchmark::State& state) {
+  const auto x = NoiseBuffer(8192, 3);
+  for (auto _ : state) {
+    auto d = dsp::PhaseDiff(x);
+    benchmark::DoNotOptimize(d.data());
+  }
+  SetRealTimeRate(state, x.size());
+}
+BENCHMARK(BM_PhaseDiff);
+
+void BM_Resampler11over8(benchmark::State& state) {
+  dsp::RationalResampler rs(11, 8);
+  const auto x = NoiseBuffer(8192, 4);
+  dsp::SampleVec out;
+  for (auto _ : state) {
+    out.clear();
+    rs.Process(x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetRealTimeRate(state, x.size());
+}
+BENCHMARK(BM_Resampler11over8);
+
+void BM_BarkerCorrelate(benchmark::State& state) {
+  const auto x = NoiseBuffer(8192, 5);
+  for (auto _ : state) {
+    auto c = dsp::CorrelateChips(x, dsp::kBarker11);
+    benchmark::DoNotOptimize(c.data());
+  }
+  SetRealTimeRate(state, x.size());
+}
+BENCHMARK(BM_BarkerCorrelate);
+
+void BM_PeakDetector(benchmark::State& state) {
+  const auto x = NoiseBuffer(65536, 6);
+  for (auto _ : state) {
+    rfdump::core::PeakDetector det;
+    for (std::size_t at = 0; at < x.size(); at += rfdump::core::kChunkSamples) {
+      det.PushChunk(dsp::const_sample_span(x).subspan(
+                        at, std::min(rfdump::core::kChunkSamples,
+                                     x.size() - at)),
+                    static_cast<std::int64_t>(at));
+    }
+    benchmark::DoNotOptimize(det.CompletedCount());
+  }
+  SetRealTimeRate(state, x.size());
+}
+BENCHMARK(BM_PeakDetector);
+
+void BM_GfskModulate(benchmark::State& state) {
+  rfdump::util::BitVec bits(366);
+  rfdump::util::Xoshiro256 rng(7);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
+  for (auto _ : state) {
+    auto burst = rfdump::phybt::GfskModulate(bits);
+    benchmark::DoNotOptimize(burst.data());
+  }
+  SetRealTimeRate(state, 366 * rfdump::phybt::kSamplesPerSymbol);
+}
+BENCHMARK(BM_GfskModulate);
+
+void BM_PhaseInfo(benchmark::State& state) {
+  const auto x = NoiseBuffer(2048, 8);
+  for (auto _ : state) {
+    auto info = rfdump::core::ComputePhaseInfo(x, 2048, 4);
+    benchmark::DoNotOptimize(&info);
+  }
+  SetRealTimeRate(state, 2048);
+}
+BENCHMARK(BM_PhaseInfo);
+
+void BM_Awgn(benchmark::State& state) {
+  dsp::SampleVec x(8192);
+  rfdump::util::Xoshiro256 rng(9);
+  for (auto _ : state) {
+    rfdump::channel::AddAwgn(x, 1.0, rng);
+    benchmark::DoNotOptimize(x.data());
+  }
+  SetRealTimeRate(state, x.size());
+}
+BENCHMARK(BM_Awgn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

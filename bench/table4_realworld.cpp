@@ -1,0 +1,100 @@
+// Table 4: real-world trace — selectivity of the DBPSK phase detector on a
+// campus-style trace with multi-rate 802.11b traffic.
+//
+// Paper: 646 packets (all with PLCP headers at 1 Mbps), 106 of them entirely
+// at 1 Mbps (3.97% of trace samples); an ideal header-only filter passes
+// 0.35%; the DBPSK detector passed 6.05% vs 4.32% for the combined ideal
+// filter (1 Mbps packets + headers of everything else).
+//
+// Here the trace is synthesized by the campus generator: beacons, ARPs and
+// unicast exchanges at mixed 1/2/5.5/11 Mbps rates, plus Bluetooth. Because
+// 2 Mbps frames are Barker-chipped end to end, the detector legitimately
+// passes them whole too; the "ideal Barker" row accounts for that.
+
+#include <cmath>
+#include <cstring>
+
+#include "bench_common.hpp"
+
+int main() {
+  bench::PrintHeader("Table 4 - real-world (campus) trace selectivity");
+
+  rfdump::emu::Ether ether;
+  rfdump::traffic::CampusConfig cfg;
+  cfg.duration_sec = 0.5 + bench::Scale();
+  const auto session = rfdump::traffic::GenerateCampus(ether, cfg, 4000);
+  const auto x = ether.Render(session.end_sample + 8000);
+  const auto total = static_cast<std::int64_t>(x.size());
+
+  // Ground-truth census over the 802.11 packets.
+  std::size_t pkts_total = 0, pkts_1m = 0, pkts_barker = 0;
+  std::int64_t samples_1m = 0, samples_barker = 0, samples_headers = 0;
+  const std::int64_t header_samples = rfdump::dsp::MicrosToSamples(192.0);
+  for (const auto& r : ether.truth()) {
+    if (!r.visible || r.protocol != rfdump::core::Protocol::kWifi80211b ||
+        r.end_sample > total) {
+      continue;
+    }
+    ++pkts_total;
+    const bool is_1m = r.kind.find("@1Mbps") != std::string::npos;
+    const bool is_2m = r.kind.find("@2Mbps") != std::string::npos;
+    const std::int64_t len = r.end_sample - r.start_sample;
+    if (is_1m) {
+      ++pkts_1m;
+      samples_1m += len;
+    }
+    if (is_1m || is_2m) {
+      ++pkts_barker;
+      samples_barker += len;
+    } else {
+      samples_headers += std::min(len, header_samples);
+    }
+  }
+
+  // Run the phase detector alone (the paper's DBPSK detector experiment).
+  rfdump::core::RFDumpPipeline::Config pcfg;
+  pcfg.timing_detectors = false;
+  pcfg.phase_detectors = true;
+  pcfg.analysis.demodulate = false;
+  rfdump::core::RFDumpPipeline pipeline(pcfg);
+  const auto report = pipeline.Process(x);
+  std::int64_t detector_samples = 0;
+  {
+    std::vector<rfdump::core::Detection> wifi_only;
+    for (const auto& d : report.detections) {
+      if (d.protocol == rfdump::core::Protocol::kWifi80211b &&
+          std::strcmp(d.detector, "dbpsk-phase") == 0) {
+        wifi_only.push_back(d);
+      }
+    }
+    const auto merged =
+        rfdump::core::MergeDetections(std::move(wifi_only), 0, total);
+    detector_samples = rfdump::core::CoverageSamples(merged);
+  }
+
+  const auto pct = [&](std::int64_t samples) {
+    return 100.0 * static_cast<double>(samples) / static_cast<double>(total);
+  };
+  std::printf("trace: %.3f s, %zu 802.11 packets (every one carries a 1 Mbps "
+              "PLCP header)\n\n",
+              static_cast<double>(total) / rfdump::dsp::kSampleRateHz,
+              pkts_total);
+  std::printf("%-34s %10s %10s %12s\n", "Filter", "# PLCP", "# packets",
+              "% of trace");
+  std::printf("%-34s %10zu %10zu %11.2f%%\n", "Full trace", pkts_total,
+              pkts_total, 100.0);
+  std::printf("%-34s %10zu %10zu %11.2f%%\n", "Ideal 1 Mbps only", pkts_total,
+              pkts_1m, pct(samples_1m));
+  std::printf("%-34s %10zu %10zu %11.2f%%\n", "Ideal headers only", pkts_total,
+              std::size_t{0}, pct(samples_headers));
+  std::printf("%-34s %10zu %10zu %11.2f%%\n",
+              "Ideal Barker (1+2 Mbps + headers)", pkts_total, pkts_barker,
+              pct(samples_barker + samples_headers));
+  std::printf("%-34s %10s %10s %11.2f%%\n", "DBPSK phase detector", "-", "-",
+              pct(detector_samples));
+  std::printf("\npaper: full 100%%, ideal-1Mbps 3.97%%, ideal-headers 0.35%%,"
+              " detector 6.05%% vs ideal 4.32%%\n");
+  std::printf("expected: detector %% slightly above the ideal Barker %% "
+              "(chunk-granularity padding), far below 100%%\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+#pragma once
+// Collision detection — the paper's stated future work (§5.1.5: "we have not
+// incorporated collision detection in our detectors yet", so colliding
+// packets count as misses). This extension detects overlapping transmissions
+// from the power profile of a peak: when a second transmitter starts or
+// stops mid-burst, the windowed power takes a sustained step. A peak with
+// such steps is flagged as a collision and split into homogeneous segments
+// so that the non-overlapped parts can still be classified.
+
+#include <cstdint>
+#include <vector>
+
+#include "rfdump/core/detections.hpp"
+#include "rfdump/core/peaks.hpp"
+
+namespace rfdump::core {
+
+/// A collision verdict for one peak.
+struct CollisionInfo {
+  bool collided = false;
+  /// Sample indices (absolute) where the power profile steps; the peak is
+  /// homogeneous between consecutive boundaries.
+  std::vector<std::int64_t> boundaries;
+  /// Segments [start, end) with near-constant power, strongest first removed;
+  /// equal to the whole peak when no collision is present.
+  std::vector<Peak> segments;
+};
+
+class CollisionDetector {
+ public:
+  struct Config {
+    /// Power-profile averaging window (samples).
+    std::size_t window = 64;
+    /// Minimum sustained power step, as a linear ratio. 1.8 catches the
+    /// common equal-power collision (step = 2.0) with margin for noise.
+    double step_ratio = 1.8;
+    /// A step must persist for this many samples to count (rejects fades
+    /// and sub-window blips, which block quantization can smear across two
+    /// windows).
+    std::size_t persistence = 256;
+    /// Segments shorter than this are merged into their neighbour.
+    std::size_t min_segment = 256;
+  };
+
+  CollisionDetector();
+  explicit CollisionDetector(Config config);
+
+  /// Analyzes one peak's samples. `peak.start_sample` anchors the absolute
+  /// positions in the result.
+  [[nodiscard]] CollisionInfo Analyze(const Peak& peak,
+                                      dsp::const_sample_span samples) const;
+
+  /// Convenience: a Detection tagging the collided span (protocol unknown),
+  /// or nothing if no collision was found.
+  [[nodiscard]] std::vector<Detection> OnPeak(
+      const Peak& peak, dsp::const_sample_span samples) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace rfdump::core

@@ -1,0 +1,34 @@
+#pragma once
+// Detection records produced by the protocol-specific fast detectors: a
+// tentative mapping of a sample interval to a protocol, with a confidence.
+// False positives are acceptable (the analysis stage rejects them); misses
+// are not, because missed packets are never monitored (paper §2.2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rfdump/core/protocols.hpp"
+
+namespace rfdump::core {
+
+struct Detection {
+  Protocol protocol = Protocol::kUnknown;
+  std::int64_t start_sample = 0;
+  std::int64_t end_sample = 0;
+  float confidence = 0.0f;       // [0, 1]
+  const char* detector = "";     // which detector produced this tag
+};
+
+/// Merges overlapping/adjacent detections of the same protocol (tolerating
+/// `slack` samples of separation) into disjoint intervals, and clamps to
+/// [0, limit). Used by the dispatcher before invoking demodulators.
+[[nodiscard]] std::vector<Detection> MergeDetections(
+    std::vector<Detection> detections, std::int64_t slack,
+    std::int64_t limit);
+
+/// Total sample coverage of (merged) detections.
+[[nodiscard]] std::int64_t CoverageSamples(
+    const std::vector<Detection>& merged);
+
+}  // namespace rfdump::core

@@ -1,0 +1,117 @@
+#pragma once
+// The three monitoring architectures evaluated in the paper (§2, §5.2):
+//
+//  * NaivePipeline            — Figure 1: every sample goes to every
+//                               demodulator (1 x 802.11 + 8 x Bluetooth).
+//  * NaivePipeline + energy   — an energy gate before all demodulators.
+//  * RFDumpPipeline           — Figure 2: protocol-agnostic peak detection,
+//                               cheap protocol-specific detectors on metadata,
+//                               demodulators only on tagged sample ranges.
+//
+// Each pipeline reports what it found plus a per-stage CPU cost breakdown,
+// which is what the Table 1 / Figure 9 benches print.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rfdump/core/collision.hpp"
+#include "rfdump/core/detections.hpp"
+#include "rfdump/core/freq_detector.hpp"
+#include "rfdump/core/peaks.hpp"
+#include "rfdump/core/phase_detectors.hpp"
+#include "rfdump/core/timing_detectors.hpp"
+#include "rfdump/phy80211/demodulator.hpp"
+#include "rfdump/phybt/demodulator.hpp"
+#include "rfdump/phyzigbee/phy.hpp"
+
+namespace rfdump::core {
+
+/// Cost of one pipeline stage over a Process() call.
+struct StageCost {
+  std::string name;
+  double cpu_seconds = 0.0;
+  std::uint64_t samples_in = 0;
+};
+
+/// Everything a pipeline produced for one capture.
+struct MonitorReport {
+  std::vector<Detection> detections;   // raw detector output (RFDump only)
+  std::vector<Detection> dispatched;   // merged intervals sent to analysis
+  std::vector<phy80211::DecodedFrame> wifi_frames;
+  std::vector<phybt::DecodedBtPacket> bt_packets;
+  std::vector<phyzigbee::DecodedZbFrame> zb_frames;
+  std::vector<StageCost> costs;
+  std::uint64_t samples_total = 0;
+
+  /// Sum of all stage costs in CPU seconds.
+  [[nodiscard]] double TotalCpuSeconds() const;
+  /// Sum of stages whose name starts with `prefix`.
+  [[nodiscard]] double CostOf(const std::string& prefix) const;
+  /// CPU time / real time of the capture (the paper's efficiency metric).
+  [[nodiscard]] double CpuOverRealTime() const;
+};
+
+/// Shared demodulator bank configuration.
+struct AnalysisConfig {
+  bool demodulate = true;      // false: detection only (Fig 9 "no demod")
+  bool wifi_demod = true;
+  bool zigbee_demod = false;   // decode 802.15.4 frames in tagged ranges
+  int bt_demods = 8;           // one per visible Bluetooth channel
+  std::uint8_t bt_uap = 0x47;  // UAP known to the monitor (see DESIGN.md)
+};
+
+/// RFDump architecture (Figure 2).
+class RFDumpPipeline {
+ public:
+  struct Config {
+    bool timing_detectors = true;   // 802.11 SIFS/DIFS + BT slot timing
+    bool phase_detectors = true;    // DBPSK pattern + GFSK
+    bool freq_detector = false;     // FFT-based BT detector (off by default,
+                                    // like the paper's prototype)
+    bool microwave_detector = false;
+    bool zigbee_detector = false;
+    /// Collision detection (paper future work): flags peaks whose power
+    /// profile steps mid-burst as overlapping transmissions.
+    bool collision_detector = false;
+    double noise_floor_power = 1.0;
+    double dispatch_pad_us = 40.0;  // padding around dispatched intervals
+    AnalysisConfig analysis;
+  };
+
+  RFDumpPipeline();
+  explicit RFDumpPipeline(Config config);
+
+  /// Processes a full capture (one-shot batch over a recorded trace, the
+  /// paper's experimental mode).
+  [[nodiscard]] MonitorReport Process(dsp::const_sample_span x);
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+/// Naive architecture (Figure 1), optionally with the energy-detection gate.
+class NaivePipeline {
+ public:
+  struct Config {
+    bool energy_gate = false;   // true: "naive with energy detection"
+    double noise_floor_power = 1.0;
+    double dispatch_pad_us = 40.0;
+    AnalysisConfig analysis;
+  };
+
+  NaivePipeline();
+  explicit NaivePipeline(Config config);
+
+  [[nodiscard]] MonitorReport Process(dsp::const_sample_span x);
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace rfdump::core

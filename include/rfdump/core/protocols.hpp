@@ -1,0 +1,54 @@
+#pragma once
+// Protocol feature registry — the machine-readable form of the paper's
+// Table 2: timing, modulation and channelization features of the wireless
+// technologies in the 2.4 GHz ISM band that the detectors key on.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rfdump::core {
+
+/// Identity of a technology the monitor can classify.
+enum class Protocol : std::uint8_t {
+  kUnknown = 0,
+  kWifi80211b,   // DSSS/Barker + CCK
+  kBluetooth,    // GFSK, FHSS
+  kZigbee,       // 802.15.4 O-QPSK
+  kMicrowave,    // residential microwave oven interference
+};
+
+[[nodiscard]] const char* ProtocolName(Protocol p);
+
+/// Modulation family, as distinguishable by the phase detectors.
+enum class Modulation : std::uint8_t {
+  kDbpsk,
+  kDqpsk,
+  kCck,
+  kGfsk,
+  kOqpsk,
+  kNoise,  // unmodulated / swept interference
+};
+
+[[nodiscard]] const char* ModulationName(Modulation m);
+
+/// One row of the feature table.
+struct ProtocolFeatures {
+  Protocol protocol;
+  std::string variant;        // e.g. "802.11b (1 Mbps)"
+  double slot_time_us;        // MAC slot (0 if none)
+  double sifs_us;             // short IFS / TDD slot spacing (0 if none)
+  Modulation modulation;
+  std::string spreading;      // "Barker", "CCK", "FHSS", "DSSS-32", "-"
+  double channel_width_mhz;
+  double symbol_rate_hz;      // 0 if not applicable
+};
+
+/// The full feature table (Table 2 of the paper, plus the microwave row).
+[[nodiscard]] std::span<const ProtocolFeatures> FeatureTable();
+
+/// Rows for one protocol.
+[[nodiscard]] std::vector<ProtocolFeatures> FeaturesFor(Protocol p);
+
+}  // namespace rfdump::core

@@ -1,0 +1,55 @@
+#pragma once
+// Accuracy scoring against emulator ground truth — the paper's metrics
+// (§5.1): packet miss rate (missed / ground-truth packets; packets the early
+// detectors miss are never monitored at all) and false-positive sample rate
+// (samples forwarded to demodulators that belong to no real transmission,
+// divided by trace length).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rfdump/core/detections.hpp"
+#include "rfdump/emu/ether.hpp"
+
+namespace rfdump::core {
+
+struct AccuracyScore {
+  std::size_t truth_packets = 0;
+  std::size_t missed = 0;
+  std::int64_t false_positive_samples = 0;
+  std::int64_t forwarded_samples = 0;
+
+  [[nodiscard]] double MissRate() const {
+    return truth_packets == 0
+               ? 0.0
+               : static_cast<double>(missed) /
+                     static_cast<double>(truth_packets);
+  }
+  [[nodiscard]] double FalsePositiveRate(std::int64_t total_samples) const {
+    return total_samples == 0 ? 0.0
+                              : static_cast<double>(false_positive_samples) /
+                                    static_cast<double>(total_samples);
+  }
+};
+
+/// Scores raw detections against ground truth for one protocol.
+///
+/// A truth packet counts as found if merged detections of its protocol cover
+/// at least `min_overlap` of its samples. False-positive samples are detected
+/// samples overlapping no visible truth record of ANY protocol. If
+/// `detector_filter` is non-empty, only detections whose detector name equals
+/// it are considered (to score e.g. the SIFS-timing curve separately from the
+/// phase curve).
+[[nodiscard]] AccuracyScore ScoreDetections(
+    const std::vector<emu::TruthRecord>& truth, Protocol protocol,
+    const std::vector<Detection>& detections, std::int64_t total_samples,
+    const std::string& detector_filter = {}, double min_overlap = 0.5);
+
+/// Convenience: truth packets for `protocol` that are visible and end before
+/// `total_samples`.
+[[nodiscard]] std::vector<emu::TruthRecord> VisibleTruthWithin(
+    const std::vector<emu::TruthRecord>& truth, Protocol protocol,
+    std::int64_t total_samples);
+
+}  // namespace rfdump::core

@@ -1,0 +1,38 @@
+#pragma once
+// Waterfall / spectrogram view of the monitored band — the "what does the
+// ether look like" companion to the packet listing. Used by the CLI's
+// --waterfall mode and handy for eyeballing traces in tests.
+
+#include <string>
+#include <vector>
+
+#include "rfdump/dsp/fft.hpp"
+
+namespace rfdump::core {
+
+/// Power-over-time-and-frequency matrix.
+struct Spectrogram {
+  std::size_t bins = 0;       // frequency bins (DC-centred: bin 0 = -4 MHz)
+  std::size_t rows = 0;       // time slices
+  double row_seconds = 0.0;   // duration of one row
+  std::vector<float> power_db;  // rows x bins, row-major
+
+  float at(std::size_t row, std::size_t bin) const {
+    return power_db[row * bins + bin];
+  }
+};
+
+/// Computes a spectrogram with `bins` frequency bins (power of two) and
+/// ~`target_rows` time rows covering all of `x`.
+[[nodiscard]] Spectrogram ComputeSpectrogram(dsp::const_sample_span x,
+                                             std::size_t bins = 64,
+                                             std::size_t target_rows = 48);
+
+/// Renders the spectrogram as ASCII art (one line per row, dark->bright
+/// ramp " .:-=+*#%@"), with a frequency axis header. `floor_db` and
+/// `ceil_db` clamp the color ramp; pass NaN to auto-scale.
+[[nodiscard]] std::string RenderAscii(const Spectrogram& gram,
+                                      float floor_db = std::nanf(""),
+                                      float ceil_db = std::nanf(""));
+
+}  // namespace rfdump::core

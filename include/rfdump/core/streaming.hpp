@@ -1,0 +1,66 @@
+#pragma once
+// Streaming monitor: the real-time operating mode.
+//
+// The experiment pipelines process one recorded trace per call (the paper's
+// evaluation mode). A live monitor instead receives the front-end stream in
+// arbitrary-size segments and must emit results continuously while keeping
+// up with the sample rate. StreamingMonitor wraps the RFDump pipeline in a
+// block-based schedule: segments accumulate into fixed processing blocks
+// with an overlap region, each block runs through detection + analysis, and
+// results whose frames straddle a block boundary are deduplicated.
+//
+// This exploits exactly the latency tolerance the paper leans on (§2.2): a
+// block of ~250 ms adds that much reporting delay but none to throughput.
+
+#include <cstdint>
+#include <functional>
+
+#include "rfdump/core/pipeline.hpp"
+
+namespace rfdump::core {
+
+class StreamingMonitor {
+ public:
+  struct Config {
+    RFDumpPipeline::Config pipeline;
+    /// Samples per processing block (default 250 ms at 8 Msps).
+    std::size_t block_samples = 2'000'000;
+    /// Overlap carried from the end of one block into the next, so frames
+    /// that straddle the boundary are seen whole at least once. Must cover
+    /// the longest frame (~19 ms => 152k samples; default 160k).
+    std::size_t overlap_samples = 160'000;
+  };
+
+  StreamingMonitor();
+  explicit StreamingMonitor(Config config);
+
+  /// Feeds a segment of the sample stream (any size). May invoke callbacks.
+  void Push(dsp::const_sample_span segment);
+
+  /// Processes whatever is buffered, regardless of block size.
+  void Flush();
+
+  /// Called for every decoded 802.11 frame / Bluetooth packet / detection.
+  /// Positions are absolute stream sample indices.
+  std::function<void(const phy80211::DecodedFrame&)> on_wifi_frame;
+  std::function<void(const phybt::DecodedBtPacket&)> on_bt_packet;
+  std::function<void(const Detection&)> on_detection;
+
+  /// Aggregate stage costs across all processed blocks.
+  const std::vector<StageCost>& costs() const { return costs_; }
+  std::uint64_t samples_processed() const { return samples_processed_; }
+  /// CPU/real-time ratio so far.
+  [[nodiscard]] double CpuOverRealTime() const;
+
+ private:
+  void ProcessBlock(bool final_block);
+
+  Config config_;
+  dsp::SampleVec buffer_;
+  std::int64_t buffer_start_ = 0;      // absolute index of buffer_[0]
+  std::int64_t emitted_until_ = 0;     // results before this are already out
+  std::uint64_t samples_processed_ = 0;
+  std::vector<StageCost> costs_;
+};
+
+}  // namespace rfdump::core

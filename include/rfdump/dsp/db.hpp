@@ -1,0 +1,28 @@
+#pragma once
+// Decibel <-> linear conversions used throughout the detectors.
+
+#include <cmath>
+
+namespace rfdump::dsp {
+
+/// Convert a linear power ratio to decibels.
+[[nodiscard]] inline double PowerToDb(double power_ratio) {
+  return 10.0 * std::log10(power_ratio);
+}
+
+/// Convert decibels to a linear power ratio.
+[[nodiscard]] inline double DbToPower(double db) {
+  return std::pow(10.0, db / 10.0);
+}
+
+/// Convert decibels to a linear amplitude (voltage) ratio.
+[[nodiscard]] inline double DbToAmplitude(double db) {
+  return std::pow(10.0, db / 20.0);
+}
+
+/// Convert a linear amplitude ratio to decibels.
+[[nodiscard]] inline double AmplitudeToDb(double amplitude_ratio) {
+  return 20.0 * std::log10(amplitude_ratio);
+}
+
+}  // namespace rfdump::dsp

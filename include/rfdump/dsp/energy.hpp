@@ -1,0 +1,50 @@
+#pragma once
+// Energy / power estimation primitives used by the peak detector and the
+// energy-gated baseline architecture.
+
+#include <cstddef>
+#include <vector>
+
+#include "rfdump/dsp/types.hpp"
+
+namespace rfdump::dsp {
+
+/// Mean power (|x|^2 average) of a span. Returns 0 for an empty span.
+[[nodiscard]] double MeanPower(const_sample_span x);
+
+/// Total energy (sum of |x|^2) of a span.
+[[nodiscard]] double TotalEnergy(const_sample_span x);
+
+/// Streaming moving-average of instantaneous power over a fixed window.
+/// This is the protocol-agnostic computation at the heart of the paper's peak
+/// detector (§4.3): a 20-sample (2.5 us) running average smooths over noise so
+/// a packet is not split into multiple peaks.
+class MovingAveragePower {
+ public:
+  explicit MovingAveragePower(std::size_t window);
+
+  std::size_t window() const { return window_; }
+
+  /// Pushes one sample, returns the current windowed average power. Until the
+  /// window fills, the average is over the samples seen so far.
+  float Push(cfloat sample);
+
+  /// Current average without pushing.
+  float Average() const;
+
+  /// Number of samples currently in the window (saturates at window()).
+  std::size_t Count() const { return count_; }
+
+  void Reset();
+
+ private:
+  std::size_t window_;
+  std::vector<float> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  // Rounding drift from the running sum is purged periodically.
+  std::size_t pushes_since_rebuild_ = 0;
+};
+
+}  // namespace rfdump::dsp

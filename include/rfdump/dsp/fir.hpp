@@ -1,0 +1,65 @@
+#pragma once
+// FIR filtering and filter design.
+//
+// Used by: the 802.11b modulator (88 Msps anti-alias LPF before decimation to
+// the 8 Msps front-end rate), the Bluetooth channelizer (1 MHz channel select),
+// GFSK pulse shaping (Gaussian), and the polyphase resampler prototype.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "rfdump/dsp/types.hpp"
+#include "rfdump/dsp/windows.hpp"
+
+namespace rfdump::dsp {
+
+/// Streaming FIR filter with real taps applied to a complex sample stream.
+/// Keeps (taps-1) samples of history across Process() calls so a long stream
+/// can be filtered in chunks with no seams.
+class FirFilter {
+ public:
+  /// Constructs from a tap vector. Must be non-empty.
+  explicit FirFilter(std::vector<float> taps);
+
+  std::size_t tap_count() const { return taps_.size(); }
+  std::span<const float> taps() const { return taps_; }
+
+  /// Filters `input`, appending `input.size()` output samples to `out`.
+  void Process(const_sample_span input, SampleVec& out);
+
+  /// Convenience: filter a whole buffer in one shot (stateless call pattern;
+  /// the internal history still advances).
+  [[nodiscard]] SampleVec Filtered(const_sample_span input);
+
+  /// Clears streaming history.
+  void Reset();
+
+  /// Group delay in samples ((N-1)/2 for the linear-phase designs below).
+  double GroupDelay() const {
+    return (static_cast<double>(taps_.size()) - 1.0) / 2.0;
+  }
+
+ private:
+  std::vector<float> taps_;
+  SampleVec history_;  // last (taps-1) input samples
+};
+
+/// Windowed-sinc low-pass design. `cutoff_hz` is the -6 dB edge, `sample_rate`
+/// the rate the filter runs at, `num_taps` the length (odd recommended).
+[[nodiscard]] std::vector<float> DesignLowPass(
+    double cutoff_hz, double sample_rate, std::size_t num_taps,
+    WindowType window = WindowType::kHamming);
+
+/// Gaussian pulse-shaping filter for GFSK, normalized to unit DC gain.
+/// `bt` is the bandwidth-time product (Bluetooth uses 0.5), `sps` samples per
+/// symbol, `span_symbols` the filter length in symbols.
+[[nodiscard]] std::vector<float> DesignGaussian(double bt, std::size_t sps,
+                                                std::size_t span_symbols);
+
+/// Root-raised-cosine design (rolloff `beta`), unit energy. Used by the
+/// ZigBee O-QPSK shaper and in tests as a generic matched filter.
+[[nodiscard]] std::vector<float> DesignRootRaisedCosine(
+    double beta, std::size_t sps, std::size_t span_symbols);
+
+}  // namespace rfdump::dsp

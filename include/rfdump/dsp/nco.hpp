@@ -1,0 +1,53 @@
+#pragma once
+// Numerically controlled oscillator / complex mixer.
+//
+// Used to place transmitter signals at their channel offsets inside the 8 MHz
+// monitored band and by the Bluetooth channelizer to translate a hop channel
+// to baseband.
+
+#include <cmath>
+
+#include "rfdump/dsp/types.hpp"
+
+namespace rfdump::dsp {
+
+/// Phase-accumulator oscillator producing exp(j*(phase0 + n*w)).
+class Nco {
+ public:
+  /// `freq_hz` relative to `sample_rate` (may be negative).
+  Nco(double freq_hz, double sample_rate, double initial_phase = 0.0)
+      : phase_(initial_phase),
+        step_(2.0 * 3.14159265358979323846 * freq_hz / sample_rate) {}
+
+  /// Next oscillator sample; advances the phase.
+  cfloat Next() {
+    const cfloat v(static_cast<float>(std::cos(phase_)),
+                   static_cast<float>(std::sin(phase_)));
+    Advance(1);
+    return v;
+  }
+
+  /// Mixes `io` in place: io[n] *= exp(j*phase[n]).
+  void Mix(sample_span io) {
+    for (auto& s : io) s *= Next();
+  }
+
+  /// Advances the phase by `n` steps without producing output.
+  void Advance(std::int64_t n) {
+    phase_ += step_ * static_cast<double>(n);
+    // Keep the accumulator bounded to preserve precision on long runs.
+    constexpr double kTwoPiD = 2.0 * 3.14159265358979323846;
+    if (phase_ > kTwoPiD || phase_ < -kTwoPiD) {
+      phase_ = std::fmod(phase_, kTwoPiD);
+    }
+  }
+
+  double phase() const { return phase_; }
+  double step() const { return step_; }
+
+ private:
+  double phase_;
+  double step_;
+};
+
+}  // namespace rfdump::dsp

@@ -1,0 +1,52 @@
+#pragma once
+// Core sample types and the fixed front-end parameters shared across RFDump.
+//
+// The whole system operates on the complex baseband sample stream a USRP-class
+// front-end delivers to the host: complex<float> at 8 Msps covering an 8 MHz
+// slice of the 2.4 GHz ISM band (the USB-throughput-limited configuration the
+// paper used, see DESIGN.md §5).
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <numbers>
+#include <span>
+#include <vector>
+
+namespace rfdump::dsp {
+
+/// Complex baseband sample as delivered by the (emulated) RF front-end.
+using cfloat = std::complex<float>;
+
+/// A mutable window over sample memory.
+using sample_span = std::span<cfloat>;
+/// A read-only window over sample memory.
+using const_sample_span = std::span<const cfloat>;
+
+/// Front-end sample rate in samples/second. Fixed at 8 Msps: the USRP 1's
+/// USB 2.0 link limits host-visible bandwidth to 8 MHz complex.
+inline constexpr double kSampleRateHz = 8e6;
+
+/// Monitored bandwidth, equal to the complex sample rate.
+inline constexpr double kBandwidthHz = 8e6;
+
+/// Duration of one sample in seconds (125 ns at 8 Msps).
+inline constexpr double kSamplePeriodSec = 1.0 / kSampleRateHz;
+
+/// Convert a duration in microseconds to a whole number of samples.
+[[nodiscard]] constexpr std::int64_t MicrosToSamples(double micros) {
+  return static_cast<std::int64_t>(micros * 1e-6 * kSampleRateHz + 0.5);
+}
+
+/// Convert a sample count to microseconds.
+[[nodiscard]] constexpr double SamplesToMicros(std::int64_t samples) {
+  return static_cast<double>(samples) * 1e6 / kSampleRateHz;
+}
+
+inline constexpr float kPi = std::numbers::pi_v<float>;
+inline constexpr float kTwoPi = 2.0f * std::numbers::pi_v<float>;
+
+/// Owning sample buffer.
+using SampleVec = std::vector<cfloat>;
+
+}  // namespace rfdump::dsp

@@ -1,0 +1,27 @@
+#pragma once
+// Window functions for FIR design and spectral analysis.
+
+#include <cstddef>
+#include <vector>
+
+namespace rfdump::dsp {
+
+enum class WindowType {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+  kBlackmanHarris,
+  kKaiser,
+};
+
+/// Generate a window of `n` coefficients. `kaiser_beta` is only used for
+/// WindowType::kKaiser (typical values 5-9; higher = more sidelobe rejection).
+[[nodiscard]] std::vector<float> MakeWindow(WindowType type, std::size_t n,
+                                            double kaiser_beta = 7.0);
+
+/// Zeroth-order modified Bessel function of the first kind (series expansion),
+/// used by the Kaiser window.
+[[nodiscard]] double BesselI0(double x);
+
+}  // namespace rfdump::dsp

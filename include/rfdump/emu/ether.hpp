@@ -1,0 +1,84 @@
+#pragma once
+// Wireless ether emulator.
+//
+// Plays the role of the CMU wireless emulator testbed in the paper's
+// evaluation (§5): transmitters contribute sample-accurate bursts at
+// controlled SNRs, the emulator mixes them onto one 8 Msps front-end stream
+// with AWGN, and keeps authoritative per-packet ground truth so detector
+// accuracy (miss rate / false positives) can be scored exactly.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rfdump/core/protocols.hpp"
+#include "rfdump/dsp/types.hpp"
+#include "rfdump/util/rng.hpp"
+
+namespace rfdump::emu {
+
+/// Ground-truth record for one transmission (or attempted transmission).
+struct TruthRecord {
+  core::Protocol protocol = core::Protocol::kUnknown;
+  std::int64_t start_sample = 0;
+  std::int64_t end_sample = 0;   // one past the last sample
+  double snr_db = 0.0;           // per-sample SNR at the monitor
+  std::uint32_t flow_id = 0;     // transmitter / session identifier
+  std::uint64_t packet_id = 0;   // e.g. ICMP seq or Bluetooth ping seq
+  bool visible = true;           // false: transmitted outside the captured band
+  std::string kind;              // "DATA", "ACK", "BEACON", "L2PING", ...
+};
+
+/// Accumulates transmissions and renders the composite sample stream.
+class Ether {
+ public:
+  struct Config {
+    double noise_power = 1.0;  // AWGN power (the noise floor)
+    unsigned adc_bits = 0;     // 0 = ideal front-end, else quantize (e.g. 12)
+    float adc_full_scale = 64.0f;
+  };
+
+  Ether();
+  explicit Ether(Config config, std::uint64_t seed = 1);
+
+  /// Mixes `burst` in at `start_sample`, scaled so its mean power is
+  /// snr_db above the noise floor. Also appends a truth record (start/end
+  /// filled in from the burst position).
+  void AddBurst(dsp::const_sample_span burst, std::int64_t start_sample,
+                double snr_db, TruthRecord meta);
+
+  /// Records a transmission the front-end cannot capture (e.g. a Bluetooth
+  /// hop outside the 8 MHz band). `meta.visible` is forced to false.
+  void AddInvisible(TruthRecord meta);
+
+  /// Renders samples [0, duration): the mixed bursts plus AWGN (plus ADC
+  /// quantization if configured). May be called once; bursts extending past
+  /// `duration` are truncated.
+  [[nodiscard]] dsp::SampleVec Render(std::int64_t duration_samples);
+
+  /// All truth records, in insertion order.
+  const std::vector<TruthRecord>& truth() const { return truth_; }
+
+  /// Truth records for one protocol that are visible in-band.
+  [[nodiscard]] std::vector<TruthRecord> VisibleTruth(
+      core::Protocol protocol) const;
+
+  /// Highest end_sample over all visible records (0 if none).
+  [[nodiscard]] std::int64_t LastActivity() const;
+
+  const Config& config() const { return config_; }
+  util::Xoshiro256& rng() { return rng_; }
+
+ private:
+  Config config_;
+  util::Xoshiro256 rng_;
+  dsp::SampleVec mix_;
+  std::vector<TruthRecord> truth_;
+};
+
+/// Fraction of [0, duration) covered by visible truth intervals (medium
+/// utilization, overlap counted once).
+[[nodiscard]] double MediumUtilization(const std::vector<TruthRecord>& truth,
+                                       std::int64_t duration_samples);
+
+}  // namespace rfdump::emu

@@ -1,0 +1,90 @@
+#pragma once
+// Minimal 802.11 MAC framing: enough structure (frame control, addressing,
+// sequence numbers, FCS) that the emulated traffic carries realistic,
+// parseable MPDUs and the monitoring examples can print tcpdump-like output.
+// Payload bodies for data frames embed an LLC/SNAP + IPv4/ICMP skeleton so
+// ping workloads are identifiable end-to-end.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rfdump::mac80211 {
+
+using MacAddress = std::array<std::uint8_t, 6>;
+
+/// Broadcast destination address (all FF).
+inline constexpr MacAddress kBroadcast = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
+
+/// Renders "aa:bb:cc:dd:ee:ff".
+[[nodiscard]] std::string ToString(const MacAddress& addr);
+
+/// Frame type/subtype combinations we generate and parse.
+enum class FrameKind : std::uint8_t {
+  kData,       // type 2 subtype 0
+  kAck,        // type 1 subtype 13
+  kBeacon,     // type 0 subtype 8
+  kOther,
+};
+
+[[nodiscard]] const char* FrameKindName(FrameKind kind);
+
+/// A parsed MAC frame.
+struct Frame {
+  FrameKind kind = FrameKind::kOther;
+  std::uint16_t duration = 0;
+  MacAddress addr1{};  // receiver
+  MacAddress addr2{};  // transmitter (absent in ACK)
+  MacAddress addr3{};  // BSSID (absent in ACK)
+  std::uint16_t sequence = 0;
+  std::vector<std::uint8_t> body;  // frame body, FCS excluded
+};
+
+/// Serializes a data frame (header + body + FCS).
+[[nodiscard]] std::vector<std::uint8_t> BuildDataFrame(
+    const MacAddress& dest, const MacAddress& src, const MacAddress& bssid,
+    std::uint16_t sequence, std::span<const std::uint8_t> body,
+    std::uint16_t duration_us = 0);
+
+/// Serializes a 14-byte ACK control frame.
+[[nodiscard]] std::vector<std::uint8_t> BuildAckFrame(const MacAddress& dest);
+
+/// Serializes a beacon frame with an SSID element.
+[[nodiscard]] std::vector<std::uint8_t> BuildBeaconFrame(
+    const MacAddress& src, const MacAddress& bssid, std::uint16_t sequence,
+    const std::string& ssid, std::uint64_t timestamp_us);
+
+/// Builds an LLC/SNAP + IPv4 + ICMP echo body. `icmp_seq` is recoverable by
+/// ParseIcmpEchoSeq, which is how the experiments match sent and sniffed
+/// packets. `payload_bytes` is the ICMP data length.
+[[nodiscard]] std::vector<std::uint8_t> BuildIcmpEchoBody(
+    bool is_reply, std::uint16_t ident, std::uint16_t icmp_seq,
+    std::size_t payload_bytes);
+
+/// Parses a serialized frame (FCS included); verifies the FCS.
+[[nodiscard]] std::optional<Frame> ParseFrame(
+    std::span<const std::uint8_t> bytes);
+
+/// Extracts the ICMP echo sequence number from a data frame body built by
+/// BuildIcmpEchoBody; nullopt if the body is not such a frame.
+[[nodiscard]] std::optional<std::uint16_t> ParseIcmpEchoSeq(
+    std::span<const std::uint8_t> body);
+
+/// MPDU size (bytes incl. FCS) of a data frame with `body_bytes` of payload.
+[[nodiscard]] constexpr std::size_t DataFrameBytes(std::size_t body_bytes) {
+  return 24 + body_bytes + 4;
+}
+
+/// Bytes of the ICMP echo frame body for a given ICMP data length
+/// (LLC/SNAP 8 + IPv4 20 + ICMP 8 + data).
+[[nodiscard]] constexpr std::size_t IcmpEchoBodyBytes(
+    std::size_t payload_bytes) {
+  return 8 + 20 + 8 + payload_bytes;
+}
+
+inline constexpr std::size_t kAckFrameBytes = 14;  // incl. FCS
+
+}  // namespace rfdump::mac80211

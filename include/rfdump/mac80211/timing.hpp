@@ -1,0 +1,19 @@
+#pragma once
+// 802.11 DCF timing constants (DSSS PHY, Clause 17) — the values the paper's
+// timing detectors key on (Table 2): SIFS between a data frame and its ACK,
+// DIFS + k x SlotTime between contending transmissions.
+
+#include <cstdint>
+
+namespace rfdump::mac80211 {
+
+inline constexpr double kSlotTimeUs = 20.0;
+inline constexpr double kSifsUs = 10.0;
+/// DIFS = SIFS + 2 x SlotTime.
+inline constexpr double kDifsUs = kSifsUs + 2.0 * kSlotTimeUs;  // 50 us
+/// Contention-window bound used by the paper's DIFS detector (k in [0, CW]).
+inline constexpr int kContentionWindow = 64;
+/// Beacon interval: 100 TU = 102.4 ms.
+inline constexpr double kBeaconIntervalUs = 102400.0;
+
+}  // namespace rfdump::mac80211

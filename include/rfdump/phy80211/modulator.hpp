@@ -1,0 +1,61 @@
+#pragma once
+// 802.11b DSSS modulator.
+//
+// Produces the complex-baseband waveform of a long-preamble 802.11b frame as
+// the (emulated) 8 Msps front-end would capture it: the 11 Mchip/s chip
+// stream (Barker-spread DBPSK/DQPSK at 1/2 Mbps, CCK at 5.5/11 Mbps) is
+// rationally resampled 8/11 to the front-end rate, which band-limits the
+// 22 MHz-wide signal to the captured 8 MHz exactly like the USRP capture path
+// in the paper (§4.1).
+
+#include <cstdint>
+#include <span>
+
+#include "rfdump/dsp/types.hpp"
+#include "rfdump/phy80211/plcp.hpp"
+
+namespace rfdump::phy80211 {
+
+/// Converts an MPDU (MAC frame bytes, FCS included) into baseband samples.
+class Modulator {
+ public:
+  struct Config {
+    float amplitude = 1.0f;   // RMS chip amplitude
+    std::size_t pad_samples = 8;  // trailing zero samples after the frame
+    /// Short PLCP preamble (96 us instead of 192; payload must be >= 2 Mbps).
+    bool short_preamble = false;
+  };
+
+  Modulator();
+  explicit Modulator(Config config);
+
+  /// Full frame: PLCP long preamble + header at 1 Mbps DBPSK, then the MPDU
+  /// at `rate`. Returns 8 Msps samples.
+  [[nodiscard]] dsp::SampleVec Modulate(std::span<const std::uint8_t> mpdu,
+                                        Rate rate);
+
+  /// Number of 8 Msps samples a frame of `mpdu_bytes` at `rate` occupies
+  /// (airtime x 8 Msps), excluding padding.
+  [[nodiscard]] static std::size_t FrameSampleCount(std::size_t mpdu_bytes,
+                                                    Rate rate,
+                                                    bool short_preamble = false);
+
+  /// Airtime of a frame in microseconds (192 us preamble+header + payload;
+  /// 96 us with the short preamble).
+  [[nodiscard]] static double FrameAirtimeUs(std::size_t mpdu_bytes, Rate rate,
+                                             bool short_preamble = false);
+
+  /// Exposed for tests: the 11 Mchip/s complex chip stream for a frame.
+  [[nodiscard]] dsp::SampleVec ChipStream(std::span<const std::uint8_t> mpdu,
+                                          Rate rate);
+
+ private:
+  Config config_;
+};
+
+/// CCK codeword for one 5.5 or 11 Mbps symbol: 8 complex chips from the four
+/// phases (phi1..phi4) per IEEE 802.11-2007 17.4.6.6. Exposed for tests.
+[[nodiscard]] std::array<dsp::cfloat, 8> CckCodeword(float phi1, float phi2,
+                                                     float phi3, float phi4);
+
+}  // namespace rfdump::phy80211

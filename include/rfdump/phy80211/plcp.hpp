@@ -1,0 +1,80 @@
+#pragma once
+// 802.11b PLCP (Physical Layer Convergence Procedure) framing: the long
+// preamble (SYNC + SFD) and the PLCP header (SIGNAL, SERVICE, LENGTH, CRC-16)
+// that precede every DSSS MPDU. The preamble and header are always sent at
+// 1 Mbps DBPSK; the SIGNAL field announces the payload rate.
+
+#include <cstdint>
+#include <optional>
+
+#include "rfdump/util/bits.hpp"
+
+namespace rfdump::phy80211 {
+
+/// Payload data rates of 802.11b.
+enum class Rate : std::uint8_t {
+  k1Mbps = 0x0A,    // SIGNAL field value = rate in 100 kbit/s units
+  k2Mbps = 0x14,
+  k5_5Mbps = 0x37,
+  k11Mbps = 0x6E,
+};
+
+/// Bits per payload symbol for a rate (payload symbol rate is 1 Msym/s for
+/// Barker rates; CCK runs 1.375 Msym/s with 4 or 8 bits/symbol).
+[[nodiscard]] double RateMbps(Rate r);
+[[nodiscard]] const char* RateName(Rate r);
+
+/// Number of 1 Mbps-DBPSK symbols in the long preamble + PLCP header
+/// (128 SYNC + 16 SFD + 48 header = 192 symbols = 192 us).
+inline constexpr std::size_t kLongPreambleHeaderSymbols = 192;
+inline constexpr std::size_t kSyncBits = 128;
+inline constexpr std::uint16_t kSfd = 0xF3A0;  // transmitted LSB-first
+
+/// Short preamble (Clause 18.2.2.3): 56 scrambled ZEROS + time-reversed SFD,
+/// then the 48-bit header at 2 Mbps DQPSK (24 symbols). Total 96 us instead
+/// of 192. Only 2/5.5/11 Mbps payloads may follow a short preamble.
+inline constexpr std::size_t kShortSyncBits = 56;
+inline constexpr std::uint16_t kShortSfd = 0x05CF;  // kSfd bit-reversed
+inline constexpr std::size_t kShortPreambleHeaderSymbols =
+    kShortSyncBits + 16 + 24;  // 96 symbols = 96 us
+
+/// SERVICE-field bit 7: the 11 Mbps length-extension bit (Clause 18.2.3.5).
+/// At 11 Mbps a microsecond spans 1.375 bytes, so LENGTH alone is ambiguous;
+/// the bit disambiguates the rounding.
+inline constexpr std::uint8_t kServiceLengthExt = 0x80;
+
+/// Parsed PLCP header.
+struct PlcpHeader {
+  Rate rate;
+  std::uint8_t service = 0;
+  std::uint16_t length_us = 0;  // duration of the MPDU in microseconds
+
+  /// MPDU length in bytes implied by rate + duration (+ length-extension
+  /// bit for 11 Mbps).
+  [[nodiscard]] std::size_t MpduBytes() const;
+
+  /// Duration field for an MPDU of `bytes` at `rate`.
+  [[nodiscard]] static std::uint16_t DurationUsFor(Rate rate,
+                                                   std::size_t bytes);
+
+  /// SERVICE field for an MPDU of `bytes` at `rate` (sets the length
+  /// extension bit when the 11 Mbps rounding requires it).
+  [[nodiscard]] static std::uint8_t ServiceFor(Rate rate, std::size_t bytes);
+};
+
+/// Serializes the full PLCP preamble + header to unscrambled bits
+/// (SYNC ones, SFD, SIGNAL, SERVICE, LENGTH, CRC-16 complemented), in
+/// transmission order.
+[[nodiscard]] util::BitVec BuildPlcpBits(const PlcpHeader& header);
+
+/// Short-preamble variant: 56 zero SYNC bits + reversed SFD + the same
+/// 48 header bits (which the modulator sends at 2 Mbps).
+[[nodiscard]] util::BitVec BuildShortPlcpBits(const PlcpHeader& header);
+
+/// Attempts to parse a PLCP header from 48 descrambled bits that follow an
+/// SFD. Returns nullopt if the CRC-16 check fails or the SIGNAL value is not
+/// a valid 802.11b rate.
+[[nodiscard]] std::optional<PlcpHeader> ParsePlcpHeader(
+    std::span<const std::uint8_t> bits48);
+
+}  // namespace rfdump::phy80211

@@ -1,0 +1,46 @@
+#pragma once
+// IEEE 802.11b self-synchronizing scrambler, polynomial
+// G(z) = z^-7 + z^-4 + 1 (Clause 17.2.4). Every DSSS transmission is
+// scrambled; the long-preamble SYNC field is 128 scrambled ones, which is how
+// the demodulator locks its descrambler before the SFD arrives.
+
+#include <cstdint>
+
+#include "rfdump/util/bits.hpp"
+
+namespace rfdump::phy80211 {
+
+/// Streaming scrambler. The transmitter seeds the register with 0x1B (long
+/// preamble) or 0x6C (short preamble) per the standard.
+class Scrambler {
+ public:
+  static constexpr std::uint8_t kLongPreambleSeed = 0x1B;
+  static constexpr std::uint8_t kShortPreambleSeed = 0x6C;
+
+  explicit Scrambler(std::uint8_t seed = kLongPreambleSeed) : state_(seed) {}
+
+  /// Scrambles one bit.
+  std::uint8_t ScrambleBit(std::uint8_t bit);
+
+  /// Scrambles a whole bit vector.
+  [[nodiscard]] util::BitVec Scramble(std::span<const std::uint8_t> bits);
+
+ private:
+  std::uint8_t state_;  // 7-bit shift register, bit0 = most recent output
+};
+
+/// Streaming descrambler. Self-synchronizing: after 7 received bits it
+/// produces correct output regardless of the transmitter seed.
+class Descrambler {
+ public:
+  explicit Descrambler(std::uint8_t seed = 0) : state_(seed) {}
+
+  std::uint8_t DescrambleBit(std::uint8_t bit);
+
+  [[nodiscard]] util::BitVec Descramble(std::span<const std::uint8_t> bits);
+
+ private:
+  std::uint8_t state_;
+};
+
+}  // namespace rfdump::phy80211

@@ -1,0 +1,35 @@
+#pragma once
+// GFSK modulation/demodulation for Bluetooth BR: 1 Msym/s, Gaussian BT = 0.5,
+// modulation index h ~= 0.32 (frequency deviation +/-160 kHz). At the 8 Msps
+// front-end rate there are exactly 8 samples per symbol, and one Bluetooth
+// channel (1 MHz) fits well inside the captured band.
+
+#include "rfdump/dsp/types.hpp"
+#include "rfdump/util/bits.hpp"
+
+namespace rfdump::phybt {
+
+inline constexpr double kSymbolRateHz = 1e6;
+inline constexpr std::size_t kSamplesPerSymbol = 8;  // at 8 Msps
+inline constexpr double kModulationIndex = 0.32;
+inline constexpr double kGaussianBt = 0.5;
+
+/// Modulates bits to a unit-amplitude complex baseband burst (centered at DC;
+/// the caller mixes it to its hop channel). Includes `ramp_symbols` of
+/// guard/ramp at each end so the Gaussian filter transient stays inside the
+/// burst.
+[[nodiscard]] dsp::SampleVec GfskModulate(std::span<const std::uint8_t> bits,
+                                          std::size_t ramp_symbols = 2);
+
+/// FM discriminator: per-sample instantaneous frequency estimate
+/// (phase difference of consecutive samples), length x.size()-1.
+[[nodiscard]] std::vector<float> FmDiscriminate(dsp::const_sample_span x);
+
+/// Demodulates a discriminator output back to bits given the sample offset of
+/// the first symbol center. Slices the sign of the averaged per-symbol
+/// frequency. Returns as many whole symbols as available.
+[[nodiscard]] util::BitVec SliceSymbols(std::span<const float> freq,
+                                        std::size_t first_center,
+                                        std::size_t count);
+
+}  // namespace rfdump::phybt

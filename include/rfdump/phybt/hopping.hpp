@@ -1,0 +1,41 @@
+#pragma once
+// Bluetooth frequency hopping and the mapping of hop channels into the 8 MHz
+// monitored band.
+//
+// Bluetooth hops over 79 x 1 MHz channels at 1600 hops/s (one 625 us TDD slot
+// per hop). The USRP-class front-end sees an 8 MHz slice, so exactly 8 of the
+// 79 channels are visible — the paper could therefore observe ~1/10th of
+// Bluetooth traffic (§4.7), and so does the emulator.
+//
+// Substitution note (DESIGN.md): the real hop selection kernel (Baseband
+// 2.6) is replaced by a uniform pseudo-random permutation keyed on the device
+// address and clock. The monitor never exploits hop-sequence structure, so
+// only the uniform channel usage statistics matter.
+
+#include <cstdint>
+#include <optional>
+
+namespace rfdump::phybt {
+
+inline constexpr int kNumChannels = 79;
+inline constexpr double kChannelWidthHz = 1e6;
+/// 625 us TDD slot (1600 hops per second).
+inline constexpr double kSlotUs = 625.0;
+
+/// First Bluetooth channel visible in the monitored band; channels
+/// [kFirstVisibleChannel, kFirstVisibleChannel + 8) map into the 8 MHz band.
+inline constexpr int kFirstVisibleChannel = 38;
+inline constexpr int kVisibleChannels = 8;
+
+/// Hop channel for a device at slot `clk` (deterministic, uniform over 79).
+[[nodiscard]] int HopChannel(std::uint32_t lap, std::uint32_t clk);
+
+/// Baseband offset of a hop channel inside the monitored band, or nullopt if
+/// the channel is outside the captured 8 MHz. Visible channel centers are at
+/// -3.5, -2.5, ..., +3.5 MHz.
+[[nodiscard]] std::optional<double> ChannelOffsetHz(int channel);
+
+/// Offset (Hz) of visible-channel index `idx` in [0, 8).
+[[nodiscard]] double VisibleIndexOffsetHz(int idx);
+
+}  // namespace rfdump::phybt

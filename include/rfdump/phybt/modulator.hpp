@@ -1,0 +1,30 @@
+#pragma once
+// Bluetooth burst synthesis: packet bits -> GFSK burst at the hop channel's
+// offset within the monitored band.
+
+#include "rfdump/dsp/types.hpp"
+#include "rfdump/phybt/packet.hpp"
+
+namespace rfdump::phybt {
+
+/// A modulated Bluetooth burst ready for the ether.
+struct BtBurst {
+  dsp::SampleVec samples;  // 8 Msps, already mixed to the channel offset;
+                           // empty if the hop channel is outside the band
+  int channel = 0;
+  std::size_t air_bits = 0;
+};
+
+/// Builds and modulates one packet. `clk` selects both the hop channel and
+/// the whitening seed. Bursts on channels outside the monitored 8 MHz return
+/// an empty sample vector (the transmission exists but is not captured).
+[[nodiscard]] BtBurst ModulatePacket(const DeviceAddress& addr,
+                                     const PacketHeader& header,
+                                     std::span<const std::uint8_t> payload,
+                                     std::uint32_t clk);
+
+/// Airtime of a packet in microseconds (1 us per bit at 1 Msym/s).
+[[nodiscard]] double PacketAirtimeUs(PacketType type,
+                                     std::size_t payload_bytes);
+
+}  // namespace rfdump::phybt

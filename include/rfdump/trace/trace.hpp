@@ -1,0 +1,37 @@
+#pragma once
+// Trace file I/O.
+//
+// The paper's experiments all run from recorded USRP traces (streams of
+// complex samples on disk) so results are repeatable; RFDump can take a
+// trace file as its source instead of the radio. This module provides that
+// format plus a ground-truth sidecar for scoring.
+
+#include <string>
+#include <vector>
+
+#include "rfdump/dsp/types.hpp"
+#include "rfdump/emu/ether.hpp"
+
+namespace rfdump::trace {
+
+/// Writes an IQ trace: a small header (magic, version, sample rate, count)
+/// followed by raw complex<float> samples. Throws std::runtime_error on I/O
+/// failure.
+void WriteIqTrace(const std::string& path, dsp::const_sample_span samples,
+                  double sample_rate_hz = dsp::kSampleRateHz);
+
+/// Reads an IQ trace written by WriteIqTrace. Throws std::runtime_error on
+/// I/O failure or a malformed header. `sample_rate_out` (optional) receives
+/// the recorded rate.
+[[nodiscard]] dsp::SampleVec ReadIqTrace(const std::string& path,
+                                         double* sample_rate_out = nullptr);
+
+/// Writes ground-truth records alongside a trace.
+void WriteGroundTruth(const std::string& path,
+                      const std::vector<emu::TruthRecord>& records);
+
+/// Reads a ground-truth sidecar.
+[[nodiscard]] std::vector<emu::TruthRecord> ReadGroundTruth(
+    const std::string& path);
+
+}  // namespace rfdump::trace

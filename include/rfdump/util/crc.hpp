@@ -1,0 +1,31 @@
+#pragma once
+// CRC and checksum primitives shared by the PHY/MAC layers.
+//
+//  * CRC-32 (IEEE 802.3):       802.11 MPDU FCS.
+//  * CRC-16 CCITT (0x1021):     802.11b PLCP header CRC; Bluetooth payload CRC
+//                               (the latter seeded with the device UAP).
+//  * HEC-8 (Bluetooth, 0x07^..): Bluetooth packet header check, seeded with
+//                               the UAP.
+
+#include <cstdint>
+#include <span>
+
+namespace rfdump::util {
+
+/// IEEE 802.3 CRC-32 (reflected, init 0xFFFFFFFF, final xor 0xFFFFFFFF),
+/// as used for the 802.11 frame check sequence.
+[[nodiscard]] std::uint32_t Crc32(std::span<const std::uint8_t> data);
+
+/// CRC-16 CCITT over *bits* (LSB-first data order as transmitted on air),
+/// polynomial x^16 + x^12 + x^5 + 1, configurable init. The 802.11b PLCP
+/// header CRC uses init 0xFFFF and transmits the ones-complement.
+[[nodiscard]] std::uint16_t Crc16CcittBits(std::span<const std::uint8_t> bits,
+                                           std::uint16_t init = 0xFFFF);
+
+/// Bluetooth header error check: 8-bit LFSR with polynomial
+/// x^8 + x^7 + x^5 + x^2 + x + 1 over the 10 header info bits, seeded with
+/// the device UAP.
+[[nodiscard]] std::uint8_t BluetoothHec(std::span<const std::uint8_t> bits,
+                                        std::uint8_t uap);
+
+}  // namespace rfdump::util

@@ -1,0 +1,50 @@
+#pragma once
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic element in the emulator (noise, backoff draws, hop
+// sequences, payload bytes) draws from an explicitly seeded Xoshiro256++
+// generator so that each experiment in EXPERIMENTS.md is reproducible
+// bit-for-bit from its seed.
+
+#include <cstdint>
+#include <limits>
+
+namespace rfdump::util {
+
+/// Xoshiro256++ PRNG (Blackman & Vigna). Small, fast, and good enough for
+/// signal simulation; satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit lanes from a single seed via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t UniformInt(std::uint64_t lo, std::uint64_t hi);
+
+  /// Standard normal deviate (Marsaglia polar method).
+  double Gaussian();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace rfdump::util

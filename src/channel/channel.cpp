@@ -1,0 +1,80 @@
+#include "rfdump/channel/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rfdump/dsp/db.hpp"
+#include "rfdump/dsp/energy.hpp"
+
+namespace rfdump::channel {
+
+using rfdump::dsp::cfloat;
+
+void AddAwgn(rfdump::dsp::sample_span io, double noise_power,
+             rfdump::util::Xoshiro256& rng) {
+  if (noise_power <= 0.0) return;
+  const double sigma = std::sqrt(noise_power / 2.0);
+  for (auto& s : io) {
+    s += cfloat(static_cast<float>(rng.Gaussian(0.0, sigma)),
+                static_cast<float>(rng.Gaussian(0.0, sigma)));
+  }
+}
+
+void ScaleToPower(rfdump::dsp::sample_span io, double target_power) {
+  const double p = rfdump::dsp::MeanPower(io);
+  if (p <= 0.0) return;
+  const float scale = static_cast<float>(std::sqrt(target_power / p));
+  for (auto& s : io) s *= scale;
+}
+
+void ApplyFrequencyOffset(rfdump::dsp::sample_span io, double offset_hz,
+                          double sample_rate, std::int64_t start_sample) {
+  const double step = 2.0 * std::numbers::pi * offset_hz / sample_rate;
+  for (std::size_t i = 0; i < io.size(); ++i) {
+    const double phase =
+        step * static_cast<double>(start_sample + static_cast<std::int64_t>(i));
+    io[i] *= cfloat(static_cast<float>(std::cos(phase)),
+                    static_cast<float>(std::sin(phase)));
+  }
+}
+
+Multipath::Multipath(std::vector<Tap> taps) : taps_(std::move(taps)) {
+  if (taps_.empty()) throw std::invalid_argument("Multipath needs >= 1 tap");
+  double power = 0.0;
+  for (const Tap& t : taps_) power += std::norm(t.gain);
+  if (power <= 0.0) throw std::invalid_argument("Multipath taps are all zero");
+  const float scale = static_cast<float>(1.0 / std::sqrt(power));
+  for (Tap& t : taps_) t.gain *= scale;
+}
+
+rfdump::dsp::SampleVec Multipath::Apply(
+    rfdump::dsp::const_sample_span input) const {
+  std::size_t max_delay = 0;
+  for (const Tap& t : taps_) max_delay = std::max(max_delay, t.delay_samples);
+  rfdump::dsp::SampleVec out(input.size() + max_delay, cfloat{0.0f, 0.0f});
+  for (const Tap& t : taps_) {
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      out[i + t.delay_samples] += t.gain * input[i];
+    }
+  }
+  return out;
+}
+
+void Quantize(rfdump::dsp::sample_span io, unsigned bits, float full_scale) {
+  if (bits == 0 || bits > 24 || full_scale <= 0.0f) {
+    throw std::invalid_argument("Quantize: bits in [1,24], full_scale > 0");
+  }
+  const float levels = static_cast<float>((1u << (bits - 1)) - 1);
+  const auto q = [&](float v) {
+    v = std::clamp(v, -full_scale, full_scale);
+    return std::round(v / full_scale * levels) * full_scale / levels;
+  };
+  for (auto& s : io) s = cfloat(q(s.real()), q(s.imag()));
+}
+
+double NoisePowerForSnr(double signal_power, double snr_db) {
+  return signal_power / rfdump::dsp::DbToPower(snr_db);
+}
+
+}  // namespace rfdump::channel

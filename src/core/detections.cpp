@@ -1,0 +1,39 @@
+#include "rfdump/core/detections.hpp"
+
+#include <algorithm>
+
+namespace rfdump::core {
+
+std::vector<Detection> MergeDetections(std::vector<Detection> detections,
+                                       std::int64_t slack,
+                                       std::int64_t limit) {
+  std::vector<Detection> merged;
+  std::sort(detections.begin(), detections.end(),
+            [](const Detection& a, const Detection& b) {
+              if (a.protocol != b.protocol) return a.protocol < b.protocol;
+              return a.start_sample < b.start_sample;
+            });
+  for (auto& d : detections) {
+    d.start_sample = std::clamp<std::int64_t>(d.start_sample, 0, limit);
+    d.end_sample = std::clamp<std::int64_t>(d.end_sample, 0, limit);
+    if (d.end_sample <= d.start_sample) continue;
+    if (!merged.empty() && merged.back().protocol == d.protocol &&
+        d.start_sample <= merged.back().end_sample + slack) {
+      merged.back().end_sample =
+          std::max(merged.back().end_sample, d.end_sample);
+      merged.back().confidence =
+          std::max(merged.back().confidence, d.confidence);
+    } else {
+      merged.push_back(d);
+    }
+  }
+  return merged;
+}
+
+std::int64_t CoverageSamples(const std::vector<Detection>& merged) {
+  std::int64_t total = 0;
+  for (const auto& d : merged) total += d.end_sample - d.start_sample;
+  return total;
+}
+
+}  // namespace rfdump::core

@@ -1,0 +1,342 @@
+#include "rfdump/core/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "rfdump/phybt/hopping.hpp"
+
+namespace rfdump::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Accumulates stage costs by name.
+class CostLedger {
+ public:
+  class Scope {
+   public:
+    Scope(CostLedger& ledger, const std::string& name, std::uint64_t samples)
+        : ledger_(ledger), name_(name), samples_(samples),
+          start_(Clock::now()) {}
+    ~Scope() {
+      const double secs =
+          std::chrono::duration<double>(Clock::now() - start_).count();
+      ledger_.Add(name_, secs, samples_);
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    CostLedger& ledger_;
+    std::string name_;
+    std::uint64_t samples_;
+    Clock::time_point start_;
+  };
+
+  void Add(const std::string& name, double secs, std::uint64_t samples) {
+    auto& entry = entries_[name];
+    entry.first += secs;
+    entry.second += samples;
+  }
+
+  [[nodiscard]] std::vector<StageCost> Costs() const {
+    std::vector<StageCost> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, v] : entries_) {
+      out.push_back({name, v.first, v.second});
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::pair<double, std::uint64_t>> entries_;
+};
+
+std::int64_t UsToSamples(double us) {
+  return static_cast<std::int64_t>(us * 1e-6 * dsp::kSampleRateHz + 0.5);
+}
+
+// Runs the demodulator bank over the given per-protocol merged intervals
+// (pass a single full-span detection per protocol for the naive paths).
+void RunAnalysis(const AnalysisConfig& analysis, double noise_floor_power,
+                 const std::vector<Detection>& intervals,
+                 dsp::const_sample_span x, CostLedger& ledger,
+                 MonitorReport& report) {
+  if (!analysis.demodulate) return;
+  // 802.11 demodulator.
+  if (analysis.wifi_demod) {
+    phy80211::Demodulator wifi;
+    for (const auto& d : intervals) {
+      if (d.protocol != Protocol::kWifi80211b) continue;
+      const auto span = x.subspan(
+          static_cast<std::size_t>(d.start_sample),
+          static_cast<std::size_t>(d.end_sample - d.start_sample));
+      CostLedger::Scope scope(ledger, "analysis/80211-demod", span.size());
+      auto frames = wifi.DecodeAll(span);
+      for (auto& f : frames) {
+        f.start_sample += d.start_sample;
+        f.end_sample += d.start_sample;
+        report.wifi_frames.push_back(std::move(f));
+      }
+    }
+  }
+  // Bluetooth demodulators, one per visible channel.
+  for (int ch = 0; ch < analysis.bt_demods; ++ch) {
+    phybt::Demodulator::Config cfg;
+    cfg.channel_index = ch % phybt::kVisibleChannels;
+    cfg.expected_uap = analysis.bt_uap;
+    cfg.noise_floor_power = noise_floor_power;
+    phybt::Demodulator bt(cfg);
+    for (const auto& d : intervals) {
+      if (d.protocol != Protocol::kBluetooth) continue;
+      const auto span = x.subspan(
+          static_cast<std::size_t>(d.start_sample),
+          static_cast<std::size_t>(d.end_sample - d.start_sample));
+      CostLedger::Scope scope(ledger, "analysis/bt-demod", span.size());
+      auto pkts = bt.DecodeAll(span);
+      for (auto& p : pkts) {
+        p.start_sample += d.start_sample;
+        p.end_sample += d.start_sample;
+        report.bt_packets.push_back(std::move(p));
+      }
+    }
+  }
+  // ZigBee decoder on tagged ranges.
+  if (analysis.zigbee_demod) {
+    for (const auto& d : intervals) {
+      if (d.protocol != Protocol::kZigbee) continue;
+      const auto span = x.subspan(
+          static_cast<std::size_t>(d.start_sample),
+          static_cast<std::size_t>(d.end_sample - d.start_sample));
+      CostLedger::Scope scope(ledger, "analysis/zigbee-demod", span.size());
+      if (auto frame = phyzigbee::DecodeFrame(span)) {
+        frame->start_sample += d.start_sample;
+        frame->end_sample += d.start_sample;
+        report.zb_frames.push_back(std::move(*frame));
+      }
+    }
+  }
+  // Deduplicate Bluetooth packets found by more than one pass over
+  // overlapping intervals.
+  std::sort(report.bt_packets.begin(), report.bt_packets.end(),
+            [](const auto& a, const auto& b) {
+              return a.start_sample < b.start_sample;
+            });
+  report.bt_packets.erase(
+      std::unique(report.bt_packets.begin(), report.bt_packets.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.channel_index == b.channel_index &&
+                           std::llabs(a.start_sample - b.start_sample) < 16;
+                  }),
+      report.bt_packets.end());
+  std::sort(report.wifi_frames.begin(), report.wifi_frames.end(),
+            [](const auto& a, const auto& b) {
+              return a.start_sample < b.start_sample;
+            });
+  report.wifi_frames.erase(
+      std::unique(report.wifi_frames.begin(), report.wifi_frames.end(),
+                  [](const auto& a, const auto& b) {
+                    return std::llabs(a.start_sample - b.start_sample) < 16;
+                  }),
+      report.wifi_frames.end());
+}
+
+}  // namespace
+
+double MonitorReport::TotalCpuSeconds() const {
+  double total = 0.0;
+  for (const auto& c : costs) total += c.cpu_seconds;
+  return total;
+}
+
+double MonitorReport::CostOf(const std::string& prefix) const {
+  double total = 0.0;
+  for (const auto& c : costs) {
+    if (c.name.rfind(prefix, 0) == 0) total += c.cpu_seconds;
+  }
+  return total;
+}
+
+double MonitorReport::CpuOverRealTime() const {
+  if (samples_total == 0) return 0.0;
+  const double real_seconds =
+      static_cast<double>(samples_total) / dsp::kSampleRateHz;
+  return TotalCpuSeconds() / real_seconds;
+}
+
+// ------------------------------------------------------------------- RFDump
+
+RFDumpPipeline::RFDumpPipeline() : RFDumpPipeline(Config{}) {}
+
+RFDumpPipeline::RFDumpPipeline(Config config) : config_(config) {}
+
+MonitorReport RFDumpPipeline::Process(dsp::const_sample_span x) {
+  MonitorReport report;
+  report.samples_total = x.size();
+  CostLedger ledger;
+
+  // Stage 1: protocol-agnostic peak detection over 25 us chunks (with the
+  // integrated energy gate).
+  PeakDetector::Config pd_cfg;
+  pd_cfg.noise_floor_power = config_.noise_floor_power;
+  PeakDetector peaks(pd_cfg);
+
+  WifiTimingDetector wifi_timing;
+  BluetoothTimingDetector bt_timing;
+  MicrowaveTimingDetector mw_timing;
+  ZigbeeTimingDetector zb_timing;
+  GfskPhaseDetector gfsk_phase;
+  DbpskPhaseDetector dbpsk_phase;
+  CollisionDetector collision;
+  BluetoothFreqDetector::Config freq_cfg;
+  freq_cfg.noise_floor_power = config_.noise_floor_power;
+  BluetoothFreqDetector bt_freq(freq_cfg);
+
+  std::vector<Detection>& detections = report.detections;
+  std::uint64_t peak_cursor = 0;
+
+  const auto handle_peaks = [&](std::span<const Peak> fresh) {
+    if (fresh.empty()) return;
+    if (config_.timing_detectors) {
+      CostLedger::Scope scope(ledger, "detect/timing", 0);
+      auto d1 = wifi_timing.OnPeaks(fresh);
+      detections.insert(detections.end(), d1.begin(), d1.end());
+      auto d2 = bt_timing.OnPeaks(fresh);
+      detections.insert(detections.end(), d2.begin(), d2.end());
+    }
+    if (config_.microwave_detector) {
+      CostLedger::Scope scope(ledger, "detect/timing", 0);
+      auto d = mw_timing.OnPeaks(fresh);
+      detections.insert(detections.end(), d.begin(), d.end());
+    }
+    if (config_.zigbee_detector) {
+      CostLedger::Scope scope(ledger, "detect/timing", 0);
+      auto d = zb_timing.OnPeaks(fresh);
+      detections.insert(detections.end(), d.begin(), d.end());
+    }
+    if (config_.collision_detector) {
+      for (const Peak& p : fresh) {
+        const auto s = static_cast<std::size_t>(
+            std::clamp<std::int64_t>(p.start_sample, 0,
+                                     static_cast<std::int64_t>(x.size())));
+        const auto e = static_cast<std::size_t>(
+            std::clamp<std::int64_t>(p.end_sample, 0,
+                                     static_cast<std::int64_t>(x.size())));
+        if (e <= s) continue;
+        CostLedger::Scope scope(ledger, "detect/collision", e - s);
+        auto d = collision.OnPeak(p, x.subspan(s, e - s));
+        detections.insert(detections.end(), d.begin(), d.end());
+      }
+    }
+    if (config_.phase_detectors) {
+      for (const Peak& p : fresh) {
+        const auto s = static_cast<std::size_t>(
+            std::clamp<std::int64_t>(p.start_sample, 0,
+                                     static_cast<std::int64_t>(x.size())));
+        const auto e = static_cast<std::size_t>(
+            std::clamp<std::int64_t>(p.end_sample, 0,
+                                     static_cast<std::int64_t>(x.size())));
+        if (e <= s) continue;
+        const auto span = x.subspan(s, e - s);
+        CostLedger::Scope scope(ledger, "detect/phase", span.size());
+        if (auto d = dbpsk_phase.OnPeak(p, span)) detections.push_back(*d);
+        if (auto d = gfsk_phase.OnPeak(p, span)) detections.push_back(*d);
+      }
+    }
+  };
+
+  for (std::size_t at = 0; at < x.size(); at += kChunkSamples) {
+    const std::size_t n = std::min(kChunkSamples, x.size() - at);
+    const auto chunk = x.subspan(at, n);
+    {
+      CostLedger::Scope scope(ledger, "detect/peak", n);
+      peaks.PushChunk(chunk, static_cast<std::int64_t>(at));
+    }
+    if (config_.freq_detector) {
+      CostLedger::Scope scope(ledger, "detect/freq", n);
+      auto d = bt_freq.PushChunk(chunk, static_cast<std::int64_t>(at));
+      detections.insert(detections.end(), d.begin(), d.end());
+    }
+    const auto fresh = peaks.CompletedSince(peak_cursor);
+    peak_cursor = peaks.CompletedCount();
+    handle_peaks(fresh);
+  }
+  {
+    CostLedger::Scope scope(ledger, "detect/peak", 0);
+    peaks.Flush();
+  }
+  handle_peaks(peaks.CompletedSince(peak_cursor));
+  if (config_.freq_detector) {
+    auto d = bt_freq.Flush();
+    detections.insert(detections.end(), d.begin(), d.end());
+  }
+
+  // Stage 2: dispatch — merge detections per protocol and analyze only those
+  // sample ranges.
+  const std::int64_t pad = UsToSamples(config_.dispatch_pad_us);
+  std::vector<Detection> padded = detections;
+  for (auto& d : padded) {
+    d.start_sample -= pad;
+    d.end_sample += pad;
+  }
+  report.dispatched = MergeDetections(std::move(padded), pad,
+                                      static_cast<std::int64_t>(x.size()));
+  RunAnalysis(config_.analysis, config_.noise_floor_power, report.dispatched,
+              x, ledger, report);
+
+  report.costs = ledger.Costs();
+  return report;
+}
+
+// -------------------------------------------------------------------- naive
+
+NaivePipeline::NaivePipeline() : NaivePipeline(Config{}) {}
+
+NaivePipeline::NaivePipeline(Config config) : config_(config) {}
+
+MonitorReport NaivePipeline::Process(dsp::const_sample_span x) {
+  MonitorReport report;
+  report.samples_total = x.size();
+  CostLedger ledger;
+
+  std::vector<Detection> intervals;
+  if (config_.energy_gate) {
+    // Energy filtering via the peak detector's gate; everything above the
+    // noise floor goes to ALL demodulators.
+    PeakDetector::Config pd_cfg;
+    pd_cfg.noise_floor_power = config_.noise_floor_power;
+    PeakDetector peaks(pd_cfg);
+    for (std::size_t at = 0; at < x.size(); at += kChunkSamples) {
+      const std::size_t n = std::min(kChunkSamples, x.size() - at);
+      CostLedger::Scope scope(ledger, "detect/energy", n);
+      peaks.PushChunk(x.subspan(at, n), static_cast<std::int64_t>(at));
+    }
+    {
+      CostLedger::Scope scope(ledger, "detect/energy", 0);
+      peaks.Flush();
+    }
+    const std::int64_t pad = UsToSamples(config_.dispatch_pad_us);
+    std::vector<Detection> raw;
+    for (const Peak& p : peaks.history()) {
+      raw.push_back({Protocol::kWifi80211b, p.start_sample - pad,
+                     p.end_sample + pad, 1.0f, "energy"});
+      raw.push_back({Protocol::kBluetooth, p.start_sample - pad,
+                     p.end_sample + pad, 1.0f, "energy"});
+    }
+    intervals = MergeDetections(std::move(raw), pad,
+                                static_cast<std::int64_t>(x.size()));
+  } else {
+    // Pure naive: the full capture goes to every demodulator.
+    intervals.push_back({Protocol::kWifi80211b, 0,
+                         static_cast<std::int64_t>(x.size()), 1.0f, "naive"});
+    intervals.push_back({Protocol::kBluetooth, 0,
+                         static_cast<std::int64_t>(x.size()), 1.0f, "naive"});
+  }
+  report.dispatched = intervals;
+  RunAnalysis(config_.analysis, config_.noise_floor_power, intervals, x,
+              ledger, report);
+  report.costs = ledger.Costs();
+  return report;
+}
+
+}  // namespace rfdump::core

@@ -1,0 +1,58 @@
+#include "rfdump/core/protocols.hpp"
+
+#include <array>
+
+namespace rfdump::core {
+
+const char* ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kUnknown: return "unknown";
+    case Protocol::kWifi80211b: return "802.11b";
+    case Protocol::kBluetooth: return "Bluetooth";
+    case Protocol::kZigbee: return "ZigBee";
+    case Protocol::kMicrowave: return "Microwave";
+  }
+  return "?";
+}
+
+const char* ModulationName(Modulation m) {
+  switch (m) {
+    case Modulation::kDbpsk: return "DBPSK";
+    case Modulation::kDqpsk: return "DQPSK";
+    case Modulation::kCck: return "CCK";
+    case Modulation::kGfsk: return "GFSK";
+    case Modulation::kOqpsk: return "O-QPSK";
+    case Modulation::kNoise: return "noise";
+  }
+  return "?";
+}
+
+std::span<const ProtocolFeatures> FeatureTable() {
+  static const std::array<ProtocolFeatures, 7> kTable = {{
+      {Protocol::kWifi80211b, "802.11b (1 Mbps)", 20.0, 10.0,
+       Modulation::kDbpsk, "Barker", 22.0, 1e6},
+      {Protocol::kWifi80211b, "802.11b (2 Mbps)", 20.0, 10.0,
+       Modulation::kDqpsk, "Barker", 22.0, 1e6},
+      {Protocol::kWifi80211b, "802.11b (5.5 Mbps)", 20.0, 10.0,
+       Modulation::kCck, "CCK", 22.0, 1.375e6},
+      {Protocol::kWifi80211b, "802.11b (11 Mbps)", 20.0, 10.0,
+       Modulation::kCck, "CCK", 22.0, 1.375e6},
+      {Protocol::kBluetooth, "Bluetooth (1 Mbps)", 625.0, 625.0,
+       Modulation::kGfsk, "FHSS", 1.0, 1e6},
+      {Protocol::kZigbee, "802.15.4 (ZigBee)", 320.0, 192.0,
+       Modulation::kOqpsk, "DSSS-32", 5.0, 62.5e3},
+      {Protocol::kMicrowave, "Residential microwave", 16667.0, 0.0,
+       Modulation::kNoise, "-", 40.0, 0.0},
+  }};
+  return kTable;
+}
+
+std::vector<ProtocolFeatures> FeaturesFor(Protocol p) {
+  std::vector<ProtocolFeatures> out;
+  for (const auto& row : FeatureTable()) {
+    if (row.protocol == p) out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace rfdump::core

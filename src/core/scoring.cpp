@@ -1,0 +1,99 @@
+#include "rfdump/core/scoring.hpp"
+
+#include <algorithm>
+
+namespace rfdump::core {
+namespace {
+
+// Overlap of [a1, a2) with a set of disjoint sorted intervals.
+std::int64_t OverlapWith(
+    std::int64_t a1, std::int64_t a2,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& intervals) {
+  std::int64_t overlap = 0;
+  // Binary search to the first interval that could intersect.
+  auto it = std::lower_bound(
+      intervals.begin(), intervals.end(), a1,
+      [](const auto& iv, std::int64_t v) { return iv.second <= v; });
+  for (; it != intervals.end() && it->first < a2; ++it) {
+    overlap += std::max<std::int64_t>(
+        0, std::min(a2, it->second) - std::max(a1, it->first));
+  }
+  return overlap;
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> MergeIntervals(
+    std::vector<std::pair<std::int64_t, std::int64_t>> spans) {
+  std::sort(spans.begin(), spans.end());
+  std::vector<std::pair<std::int64_t, std::int64_t>> out;
+  for (const auto& s : spans) {
+    if (s.second <= s.first) continue;
+    if (!out.empty() && s.first <= out.back().second) {
+      out.back().second = std::max(out.back().second, s.second);
+    } else {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<emu::TruthRecord> VisibleTruthWithin(
+    const std::vector<emu::TruthRecord>& truth, Protocol protocol,
+    std::int64_t total_samples) {
+  std::vector<emu::TruthRecord> out;
+  for (const auto& r : truth) {
+    if (r.visible && r.protocol == protocol &&
+        r.end_sample <= total_samples) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+AccuracyScore ScoreDetections(const std::vector<emu::TruthRecord>& truth,
+                              Protocol protocol,
+                              const std::vector<Detection>& detections,
+                              std::int64_t total_samples,
+                              const std::string& detector_filter,
+                              double min_overlap) {
+  AccuracyScore score;
+  // Collect relevant detection intervals.
+  std::vector<std::pair<std::int64_t, std::int64_t>> spans;
+  for (const auto& d : detections) {
+    if (d.protocol != protocol) continue;
+    if (!detector_filter.empty() && detector_filter != d.detector) continue;
+    spans.emplace_back(std::max<std::int64_t>(d.start_sample, 0),
+                       std::min<std::int64_t>(d.end_sample, total_samples));
+  }
+  const auto merged = MergeIntervals(std::move(spans));
+
+  // Miss rate over visible truth packets of this protocol.
+  const auto packets = VisibleTruthWithin(truth, protocol, total_samples);
+  score.truth_packets = packets.size();
+  for (const auto& p : packets) {
+    const std::int64_t len = p.end_sample - p.start_sample;
+    const std::int64_t got = OverlapWith(p.start_sample, p.end_sample, merged);
+    if (static_cast<double>(got) <
+        min_overlap * static_cast<double>(len)) {
+      ++score.missed;
+    }
+  }
+
+  // False positives: detected samples covering no visible transmission of
+  // any protocol.
+  std::vector<std::pair<std::int64_t, std::int64_t>> any_truth;
+  for (const auto& r : truth) {
+    if (!r.visible) continue;
+    any_truth.emplace_back(std::max<std::int64_t>(r.start_sample, 0),
+                           std::min(r.end_sample, total_samples));
+  }
+  const auto truth_merged = MergeIntervals(std::move(any_truth));
+  for (const auto& [a, b] : merged) {
+    score.forwarded_samples += b - a;
+    score.false_positive_samples += (b - a) - OverlapWith(a, b, truth_merged);
+  }
+  return score;
+}
+
+}  // namespace rfdump::core

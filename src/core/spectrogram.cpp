@@ -1,0 +1,84 @@
+#include "rfdump/core/spectrogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rfdump/dsp/db.hpp"
+#include "rfdump/dsp/windows.hpp"
+
+namespace rfdump::core {
+
+Spectrogram ComputeSpectrogram(dsp::const_sample_span x, std::size_t bins,
+                               std::size_t target_rows) {
+  Spectrogram gram;
+  if (x.empty() || !dsp::IsPowerOfTwo(bins)) return gram;
+  gram.bins = bins;
+  const std::size_t samples_per_row =
+      std::max<std::size_t>(x.size() / std::max<std::size_t>(target_rows, 1),
+                            bins);
+  gram.rows = x.size() / samples_per_row;
+  gram.row_seconds =
+      static_cast<double>(samples_per_row) / dsp::kSampleRateHz;
+  gram.power_db.assign(gram.rows * bins, -120.0f);
+
+  dsp::FftPlan plan(bins);
+  const auto window = dsp::MakeWindow(dsp::WindowType::kHann, bins);
+  for (std::size_t row = 0; row < gram.rows; ++row) {
+    // Average several FFTs across the row for a stable estimate.
+    std::vector<double> acc(bins, 0.0);
+    const std::size_t row_start = row * samples_per_row;
+    const std::size_t hops = std::max<std::size_t>(
+        (samples_per_row - bins) / bins, 1);
+    std::size_t count = 0;
+    for (std::size_t h = 0; h < hops; ++h) {
+      const std::size_t at = row_start + h * bins;
+      if (at + bins > x.size()) break;
+      const auto ps = plan.PowerSpectrum(x.subspan(at, bins), window);
+      for (std::size_t k = 0; k < bins; ++k) acc[k] += ps[k];
+      ++count;
+    }
+    if (count == 0) continue;
+    for (std::size_t k = 0; k < bins; ++k) {
+      // Reorder to DC-centred: display bin 0 = most negative frequency.
+      const std::size_t fft_bin = (k + bins / 2) % bins;
+      const double p = acc[fft_bin] / static_cast<double>(count);
+      gram.power_db[row * bins + k] =
+          static_cast<float>(dsp::PowerToDb(std::max(p, 1e-12)));
+    }
+  }
+  return gram;
+}
+
+std::string RenderAscii(const Spectrogram& gram, float floor_db,
+                        float ceil_db) {
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = 9;
+  if (gram.rows == 0) return "(empty spectrogram)\n";
+  if (std::isnan(floor_db) || std::isnan(ceil_db)) {
+    // Auto-scale: floor at the 20th percentile, ceiling at the max.
+    std::vector<float> sorted = gram.power_db;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::isnan(floor_db)) floor_db = sorted[sorted.size() / 5];
+    if (std::isnan(ceil_db)) ceil_db = sorted.back();
+    if (ceil_db - floor_db < 6.0f) ceil_db = floor_db + 6.0f;
+  }
+  std::string out;
+  out += "freq:  -4 MHz";
+  for (std::size_t i = 13; i + 7 < gram.bins; ++i) out += ' ';
+  out += "+4 MHz\n";
+  char line[16];
+  for (std::size_t row = 0; row < gram.rows; ++row) {
+    std::snprintf(line, sizeof(line), "%7.1fms ",
+                  1e3 * gram.row_seconds * static_cast<double>(row));
+    out += line;
+    for (std::size_t k = 0; k < gram.bins; ++k) {
+      const float v = (gram.at(row, k) - floor_db) / (ceil_db - floor_db);
+      const int level = std::clamp(static_cast<int>(v * kLevels), 0, kLevels);
+      out += kRamp[level];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rfdump::core

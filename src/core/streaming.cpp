@@ -1,0 +1,95 @@
+#include "rfdump/core/streaming.hpp"
+
+#include <algorithm>
+
+namespace rfdump::core {
+
+StreamingMonitor::StreamingMonitor() : StreamingMonitor(Config{}) {}
+
+StreamingMonitor::StreamingMonitor(Config config) : config_(config) {
+  buffer_.reserve(config_.block_samples + config_.overlap_samples);
+}
+
+void StreamingMonitor::Push(dsp::const_sample_span segment) {
+  buffer_.insert(buffer_.end(), segment.begin(), segment.end());
+  while (buffer_.size() >= config_.block_samples) {
+    ProcessBlock(/*final_block=*/false);
+  }
+}
+
+void StreamingMonitor::Flush() {
+  if (!buffer_.empty()) ProcessBlock(/*final_block=*/true);
+}
+
+double StreamingMonitor::CpuOverRealTime() const {
+  if (samples_processed_ == 0) return 0.0;
+  double cpu = 0.0;
+  for (const auto& c : costs_) cpu += c.cpu_seconds;
+  return cpu /
+         (static_cast<double>(samples_processed_) / dsp::kSampleRateHz);
+}
+
+void StreamingMonitor::ProcessBlock(bool final_block) {
+  const std::size_t take =
+      final_block ? buffer_.size()
+                  : std::min(buffer_.size(), config_.block_samples);
+  const auto block = dsp::const_sample_span(buffer_).first(take);
+
+  RFDumpPipeline pipeline(config_.pipeline);
+  auto report = pipeline.Process(block);
+  samples_processed_ += take;
+
+  // Merge stage costs.
+  for (const auto& c : report.costs) {
+    auto it = std::find_if(costs_.begin(), costs_.end(),
+                           [&](const StageCost& s) { return s.name == c.name; });
+    if (it == costs_.end()) {
+      costs_.push_back(c);
+    } else {
+      it->cpu_seconds += c.cpu_seconds;
+      it->samples_in += c.samples_in;
+    }
+  }
+
+  // Ownership boundary: this block reports every result that *starts* in
+  // [emitted_until_, boundary); results starting inside the overlap tail are
+  // left to the next block, which sees them whole (the overlap exceeds the
+  // longest frame, so anything starting before the boundary also ends inside
+  // this block).
+  const std::int64_t base = buffer_start_;
+  const std::size_t keep =
+      final_block ? 0 : std::min(config_.overlap_samples, take);
+  const std::int64_t boundary =
+      base + static_cast<std::int64_t>(take - keep);
+  const auto owned = [&](std::int64_t start) {
+    return start >= emitted_until_ && start < boundary;
+  };
+  for (auto& f : report.wifi_frames) {
+    f.start_sample += base;
+    f.end_sample += base;
+    if (owned(f.start_sample) && on_wifi_frame) on_wifi_frame(f);
+  }
+  for (auto& p : report.bt_packets) {
+    p.start_sample += base;
+    p.end_sample += base;
+    if (owned(p.start_sample) && on_bt_packet) on_bt_packet(p);
+  }
+  for (auto& d : report.detections) {
+    d.start_sample += base;
+    d.end_sample += base;
+    if (owned(d.start_sample) && on_detection) on_detection(d);
+  }
+
+  emitted_until_ = boundary;
+  if (final_block) {
+    buffer_start_ += static_cast<std::int64_t>(take);
+    buffer_.clear();
+    return;
+  }
+  const std::size_t consumed = take - keep;
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(consumed));
+  buffer_start_ += static_cast<std::int64_t>(consumed);
+}
+
+}  // namespace rfdump::core

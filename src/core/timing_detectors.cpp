@@ -1,0 +1,226 @@
+#include "rfdump/core/timing_detectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfdump::core {
+namespace {
+
+std::int64_t UsToSamples(double us) {
+  return static_cast<std::int64_t>(us * 1e-6 * dsp::kSampleRateHz + 0.5);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- 802.11
+
+WifiTimingDetector::WifiTimingDetector() : WifiTimingDetector(Config{}) {}
+
+WifiTimingDetector::WifiTimingDetector(Config config) : config_(config) {}
+
+std::vector<Detection> WifiTimingDetector::OnPeaks(
+    std::span<const Peak> peaks) {
+  std::vector<Detection> out;
+  const std::int64_t tol = UsToSamples(config_.tolerance_us);
+  for (const Peak& peak : peaks) {
+    if (have_prev_) {
+      const std::int64_t gap = peak.start_sample - prev_.end_sample;
+      bool match = false;
+      float confidence = 0.0f;
+      const char* which = "";
+      // SIFS: data -> ACK.
+      if (std::llabs(gap - UsToSamples(config_.sifs_us)) <= tol) {
+        match = true;
+        confidence = 0.9f;
+        which = "80211-sifs-timing";
+      } else {
+        // DIFS + k x SlotTime.
+        const std::int64_t difs = UsToSamples(config_.difs_us);
+        const std::int64_t slot = UsToSamples(config_.slot_us);
+        if (gap >= difs - tol) {
+          const std::int64_t over = gap - difs;
+          const std::int64_t k = (over + slot / 2) / slot;
+          if (k >= 0 && k <= config_.max_backoff &&
+              std::llabs(over - k * slot) <= tol) {
+            match = true;
+            confidence = 0.6f;  // coarser signature than SIFS
+            which = "80211-difs-timing";
+          }
+        }
+      }
+      if (match) {
+        // Both peaks of the pair are tagged; duplicates from chained pairs
+        // (DATA-ACK-DATA) are collapsed by MergeDetections downstream.
+        out.push_back({Protocol::kWifi80211b, prev_.start_sample,
+                       prev_.end_sample, confidence, which});
+        out.push_back({Protocol::kWifi80211b, peak.start_sample,
+                       peak.end_sample, confidence, which});
+      }
+    }
+    prev_ = peak;
+    have_prev_ = true;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- Bluetooth
+
+BluetoothTimingDetector::BluetoothTimingDetector()
+    : BluetoothTimingDetector(Config{}) {}
+
+BluetoothTimingDetector::BluetoothTimingDetector(Config config)
+    : config_(config) {}
+
+bool BluetoothTimingDetector::SlotAligned(std::int64_t delta) const {
+  const std::int64_t slot = UsToSamples(config_.slot_us);
+  const std::int64_t tol = UsToSamples(config_.tolerance_us);
+  if (delta <= 0) return false;
+  const std::int64_t m = (delta + slot / 2) / slot;
+  if (m < 1 || m > config_.max_slots) return false;
+  return std::llabs(delta - m * slot) <= tol;
+}
+
+std::vector<Detection> BluetoothTimingDetector::OnPeaks(
+    std::span<const Peak> peaks) {
+  std::vector<Detection> out;
+  for (const Peak& peak : peaks) {
+    const double len_us = dsp::SamplesToMicros(peak.length());
+    const bool plausible_burst =
+        len_us >= config_.min_burst_us && len_us <= config_.max_burst_us;
+    bool matched = false;
+    if (plausible_burst) {
+      // 1. Session cache.
+      for (auto& entry : cache_) {
+        if (SlotAligned(peak.start_sample - entry.anchor_start)) {
+          ++cache_hits_;
+          ++entry.hits;
+          entry.anchor_start = peak.start_sample;
+          matched = true;
+          const float confidence =
+              std::min(0.95f, 0.5f + 0.1f * static_cast<float>(entry.hits));
+          out.push_back({Protocol::kBluetooth, peak.start_sample,
+                         peak.end_sample, confidence, "bt-slot-timing"});
+          break;
+        }
+      }
+      // 2. Full history search.
+      if (!matched) {
+        ++history_searches_;
+        for (auto it = recent_starts_.rbegin(); it != recent_starts_.rend();
+             ++it) {
+          if (SlotAligned(peak.start_sample - *it)) {
+            matched = true;
+            out.push_back({Protocol::kBluetooth, peak.start_sample,
+                           peak.end_sample, 0.5f, "bt-slot-timing"});
+            // Install as a new session (evict the entry with fewest hits).
+            if (cache_.size() < config_.cache_size) {
+              cache_.push_back({peak.start_sample, 1});
+            } else if (!cache_.empty()) {
+              auto victim = std::min_element(
+                  cache_.begin(), cache_.end(),
+                  [](const CacheEntry& a, const CacheEntry& b) {
+                    return a.hits < b.hits;
+                  });
+              *victim = {peak.start_sample, 1};
+            }
+            break;
+          }
+        }
+      }
+    }
+    recent_starts_.push_back(peak.start_sample);
+    while (recent_starts_.size() > config_.history) {
+      recent_starts_.pop_front();
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- microwave
+
+MicrowaveTimingDetector::MicrowaveTimingDetector()
+    : MicrowaveTimingDetector(Config{}) {}
+
+MicrowaveTimingDetector::MicrowaveTimingDetector(Config config)
+    : config_(config) {}
+
+std::vector<Detection> MicrowaveTimingDetector::OnPeaks(
+    std::span<const Peak> peaks) {
+  std::vector<Detection> out;
+  const std::int64_t period = UsToSamples(config_.period_us);
+  const std::int64_t tol = UsToSamples(config_.tolerance_us);
+  for (const Peak& peak : peaks) {
+    const double len_us = dsp::SamplesToMicros(peak.length());
+    if (len_us < config_.min_burst_us) {
+      // Short bursts break a run but are not microwave evidence either way.
+      continue;
+    }
+    if (have_prev_) {
+      const std::int64_t delta = peak.start_sample - prev_.start_sample;
+      // Constant emitted power: successive bursts have similar mean power.
+      const float ratio =
+          (prev_.mean_power > 0.0f)
+              ? std::abs(peak.mean_power - prev_.mean_power) /
+                    prev_.mean_power
+              : 1.0f;
+      if (std::llabs(delta - period) <= tol &&
+          ratio <= config_.power_ratio_tolerance) {
+        ++run_;
+        const float confidence =
+            std::min(0.95f, 0.5f + 0.15f * static_cast<float>(run_));
+        if (run_ == 1) {
+          out.push_back({Protocol::kMicrowave, prev_.start_sample,
+                         prev_.end_sample, confidence, "mw-ac-timing"});
+        }
+        out.push_back({Protocol::kMicrowave, peak.start_sample,
+                       peak.end_sample, confidence, "mw-ac-timing"});
+      } else {
+        run_ = 0;
+      }
+    }
+    prev_ = peak;
+    have_prev_ = true;
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- ZigBee
+
+ZigbeeTimingDetector::ZigbeeTimingDetector()
+    : ZigbeeTimingDetector(Config{}) {}
+
+ZigbeeTimingDetector::ZigbeeTimingDetector(Config config) : config_(config) {}
+
+std::vector<Detection> ZigbeeTimingDetector::OnPeaks(
+    std::span<const Peak> peaks) {
+  std::vector<Detection> out;
+  const std::int64_t tol = UsToSamples(config_.tolerance_us);
+  for (const Peak& peak : peaks) {
+    if (have_prev_) {
+      const std::int64_t gap = peak.start_sample - prev_.end_sample;
+      bool match = false;
+      if (std::llabs(gap - UsToSamples(config_.sifs_us)) <= tol ||
+          std::llabs(gap - UsToSamples(config_.lifs_us)) <= tol) {
+        match = true;
+      } else {
+        const std::int64_t slot = UsToSamples(config_.slot_us);
+        const std::int64_t k = (gap + slot / 2) / slot;
+        if (k >= 1 && k <= config_.max_slots &&
+            std::llabs(gap - k * slot) <= tol) {
+          match = true;
+        }
+      }
+      if (match) {
+        out.push_back({Protocol::kZigbee, prev_.start_sample,
+                       prev_.end_sample, 0.5f, "zigbee-ifs-timing"});
+        out.push_back({Protocol::kZigbee, peak.start_sample, peak.end_sample,
+                       0.5f, "zigbee-ifs-timing"});
+      }
+    }
+    prev_ = peak;
+    have_prev_ = true;
+  }
+  return out;
+}
+
+}  // namespace rfdump::core

@@ -1,0 +1,45 @@
+#include "rfdump/dsp/barker.hpp"
+
+#include <cmath>
+
+namespace rfdump::dsp {
+
+SampleVec CorrelateChips(const_sample_span x, std::span<const int> chips) {
+  const std::size_t n = chips.size();
+  if (x.size() < n || n == 0) return {};
+  SampleVec out(x.size() - n + 1);
+  for (std::size_t i = 0; i + n <= x.size(); ++i) {
+    cfloat acc{0.0f, 0.0f};
+    for (std::size_t k = 0; k < n; ++k) {
+      acc += static_cast<float>(chips[k]) * x[i + k];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<float> NormalizedCorrelateChips(const_sample_span x,
+                                            std::span<const int> chips) {
+  const std::size_t n = chips.size();
+  if (x.size() < n || n == 0) return {};
+  std::vector<float> out(x.size() - n + 1);
+  // Running window energy for normalization.
+  double window_energy = 0.0;
+  for (std::size_t k = 0; k < n; ++k) window_energy += std::norm(x[k]);
+  for (std::size_t i = 0; i + n <= x.size(); ++i) {
+    cfloat acc{0.0f, 0.0f};
+    for (std::size_t k = 0; k < n; ++k) {
+      acc += static_cast<float>(chips[k]) * x[i + k];
+    }
+    const double denom =
+        std::sqrt(static_cast<double>(n) * std::max(window_energy, 1e-30));
+    out[i] = static_cast<float>(std::abs(acc) / denom);
+    if (i + n < x.size()) {
+      window_energy += std::norm(x[i + n]) - std::norm(x[i]);
+      if (window_energy < 0.0) window_energy = 0.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace rfdump::dsp

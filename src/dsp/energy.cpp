@@ -1,0 +1,53 @@
+#include "rfdump/dsp/energy.hpp"
+
+#include <stdexcept>
+
+namespace rfdump::dsp {
+
+double MeanPower(const_sample_span x) {
+  if (x.empty()) return 0.0;
+  return TotalEnergy(x) / static_cast<double>(x.size());
+}
+
+double TotalEnergy(const_sample_span x) {
+  double sum = 0.0;
+  for (const cfloat s : x) sum += std::norm(s);
+  return sum;
+}
+
+MovingAveragePower::MovingAveragePower(std::size_t window) : window_(window) {
+  if (window == 0) {
+    throw std::invalid_argument("MovingAveragePower window must be >= 1");
+  }
+  ring_.assign(window, 0.0f);
+}
+
+void MovingAveragePower::Reset() {
+  std::fill(ring_.begin(), ring_.end(), 0.0f);
+  head_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  pushes_since_rebuild_ = 0;
+}
+
+float MovingAveragePower::Push(cfloat sample) {
+  const float p = std::norm(sample);
+  sum_ += p - ring_[head_];
+  ring_[head_] = p;
+  head_ = (head_ + 1) % window_;
+  if (count_ < window_) ++count_;
+  // Rebuild the running sum occasionally to cancel accumulated float error.
+  if (++pushes_since_rebuild_ >= 1u << 20) {
+    sum_ = 0.0;
+    for (float v : ring_) sum_ += v;
+    pushes_since_rebuild_ = 0;
+  }
+  return Average();
+}
+
+float MovingAveragePower::Average() const {
+  if (count_ == 0) return 0.0f;
+  return static_cast<float>(sum_ / static_cast<double>(count_));
+}
+
+}  // namespace rfdump::dsp

@@ -1,0 +1,68 @@
+#include "rfdump/dsp/phase.hpp"
+
+#include <cmath>
+
+namespace rfdump::dsp {
+
+std::vector<float> InstantPhase(const_sample_span x) {
+  std::vector<float> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = std::arg(x[i]);
+  }
+  return out;
+}
+
+std::vector<float> PhaseDiff(const_sample_span x) {
+  if (x.size() < 2) return {};
+  std::vector<float> out(x.size() - 1);
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    out[i - 1] = std::arg(x[i] * std::conj(x[i - 1]));
+  }
+  return out;
+}
+
+std::vector<float> PhaseSecondDiff(const_sample_span x) {
+  const auto d1 = PhaseDiff(x);
+  if (d1.size() < 2) return {};
+  std::vector<float> out(d1.size() - 1);
+  for (std::size_t i = 1; i < d1.size(); ++i) {
+    out[i - 1] = WrapPhase(d1[i] - d1[i - 1]);
+  }
+  return out;
+}
+
+float WrapPhase(float angle) {
+  while (angle > kPi) angle -= kTwoPi;
+  while (angle <= -kPi) angle += kTwoPi;
+  return angle;
+}
+
+void UnwrapInPlace(std::vector<float>& phase) {
+  for (std::size_t i = 1; i < phase.size(); ++i) {
+    float d = phase[i] - phase[i - 1];
+    while (d > kPi) {
+      phase[i] -= kTwoPi;
+      d -= kTwoPi;
+    }
+    while (d < -kPi) {
+      phase[i] += kTwoPi;
+      d += kTwoPi;
+    }
+  }
+}
+
+std::vector<std::size_t> PhaseHistogram(std::span<const float> phases,
+                                        std::size_t bins) {
+  std::vector<std::size_t> hist(bins, 0);
+  if (bins == 0) return hist;
+  for (float p : phases) {
+    // Map (-pi, pi] -> [0, bins).
+    float norm = (p + kPi) / kTwoPi;  // (0, 1]
+    auto idx = static_cast<std::size_t>(norm * static_cast<float>(bins));
+    if (idx >= bins) idx = bins - 1;
+    ++hist[idx];
+  }
+  return hist;
+}
+
+}  // namespace rfdump::dsp

@@ -1,0 +1,63 @@
+#include "rfdump/dsp/windows.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace rfdump::dsp {
+
+double BesselI0(double x) {
+  // Power series: I0(x) = sum_k ((x/2)^k / k!)^2. Converges quickly for the
+  // argument ranges used in window design (|x| < ~30).
+  double sum = 1.0;
+  double term = 1.0;
+  const double half_x = x / 2.0;
+  for (int k = 1; k < 64; ++k) {
+    term *= half_x / k;
+    const double contribution = term * term;
+    sum += contribution;
+    if (contribution < 1e-18 * sum) break;
+  }
+  return sum;
+}
+
+std::vector<float> MakeWindow(WindowType type, std::size_t n,
+                              double kaiser_beta) {
+  std::vector<float> w(n, 1.0f);
+  if (n <= 1) return w;
+  const double pi = std::numbers::pi;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / denom;  // [0, 1]
+    double v = 1.0;
+    switch (type) {
+      case WindowType::kRectangular:
+        v = 1.0;
+        break;
+      case WindowType::kHann:
+        v = 0.5 - 0.5 * std::cos(2.0 * pi * x);
+        break;
+      case WindowType::kHamming:
+        v = 0.54 - 0.46 * std::cos(2.0 * pi * x);
+        break;
+      case WindowType::kBlackman:
+        v = 0.42 - 0.5 * std::cos(2.0 * pi * x) +
+            0.08 * std::cos(4.0 * pi * x);
+        break;
+      case WindowType::kBlackmanHarris:
+        v = 0.35875 - 0.48829 * std::cos(2.0 * pi * x) +
+            0.14128 * std::cos(4.0 * pi * x) -
+            0.01168 * std::cos(6.0 * pi * x);
+        break;
+      case WindowType::kKaiser: {
+        const double t = 2.0 * x - 1.0;  // [-1, 1]
+        v = BesselI0(kaiser_beta * std::sqrt(1.0 - t * t)) /
+            BesselI0(kaiser_beta);
+        break;
+      }
+    }
+    w[i] = static_cast<float>(v);
+  }
+  return w;
+}
+
+}  // namespace rfdump::dsp

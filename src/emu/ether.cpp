@@ -1,0 +1,104 @@
+#include "rfdump/emu/ether.hpp"
+
+#include <algorithm>
+
+#include "rfdump/channel/channel.hpp"
+#include "rfdump/dsp/db.hpp"
+#include "rfdump/dsp/energy.hpp"
+
+namespace rfdump::emu {
+
+Ether::Ether() : Ether(Config{}) {}
+
+Ether::Ether(Config config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+void Ether::AddBurst(dsp::const_sample_span burst, std::int64_t start_sample,
+                     double snr_db, TruthRecord meta) {
+  meta.start_sample = start_sample;
+  meta.end_sample = start_sample + static_cast<std::int64_t>(burst.size());
+  meta.snr_db = snr_db;
+  meta.visible = true;
+  truth_.push_back(meta);
+  if (burst.empty() || start_sample < 0) return;
+
+  const double target_power =
+      config_.noise_power * dsp::DbToPower(snr_db);
+  const double burst_power = dsp::MeanPower(burst);
+  const float scale =
+      burst_power > 0.0
+          ? static_cast<float>(std::sqrt(target_power / burst_power))
+          : 0.0f;
+  const std::size_t end =
+      static_cast<std::size_t>(start_sample) + burst.size();
+  if (mix_.size() < end) mix_.resize(end, dsp::cfloat{0.0f, 0.0f});
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    mix_[static_cast<std::size_t>(start_sample) + i] += scale * burst[i];
+  }
+}
+
+void Ether::AddInvisible(TruthRecord meta) {
+  meta.visible = false;
+  truth_.push_back(meta);
+}
+
+dsp::SampleVec Ether::Render(std::int64_t duration_samples) {
+  dsp::SampleVec out(static_cast<std::size_t>(duration_samples),
+                     dsp::cfloat{0.0f, 0.0f});
+  const std::size_t n = std::min(out.size(), mix_.size());
+  std::copy_n(mix_.begin(), n, out.begin());
+  rfdump::channel::AddAwgn(out, config_.noise_power, rng_);
+  if (config_.adc_bits > 0) {
+    rfdump::channel::Quantize(out, config_.adc_bits, config_.adc_full_scale);
+  }
+  return out;
+}
+
+std::vector<TruthRecord> Ether::VisibleTruth(core::Protocol protocol) const {
+  std::vector<TruthRecord> out;
+  for (const auto& r : truth_) {
+    if (r.visible && r.protocol == protocol) out.push_back(r);
+  }
+  return out;
+}
+
+std::int64_t Ether::LastActivity() const {
+  std::int64_t last = 0;
+  for (const auto& r : truth_) {
+    if (r.visible) last = std::max(last, r.end_sample);
+  }
+  return last;
+}
+
+double MediumUtilization(const std::vector<TruthRecord>& truth,
+                         std::int64_t duration_samples) {
+  if (duration_samples <= 0) return 0.0;
+  std::vector<std::pair<std::int64_t, std::int64_t>> spans;
+  spans.reserve(truth.size());
+  for (const auto& r : truth) {
+    if (!r.visible) continue;
+    const std::int64_t a = std::max<std::int64_t>(r.start_sample, 0);
+    const std::int64_t b = std::min(r.end_sample, duration_samples);
+    if (b > a) spans.emplace_back(a, b);
+  }
+  if (spans.empty()) return 0.0;
+  std::sort(spans.begin(), spans.end());
+  std::int64_t covered = 0;
+  std::int64_t cur_start = spans.front().first;
+  std::int64_t cur_end = spans.front().second;
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    const auto [a, b] = spans[i];
+    if (a > cur_end) {
+      covered += cur_end - cur_start;
+      cur_start = a;
+      cur_end = b;
+    } else {
+      cur_end = std::max(cur_end, b);
+    }
+  }
+  covered += cur_end - cur_start;
+  return static_cast<double>(covered) /
+         static_cast<double>(duration_samples);
+}
+
+}  // namespace rfdump::emu

@@ -1,0 +1,209 @@
+#include "rfdump/phy80211/modulator.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "rfdump/dsp/barker.hpp"
+#include "rfdump/dsp/phase.hpp"
+#include "rfdump/dsp/resampler.hpp"
+#include "rfdump/phy80211/scrambler.hpp"
+#include "rfdump/util/bits.hpp"
+
+namespace rfdump::phy80211 {
+namespace {
+
+using dsp::cfloat;
+
+cfloat Phasor(float phase) {
+  return cfloat(std::cos(phase), std::sin(phase));
+}
+
+// DBPSK phase increments (17.4.6.3): bit 0 -> 0, bit 1 -> pi.
+float DbpskDelta(std::uint8_t bit) { return bit ? dsp::kPi : 0.0f; }
+
+// DQPSK dibit (d0 first in time) phase increments (17.4.6.4):
+// 00 -> 0, 01 -> pi/2, 11 -> pi, 10 -> 3pi/2.
+float DqpskDelta(std::uint8_t d0, std::uint8_t d1) {
+  const unsigned key = (static_cast<unsigned>(d0) << 1) | d1;
+  switch (key) {
+    case 0b00: return 0.0f;
+    case 0b01: return dsp::kPi / 2.0f;
+    case 0b11: return dsp::kPi;
+    default:   return 3.0f * dsp::kPi / 2.0f;  // 0b10
+  }
+}
+
+// Appends 11 Barker chips carrying one symbol at absolute phase `phase`.
+void AppendBarkerSymbol(dsp::SampleVec& chips, float phase) {
+  const cfloat p = Phasor(phase);
+  for (int c : dsp::kBarker11) {
+    chips.push_back(p * static_cast<float>(c));
+  }
+}
+
+}  // namespace
+
+std::array<cfloat, 8> CckCodeword(float phi1, float phi2, float phi3,
+                                  float phi4) {
+  // c = (e^{j(p1+p2+p3+p4)}, e^{j(p1+p3+p4)}, e^{j(p1+p2+p4)}, -e^{j(p1+p4)},
+  //      e^{j(p1+p2+p3)}, e^{j(p1+p3)}, -e^{j(p1+p2)}, e^{j p1})
+  return {
+      Phasor(phi1 + phi2 + phi3 + phi4),
+      Phasor(phi1 + phi3 + phi4),
+      Phasor(phi1 + phi2 + phi4),
+      -Phasor(phi1 + phi4),
+      Phasor(phi1 + phi2 + phi3),
+      Phasor(phi1 + phi3),
+      -Phasor(phi1 + phi2),
+      Phasor(phi1),
+  };
+}
+
+Modulator::Modulator() : Modulator(Config{}) {}
+
+Modulator::Modulator(Config config) : config_(config) {}
+
+dsp::SampleVec Modulator::ChipStream(std::span<const std::uint8_t> mpdu,
+                                     Rate rate) {
+  const bool short_pre =
+      config_.short_preamble && rate != Rate::k1Mbps;
+  PlcpHeader header;
+  header.rate = rate;
+  header.length_us = PlcpHeader::DurationUsFor(rate, mpdu.size());
+  header.service = PlcpHeader::ServiceFor(rate, mpdu.size());
+
+  // Serialize: PLCP bits then MPDU bits; scramble the whole transmission with
+  // one continuous scrambler (seed differs for the short preamble, 18.2.4).
+  util::BitVec bits =
+      short_pre ? BuildShortPlcpBits(header) : BuildPlcpBits(header);
+  const std::size_t plcp_bits = bits.size();
+  util::AppendBits(bits, util::BytesToBitsLsbFirst(mpdu));
+  Scrambler scrambler(short_pre ? Scrambler::kShortPreambleSeed
+                                : Scrambler::kLongPreambleSeed);
+  const util::BitVec tx = scrambler.Scramble(bits);
+
+  dsp::SampleVec chips;
+  chips.reserve(tx.size() * 11);
+
+  float phase = 0.0f;
+  std::size_t i = 0;
+  if (short_pre) {
+    // Short preamble: SYNC + SFD at 1 Mbps DBPSK (72 bits), then the 48
+    // header bits at 2 Mbps DQPSK (24 symbols).
+    const std::size_t sync_sfd = kShortSyncBits + 16;
+    for (; i < sync_sfd; ++i) {
+      phase = dsp::WrapPhase(phase + DbpskDelta(tx[i]));
+      AppendBarkerSymbol(chips, phase);
+    }
+    for (; i + 1 < plcp_bits; i += 2) {
+      phase = dsp::WrapPhase(phase + DqpskDelta(tx[i], tx[i + 1]));
+      AppendBarkerSymbol(chips, phase);
+    }
+  } else {
+    // Long preamble + header: 1 Mbps DBPSK, one bit per Barker symbol.
+    for (; i < plcp_bits; ++i) {
+      phase = dsp::WrapPhase(phase + DbpskDelta(tx[i]));
+      AppendBarkerSymbol(chips, phase);
+    }
+  }
+
+  switch (rate) {
+    case Rate::k1Mbps:
+      for (; i < tx.size(); ++i) {
+        phase = dsp::WrapPhase(phase + DbpskDelta(tx[i]));
+        AppendBarkerSymbol(chips, phase);
+      }
+      break;
+    case Rate::k2Mbps:
+      for (; i + 1 < tx.size(); i += 2) {
+        phase = dsp::WrapPhase(phase + DqpskDelta(tx[i], tx[i + 1]));
+        AppendBarkerSymbol(chips, phase);
+      }
+      break;
+    case Rate::k5_5Mbps: {
+      // 4 bits/symbol: (d0,d1) -> phi1 differential (extra pi on odd symbols),
+      // (d2,d3) select phi2..phi4 per 17.4.6.6.2.
+      std::size_t sym = 0;
+      for (; i + 3 < tx.size(); i += 4, ++sym) {
+        float delta = DqpskDelta(tx[i], tx[i + 1]);
+        if (sym & 1u) delta += dsp::kPi;
+        phase = dsp::WrapPhase(phase + delta);
+        const std::uint8_t d2 = tx[i + 2], d3 = tx[i + 3];
+        const float phi2 = d2 ? (dsp::kPi / 2.0f + dsp::kPi)
+                              : (dsp::kPi / 2.0f);
+        const float phi3 = 0.0f;
+        const float phi4 = d3 ? dsp::kPi : 0.0f;
+        for (const cfloat c : CckCodeword(phase, phi2, phi3, phi4)) {
+          chips.push_back(c);
+        }
+      }
+      break;
+    }
+    case Rate::k11Mbps: {
+      // 8 bits/symbol: (d0,d1) -> phi1 differential, remaining dibits are
+      // QPSK-encoded phi2..phi4 (17.4.6.6.3).
+      const auto qpsk = [](std::uint8_t a, std::uint8_t b) {
+        const unsigned key = (static_cast<unsigned>(a) << 1) | b;
+        switch (key) {
+          case 0b00: return 0.0f;
+          case 0b01: return dsp::kPi / 2.0f;
+          case 0b10: return dsp::kPi;
+          default:   return 3.0f * dsp::kPi / 2.0f;
+        }
+      };
+      std::size_t sym = 0;
+      for (; i + 7 < tx.size(); i += 8, ++sym) {
+        float delta = DqpskDelta(tx[i], tx[i + 1]);
+        if (sym & 1u) delta += dsp::kPi;
+        phase = dsp::WrapPhase(phase + delta);
+        const float phi2 = qpsk(tx[i + 2], tx[i + 3]);
+        const float phi3 = qpsk(tx[i + 4], tx[i + 5]);
+        const float phi4 = qpsk(tx[i + 6], tx[i + 7]);
+        for (const cfloat c : CckCodeword(phase, phi2, phi3, phi4)) {
+          chips.push_back(c);
+        }
+      }
+      break;
+    }
+  }
+  if (config_.amplitude != 1.0f) {
+    for (auto& c : chips) c *= config_.amplitude;
+  }
+  return chips;
+}
+
+dsp::SampleVec Modulator::Modulate(std::span<const std::uint8_t> mpdu,
+                                   Rate rate) {
+  const auto chips = ChipStream(mpdu, rate);
+  // 11 Mchip/s -> 8 Msps: the resampler's anti-alias filter models the 8 MHz
+  // front-end bandwidth (only the central portion of the 22 MHz signal
+  // survives, as with the real USRP capture). Flush with zero chips so the
+  // filter pipeline emits the frame's final chips instead of swallowing them.
+  dsp::RationalResampler resampler(8, 11);
+  auto samples = resampler.Resampled(chips);
+  {
+    const dsp::SampleVec flush(32, cfloat{0.0f, 0.0f});
+    resampler.Process(flush, samples);
+  }
+  samples.insert(samples.end(), config_.pad_samples, cfloat{0.0f, 0.0f});
+  return samples;
+}
+
+std::size_t Modulator::FrameSampleCount(std::size_t mpdu_bytes, Rate rate,
+                                        bool short_preamble) {
+  return static_cast<std::size_t>(
+      FrameAirtimeUs(mpdu_bytes, rate, short_preamble) * 1e-6 *
+          dsp::kSampleRateHz +
+      0.5);
+}
+
+double Modulator::FrameAirtimeUs(std::size_t mpdu_bytes, Rate rate,
+                                 bool short_preamble) {
+  const std::size_t plcp = (short_preamble && rate != Rate::k1Mbps)
+                               ? kShortPreambleHeaderSymbols
+                               : kLongPreambleHeaderSymbols;
+  return static_cast<double>(plcp) +
+         static_cast<double>(PlcpHeader::DurationUsFor(rate, mpdu_bytes));
+}
+
+}  // namespace rfdump::phy80211

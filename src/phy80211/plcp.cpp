@@ -1,0 +1,125 @@
+#include "rfdump/phy80211/plcp.hpp"
+
+#include <cmath>
+
+#include "rfdump/util/crc.hpp"
+
+namespace rfdump::phy80211 {
+
+double RateMbps(Rate r) {
+  switch (r) {
+    case Rate::k1Mbps: return 1.0;
+    case Rate::k2Mbps: return 2.0;
+    case Rate::k5_5Mbps: return 5.5;
+    case Rate::k11Mbps: return 11.0;
+  }
+  return 0.0;
+}
+
+const char* RateName(Rate r) {
+  switch (r) {
+    case Rate::k1Mbps: return "1Mbps";
+    case Rate::k2Mbps: return "2Mbps";
+    case Rate::k5_5Mbps: return "5.5Mbps";
+    case Rate::k11Mbps: return "11Mbps";
+  }
+  return "?";
+}
+
+std::size_t PlcpHeader::MpduBytes() const {
+  // bytes = floor(duration_us * rate_Mbps / 8); exact for 1/2/5.5 Mbps. At
+  // 11 Mbps a microsecond spans 1.375 bytes, so the floor can overshoot by
+  // one byte — the SERVICE length-extension bit corrects it (18.2.3.5).
+  auto bytes = static_cast<std::size_t>(
+      std::floor(static_cast<double>(length_us) * RateMbps(rate) / 8.0 +
+                 1e-9));
+  if (rate == Rate::k11Mbps && (service & kServiceLengthExt) && bytes > 0) {
+    --bytes;
+  }
+  return bytes;
+}
+
+std::uint16_t PlcpHeader::DurationUsFor(Rate rate, std::size_t bytes) {
+  return static_cast<std::uint16_t>(
+      std::ceil(static_cast<double>(bytes) * 8.0 / RateMbps(rate) - 1e-9));
+}
+
+std::uint8_t PlcpHeader::ServiceFor(Rate rate, std::size_t bytes) {
+  if (rate != Rate::k11Mbps) return 0;
+  const auto len = DurationUsFor(rate, bytes);
+  const auto implied = static_cast<std::size_t>(
+      std::floor(static_cast<double>(len) * RateMbps(rate) / 8.0 + 1e-9));
+  return implied > bytes ? kServiceLengthExt : 0;
+}
+
+namespace {
+
+// Header bits: SIGNAL(8) SERVICE(8) LENGTH(16) + complemented CRC-16.
+util::BitVec HeaderBits48(const PlcpHeader& header) {
+  util::BitVec hdr;
+  util::AppendBits(hdr, util::UintToBitsLsbFirst(
+                            static_cast<std::uint8_t>(header.rate), 8));
+  util::AppendBits(hdr, util::UintToBitsLsbFirst(header.service, 8));
+  util::AppendBits(hdr, util::UintToBitsLsbFirst(header.length_us, 16));
+  const std::uint16_t crc = static_cast<std::uint16_t>(
+      ~util::Crc16CcittBits(hdr, 0xFFFF));
+  for (int i = 15; i >= 0; --i) {
+    hdr.push_back(static_cast<std::uint8_t>((crc >> i) & 1u));
+  }
+  return hdr;
+}
+
+}  // namespace
+
+util::BitVec BuildShortPlcpBits(const PlcpHeader& header) {
+  util::BitVec bits;
+  bits.reserve(kShortSyncBits + 16 + 48);
+  bits.insert(bits.end(), kShortSyncBits, 0u);  // SYNC: 56 zeros
+  util::AppendBits(bits, util::UintToBitsLsbFirst(kShortSfd, 16));
+  util::AppendBits(bits, HeaderBits48(header));
+  return bits;
+}
+
+util::BitVec BuildPlcpBits(const PlcpHeader& header) {
+  util::BitVec bits;
+  bits.reserve(kLongPreambleHeaderSymbols);
+  // SYNC: 128 ones.
+  bits.insert(bits.end(), kSyncBits, 1u);
+  // SFD, LSB first.
+  util::AppendBits(bits, util::UintToBitsLsbFirst(kSfd, 16));
+  util::AppendBits(bits, HeaderBits48(header));
+  return bits;
+}
+
+std::optional<PlcpHeader> ParsePlcpHeader(
+    std::span<const std::uint8_t> bits48) {
+  if (bits48.size() != 48) return std::nullopt;
+  const auto info = bits48.first(32);
+  const std::uint16_t crc = static_cast<std::uint16_t>(
+      ~util::Crc16CcittBits(info, 0xFFFF));
+  std::uint16_t rx_crc = 0;
+  for (int i = 0; i < 16; ++i) {
+    rx_crc = static_cast<std::uint16_t>((rx_crc << 1) | (bits48[32 + i] & 1u));
+  }
+  if (rx_crc != crc) return std::nullopt;
+  const auto signal = static_cast<std::uint8_t>(
+      util::BitsToUintLsbFirst(bits48.subspan(0, 8)));
+  switch (signal) {
+    case static_cast<std::uint8_t>(Rate::k1Mbps):
+    case static_cast<std::uint8_t>(Rate::k2Mbps):
+    case static_cast<std::uint8_t>(Rate::k5_5Mbps):
+    case static_cast<std::uint8_t>(Rate::k11Mbps):
+      break;
+    default:
+      return std::nullopt;
+  }
+  PlcpHeader h;
+  h.rate = static_cast<Rate>(signal);
+  h.service = static_cast<std::uint8_t>(
+      util::BitsToUintLsbFirst(bits48.subspan(8, 8)));
+  h.length_us = static_cast<std::uint16_t>(
+      util::BitsToUintLsbFirst(bits48.subspan(16, 16)));
+  return h;
+}
+
+}  // namespace rfdump::phy80211

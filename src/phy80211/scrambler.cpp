@@ -1,0 +1,39 @@
+#include "rfdump/phy80211/scrambler.hpp"
+
+namespace rfdump::phy80211 {
+
+// State register layout: bit k holds the scrambled output from (k+1) bits
+// ago, so taps z^-4 and z^-7 are state bits 3 and 6.
+
+std::uint8_t Scrambler::ScrambleBit(std::uint8_t bit) {
+  const std::uint8_t feedback =
+      static_cast<std::uint8_t>(((state_ >> 3) ^ (state_ >> 6)) & 1u);
+  const std::uint8_t out = static_cast<std::uint8_t>((bit ^ feedback) & 1u);
+  state_ = static_cast<std::uint8_t>(((state_ << 1) | out) & 0x7F);
+  return out;
+}
+
+util::BitVec Scrambler::Scramble(std::span<const std::uint8_t> bits) {
+  util::BitVec out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) out[i] = ScrambleBit(bits[i]);
+  return out;
+}
+
+std::uint8_t Descrambler::DescrambleBit(std::uint8_t bit) {
+  const std::uint8_t feedback =
+      static_cast<std::uint8_t>(((state_ >> 3) ^ (state_ >> 6)) & 1u);
+  const std::uint8_t out = static_cast<std::uint8_t>((bit ^ feedback) & 1u);
+  // The descrambler shift register tracks the *received* (scrambled) bits.
+  state_ = static_cast<std::uint8_t>(((state_ << 1) | (bit & 1u)) & 0x7F);
+  return out;
+}
+
+util::BitVec Descrambler::Descramble(std::span<const std::uint8_t> bits) {
+  util::BitVec out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    out[i] = DescrambleBit(bits[i]);
+  }
+  return out;
+}
+
+}  // namespace rfdump::phy80211

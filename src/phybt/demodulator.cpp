@@ -1,0 +1,142 @@
+#include "rfdump/phybt/demodulator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "rfdump/dsp/energy.hpp"
+#include "rfdump/dsp/fir.hpp"
+#include "rfdump/dsp/nco.hpp"
+#include "rfdump/phybt/gfsk.hpp"
+#include "rfdump/phybt/hopping.hpp"
+
+namespace rfdump::phybt {
+namespace {
+
+constexpr std::size_t kSps = kSamplesPerSymbol;
+constexpr std::size_t kAccessBits = 68;
+// Longest possible post-access-code section: 54 header bits + payload header
+// (2B) + 339B payload + CRC (2B).
+constexpr std::size_t kMaxBodyBits = 54 + (2 + 339 + 2) * 8;
+
+}  // namespace
+
+Demodulator::Demodulator() : Demodulator(Config{}) {}
+
+Demodulator::Demodulator(Config config) : config_(config) {}
+
+std::vector<DecodedBtPacket> Demodulator::DecodeAll(dsp::const_sample_span x) {
+  std::vector<DecodedBtPacket> out;
+  if (x.size() < kAccessBits * kSps) return out;
+  if (config_.channel_index >= 0) {
+    ScanChannel(x, config_.channel_index, out);
+  } else {
+    for (int idx = 0; idx < kVisibleChannels; ++idx) {
+      ScanChannel(x, idx, out);
+    }
+  }
+  return out;
+}
+
+void Demodulator::ScanChannel(dsp::const_sample_span x, int idx,
+                              std::vector<DecodedBtPacket>& out) {
+  stats_.samples_processed += x.size();
+
+  // Channelize: translate the channel to DC and low-pass to ~1 MHz.
+  dsp::SampleVec ch(x.begin(), x.end());
+  dsp::Nco nco(-VisibleIndexOffsetHz(idx), dsp::kSampleRateHz);
+  nco.Mix(ch);
+  static const std::vector<float> kChanTaps =
+      dsp::DesignLowPass(600e3, dsp::kSampleRateHz, 21);
+  dsp::FirFilter lp(kChanTaps);
+  const dsp::SampleVec filtered = lp.Filtered(ch);
+
+  // Instantaneous frequency + a cheap in-channel energy track for gating.
+  const std::vector<float> freq = FmDiscriminate(filtered);
+  std::vector<float> power(filtered.size());
+  {
+    dsp::MovingAveragePower ma(16);
+    for (std::size_t n = 0; n < filtered.size(); ++n) {
+      power[n] = ma.Push(filtered[n]);
+    }
+  }
+  // Noise floor in-channel: either derived from the known full-band floor
+  // (scaled by the channel filter's noise gain) or estimated as the mean of
+  // the lowest decile of the power track, which keeps the estimate anchored
+  // to noise even when transmissions occupy most of the scanned window.
+  double floor_est = 0.0;
+  if (config_.noise_floor_power > 0.0) {
+    double tap_energy = 0.0;
+    for (float t : kChanTaps) tap_energy += static_cast<double>(t) * t;
+    floor_est = config_.noise_floor_power * tap_energy;
+  } else {
+    std::vector<float> probe;
+    probe.reserve(power.size() / 64 + 1);
+    for (std::size_t n = 0; n < power.size(); n += 64) {
+      probe.push_back(power[n]);
+    }
+    std::sort(probe.begin(), probe.end());
+    const std::size_t decile = std::max<std::size_t>(probe.size() / 10, 1);
+    for (std::size_t i = 0; i < decile; ++i) floor_est += probe[i];
+    floor_est /= static_cast<double>(decile);
+  }
+  const float gate = static_cast<float>(std::max(floor_est * 4.0, 1e-12));
+
+  const std::size_t need = kAccessBits * kSps;
+  std::size_t pos = 1;  // SliceSymbols needs center >= 1
+  while (pos + need < freq.size()) {
+    // Gate on channel energy: skip quiet stretches cheaply.
+    if (power[pos] < gate) {
+      pos += kSps;
+      continue;
+    }
+    // Cheap screen: the 4 preamble symbols must alternate in frequency sign.
+    const float p0 = freq[pos];
+    const float p1 = freq[pos + kSps];
+    const float p2 = freq[pos + 2 * kSps];
+    const float p3 = freq[pos + 3 * kSps];
+    if (!(std::signbit(p0) != std::signbit(p1) &&
+          std::signbit(p1) != std::signbit(p2) &&
+          std::signbit(p2) != std::signbit(p3))) {
+      ++pos;
+      continue;
+    }
+    ++stats_.sync_checks;
+    // Slice the 64 sync bits and verify against the BCH code.
+    const util::BitVec sync_bits =
+        SliceSymbols(freq, pos + 4 * kSps, 64);
+    if (sync_bits.size() < 64) break;
+    const std::uint64_t word = util::BitsToUintLsbFirst(sync_bits);
+    const auto lap = VerifySyncWord(word, config_.max_sync_errors);
+    if (!lap) {
+      ++pos;
+      continue;
+    }
+
+    // Decode header + payload.
+    const std::size_t body_start = pos + kAccessBits * kSps;
+    const std::size_t avail_bits =
+        (freq.size() - body_start) / kSps;
+    const util::BitVec body = SliceSymbols(
+        freq, body_start, std::min(avail_bits, kMaxBodyBits));
+    auto parsed = ParsePacketBits(body, config_.expected_uap);
+    if (!parsed) {
+      pos += kSps;  // genuine access code but undecodable header: move on
+      continue;
+    }
+    DecodedBtPacket pkt;
+    pkt.lap = *lap;
+    pkt.channel_index = idx;
+    pkt.packet = std::move(*parsed);
+    pkt.start_sample = static_cast<std::int64_t>(pos);
+    const std::size_t air_bits = PacketAirBits(
+        pkt.packet.header.type,
+        pkt.packet.payload.empty() ? 0 : pkt.packet.payload.size());
+    pkt.end_sample = static_cast<std::int64_t>(pos + air_bits * kSps);
+    out.push_back(std::move(pkt));
+    ++stats_.packets_decoded;
+    pos += air_bits * kSps;
+  }
+}
+
+}  // namespace rfdump::phybt

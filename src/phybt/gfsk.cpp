@@ -1,0 +1,84 @@
+#include "rfdump/phybt/gfsk.hpp"
+
+#include <cmath>
+
+#include "rfdump/dsp/fir.hpp"
+
+namespace rfdump::phybt {
+
+dsp::SampleVec GfskModulate(std::span<const std::uint8_t> bits,
+                            std::size_t ramp_symbols) {
+  const std::size_t sps = kSamplesPerSymbol;
+  // NRZ at sample rate with ramp padding (repeat first/last bit levels).
+  std::vector<float> nrz;
+  nrz.reserve((bits.size() + 2 * ramp_symbols) * sps);
+  const float first = bits.empty() ? 0.0f : (bits.front() ? 1.0f : -1.0f);
+  const float last = bits.empty() ? 0.0f : (bits.back() ? 1.0f : -1.0f);
+  for (std::size_t i = 0; i < ramp_symbols * sps; ++i) nrz.push_back(first);
+  for (std::uint8_t b : bits) {
+    const float v = b ? 1.0f : -1.0f;
+    for (std::size_t s = 0; s < sps; ++s) nrz.push_back(v);
+  }
+  for (std::size_t i = 0; i < ramp_symbols * sps; ++i) nrz.push_back(last);
+
+  // Gaussian pulse shaping.
+  const auto taps = dsp::DesignGaussian(kGaussianBt, sps, 4);
+  std::vector<float> shaped(nrz.size(), 0.0f);
+  const std::size_t half = taps.size() / 2;
+  for (std::size_t n = 0; n < nrz.size(); ++n) {
+    float acc = 0.0f;
+    for (std::size_t k = 0; k < taps.size(); ++k) {
+      const std::ptrdiff_t idx =
+          static_cast<std::ptrdiff_t>(n + half) -
+          static_cast<std::ptrdiff_t>(k);
+      float v;
+      if (idx < 0) {
+        v = first;
+      } else if (idx >= static_cast<std::ptrdiff_t>(nrz.size())) {
+        v = last;
+      } else {
+        v = nrz[static_cast<std::size_t>(idx)];
+      }
+      acc += taps[k] * v;
+    }
+    shaped[n] = acc;
+  }
+
+  // Frequency modulation: deviation = h/2 * symbol rate.
+  const double dev_hz = kModulationIndex / 2.0 * kSymbolRateHz;
+  const double k_phase = 2.0 * std::numbers::pi * dev_hz / dsp::kSampleRateHz;
+  dsp::SampleVec out(shaped.size());
+  double phase = 0.0;
+  for (std::size_t n = 0; n < shaped.size(); ++n) {
+    phase += k_phase * static_cast<double>(shaped[n]);
+    out[n] = dsp::cfloat(static_cast<float>(std::cos(phase)),
+                         static_cast<float>(std::sin(phase)));
+  }
+  return out;
+}
+
+std::vector<float> FmDiscriminate(dsp::const_sample_span x) {
+  if (x.size() < 2) return {};
+  std::vector<float> out(x.size() - 1);
+  for (std::size_t n = 1; n < x.size(); ++n) {
+    out[n - 1] = std::arg(x[n] * std::conj(x[n - 1]));
+  }
+  return out;
+}
+
+util::BitVec SliceSymbols(std::span<const float> freq,
+                          std::size_t first_center, std::size_t count) {
+  util::BitVec bits;
+  bits.reserve(count);
+  const std::size_t sps = kSamplesPerSymbol;
+  for (std::size_t m = 0; m < count; ++m) {
+    const std::size_t center = first_center + m * sps;
+    if (center + 2 > freq.size() || center < 1) break;
+    // Average the 3 samples around the symbol center for noise robustness.
+    const float v = freq[center - 1] + freq[center] + freq[center + 1];
+    bits.push_back(v > 0.0f ? 1u : 0u);
+  }
+  return bits;
+}
+
+}  // namespace rfdump::phybt

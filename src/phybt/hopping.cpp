@@ -1,0 +1,25 @@
+#include "rfdump/phybt/hopping.hpp"
+
+namespace rfdump::phybt {
+
+int HopChannel(std::uint32_t lap, std::uint32_t clk) {
+  // SplitMix64-style avalanche over (lap, clk); uniform over [0, 79).
+  std::uint64_t z = (static_cast<std::uint64_t>(lap) << 32) | clk;
+  z = (z + 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z = z ^ (z >> 31);
+  return static_cast<int>(z % kNumChannels);
+}
+
+std::optional<double> ChannelOffsetHz(int channel) {
+  const int idx = channel - kFirstVisibleChannel;
+  if (idx < 0 || idx >= kVisibleChannels) return std::nullopt;
+  return VisibleIndexOffsetHz(idx);
+}
+
+double VisibleIndexOffsetHz(int idx) {
+  return (static_cast<double>(idx) - 3.5) * kChannelWidthHz;
+}
+
+}  // namespace rfdump::phybt

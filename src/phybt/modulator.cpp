@@ -1,0 +1,29 @@
+#include "rfdump/phybt/modulator.hpp"
+
+#include "rfdump/dsp/nco.hpp"
+#include "rfdump/phybt/gfsk.hpp"
+#include "rfdump/phybt/hopping.hpp"
+
+namespace rfdump::phybt {
+
+BtBurst ModulatePacket(const DeviceAddress& addr, const PacketHeader& header,
+                       std::span<const std::uint8_t> payload,
+                       std::uint32_t clk) {
+  BtBurst burst;
+  burst.channel = HopChannel(addr.lap, clk);
+  const util::BitVec bits = BuildPacketBits(
+      addr, header, payload, static_cast<std::uint8_t>(clk & 0x3F));
+  burst.air_bits = bits.size();
+  const auto offset = ChannelOffsetHz(burst.channel);
+  if (!offset) return burst;  // hop landed outside the captured band
+  burst.samples = GfskModulate(bits);
+  dsp::Nco nco(*offset, dsp::kSampleRateHz);
+  nco.Mix(burst.samples);
+  return burst;
+}
+
+double PacketAirtimeUs(PacketType type, std::size_t payload_bytes) {
+  return static_cast<double>(PacketAirBits(type, payload_bytes));
+}
+
+}  // namespace rfdump::phybt

@@ -1,0 +1,134 @@
+#include "rfdump/trace/trace.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace rfdump::trace {
+namespace {
+
+constexpr char kIqMagic[4] = {'R', 'F', 'D', 'T'};
+constexpr char kGtMagic[4] = {'R', 'F', 'D', 'G'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void WriteRaw(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void ReadRaw(std::ifstream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("trace: truncated file");
+}
+
+void WriteString(std::ofstream& out, const std::string& s) {
+  const auto len = static_cast<std::uint32_t>(s.size());
+  WriteRaw(out, len);
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string ReadString(std::ifstream& in) {
+  std::uint32_t len = 0;
+  ReadRaw(in, len);
+  if (len > (1u << 20)) throw std::runtime_error("trace: bogus string length");
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  if (!in) throw std::runtime_error("trace: truncated string");
+  return s;
+}
+
+}  // namespace
+
+void WriteIqTrace(const std::string& path, dsp::const_sample_span samples,
+                  double sample_rate_hz) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("trace: cannot open " + path);
+  out.write(kIqMagic, 4);
+  WriteRaw(out, kVersion);
+  WriteRaw(out, sample_rate_hz);
+  const auto count = static_cast<std::uint64_t>(samples.size());
+  WriteRaw(out, count);
+  out.write(reinterpret_cast<const char*>(samples.data()),
+            static_cast<std::streamsize>(samples.size() * sizeof(dsp::cfloat)));
+  if (!out) throw std::runtime_error("trace: write failed for " + path);
+}
+
+dsp::SampleVec ReadIqTrace(const std::string& path, double* sample_rate_out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kIqMagic, 4) != 0) {
+    throw std::runtime_error("trace: bad magic in " + path);
+  }
+  std::uint32_t version = 0;
+  ReadRaw(in, version);
+  if (version != kVersion) throw std::runtime_error("trace: bad version");
+  double rate = 0.0;
+  ReadRaw(in, rate);
+  if (sample_rate_out) *sample_rate_out = rate;
+  std::uint64_t count = 0;
+  ReadRaw(in, count);
+  dsp::SampleVec samples(count);
+  in.read(reinterpret_cast<char*>(samples.data()),
+          static_cast<std::streamsize>(count * sizeof(dsp::cfloat)));
+  if (!in) throw std::runtime_error("trace: truncated samples in " + path);
+  return samples;
+}
+
+void WriteGroundTruth(const std::string& path,
+                      const std::vector<emu::TruthRecord>& records) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("trace: cannot open " + path);
+  out.write(kGtMagic, 4);
+  WriteRaw(out, kVersion);
+  const auto count = static_cast<std::uint64_t>(records.size());
+  WriteRaw(out, count);
+  for (const auto& r : records) {
+    WriteRaw(out, static_cast<std::uint8_t>(r.protocol));
+    WriteRaw(out, r.start_sample);
+    WriteRaw(out, r.end_sample);
+    WriteRaw(out, r.snr_db);
+    WriteRaw(out, r.flow_id);
+    WriteRaw(out, r.packet_id);
+    WriteRaw(out, static_cast<std::uint8_t>(r.visible ? 1 : 0));
+    WriteString(out, r.kind);
+  }
+  if (!out) throw std::runtime_error("trace: write failed for " + path);
+}
+
+std::vector<emu::TruthRecord> ReadGroundTruth(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kGtMagic, 4) != 0) {
+    throw std::runtime_error("trace: bad magic in " + path);
+  }
+  std::uint32_t version = 0;
+  ReadRaw(in, version);
+  if (version != kVersion) throw std::runtime_error("trace: bad version");
+  std::uint64_t count = 0;
+  ReadRaw(in, count);
+  std::vector<emu::TruthRecord> records;
+  records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    emu::TruthRecord r;
+    std::uint8_t proto = 0, visible = 0;
+    ReadRaw(in, proto);
+    ReadRaw(in, r.start_sample);
+    ReadRaw(in, r.end_sample);
+    ReadRaw(in, r.snr_db);
+    ReadRaw(in, r.flow_id);
+    ReadRaw(in, r.packet_id);
+    ReadRaw(in, visible);
+    r.kind = ReadString(in);
+    r.protocol = static_cast<core::Protocol>(proto);
+    r.visible = visible != 0;
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace rfdump::trace

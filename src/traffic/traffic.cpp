@@ -1,0 +1,367 @@
+#include "rfdump/traffic/traffic.hpp"
+
+#include <algorithm>
+
+#include "rfdump/mac80211/frames.hpp"
+#include "rfdump/mac80211/timing.hpp"
+#include "rfdump/phy80211/modulator.hpp"
+#include "rfdump/phybt/hopping.hpp"
+#include "rfdump/phybt/modulator.hpp"
+#include "rfdump/phyzigbee/phy.hpp"
+#include "rfdump/rfsources/sources.hpp"
+#include "rfdump/util/bits.hpp"
+#include "rfdump/util/crc.hpp"
+
+namespace rfdump::traffic {
+namespace {
+
+using mac80211::MacAddress;
+
+constexpr MacAddress kStaA = {0x00, 0x16, 0xCB, 0x00, 0x00, 0x01};
+constexpr MacAddress kStaB = {0x00, 0x16, 0xCB, 0x00, 0x00, 0x02};
+constexpr MacAddress kAp = {0x02, 0x1A, 0x11, 0x00, 0x00, 0x01};
+
+std::int64_t UsToSamples(double us) {
+  return static_cast<std::int64_t>(us * 1e-6 * dsp::kSampleRateHz + 0.5);
+}
+
+double Jitter(emu::Ether& ether, double base, double jitter) {
+  if (jitter <= 0.0) return base;
+  return base + (2.0 * ether.rng().UniformDouble() - 1.0) * jitter;
+}
+
+// Emits one 802.11 frame; returns its airtime in samples (excluding padding).
+// Ground-truth `kind` carries the payload rate as a suffix ("DATA@1Mbps") so
+// the Table 4 experiment can build ideal rate filters from truth alone.
+std::int64_t EmitWifiFrame(emu::Ether& ether, std::int64_t at,
+                           std::span<const std::uint8_t> mpdu,
+                           phy80211::Rate rate, double snr_db,
+                           std::uint32_t flow_id, std::uint64_t packet_id,
+                           const char* kind) {
+  phy80211::Modulator mod;
+  const auto burst = mod.Modulate(mpdu, rate);
+  emu::TruthRecord meta;
+  meta.protocol = core::Protocol::kWifi80211b;
+  meta.flow_id = flow_id;
+  meta.packet_id = packet_id;
+  meta.kind = std::string(kind) + "@" + phy80211::RateName(rate);
+  ether.AddBurst(burst, at, snr_db, meta);
+  return static_cast<std::int64_t>(
+      phy80211::Modulator::FrameSampleCount(mpdu.size(), rate));
+}
+
+}  // namespace
+
+SessionResult GenerateUnicastPing(emu::Ether& ether, const WifiPingConfig& cfg,
+                                  std::int64_t start_sample) {
+  SessionResult result;
+  const std::int64_t sifs = UsToSamples(mac80211::kSifsUs);
+  std::int64_t t = start_sample;
+  std::uint16_t mac_seq_a = 0, mac_seq_b = 0;
+  for (std::size_t i = 0; i < cfg.count; ++i) {
+    const auto seq = static_cast<std::uint16_t>(i);
+    // Echo request A -> B.
+    const auto req_body = mac80211::BuildIcmpEchoBody(false, 0x0A0B, seq,
+                                                      cfg.icmp_payload);
+    const auto req =
+        mac80211::BuildDataFrame(kStaB, kStaA, kAp, mac_seq_a++, req_body,
+                                 static_cast<std::uint16_t>(mac80211::kSifsUs));
+    std::int64_t air = EmitWifiFrame(ether, t, req, cfg.rate,
+                                     Jitter(ether, cfg.snr_db,
+                                            cfg.snr_jitter_db),
+                                     cfg.flow_id, seq, "DATA");
+    ++result.packets;
+    t += air + sifs;
+    // MAC ACK from B.
+    const auto ack = mac80211::BuildAckFrame(kStaA);
+    air = EmitWifiFrame(ether, t, ack, cfg.rate,
+                        Jitter(ether, cfg.snr_db, cfg.snr_jitter_db),
+                        cfg.flow_id, seq, "ACK");
+    ++result.packets;
+    t += air;
+    // Reply turnaround: DIFS + small host delay.
+    t += UsToSamples(mac80211::kDifsUs + 120.0 +
+                     ether.rng().UniformDouble() * 60.0);
+    // Echo reply B -> A.
+    const auto rep_body =
+        mac80211::BuildIcmpEchoBody(true, 0x0A0B, seq, cfg.icmp_payload);
+    const auto rep =
+        mac80211::BuildDataFrame(kStaA, kStaB, kAp, mac_seq_b++, rep_body,
+                                 static_cast<std::uint16_t>(mac80211::kSifsUs));
+    air = EmitWifiFrame(ether, t, rep, cfg.rate,
+                        Jitter(ether, cfg.snr_db, cfg.snr_jitter_db),
+                        cfg.flow_id, seq, "DATA");
+    ++result.packets;
+    t += air + sifs;
+    const auto ack2 = mac80211::BuildAckFrame(kStaB);
+    air = EmitWifiFrame(ether, t, ack2, cfg.rate,
+                        Jitter(ether, cfg.snr_db, cfg.snr_jitter_db),
+                        cfg.flow_id, seq, "ACK");
+    ++result.packets;
+    t += air;
+    // Next ping at the configured interval from this ping's start (or right
+    // after this exchange if the interval is shorter).
+    const std::int64_t next =
+        start_sample +
+        static_cast<std::int64_t>((static_cast<double>(i + 1)) *
+                                  cfg.interval_us * 1e-6 *
+                                  dsp::kSampleRateHz);
+    t = std::max(t + UsToSamples(mac80211::kDifsUs), next);
+  }
+  result.end_sample = t;
+  return result;
+}
+
+SessionResult GenerateBroadcastFlood(emu::Ether& ether,
+                                     const WifiBroadcastConfig& cfg,
+                                     std::int64_t start_sample) {
+  SessionResult result;
+  std::int64_t t = start_sample;
+  for (std::size_t i = 0; i < cfg.count; ++i) {
+    const auto seq = static_cast<std::uint16_t>(i);
+    const auto body = mac80211::BuildIcmpEchoBody(false, 0x0B0C, seq,
+                                                  cfg.icmp_payload);
+    const auto frame = mac80211::BuildDataFrame(
+        mac80211::kBroadcast, kStaA, kAp, seq, body, 0);
+    const std::int64_t air =
+        EmitWifiFrame(ether, t, frame, cfg.rate,
+                      Jitter(ether, cfg.snr_db, cfg.snr_jitter_db),
+                      cfg.flow_id, seq, "DATA");
+    ++result.packets;
+    const auto k = static_cast<double>(ether.rng().UniformInt(
+        0, static_cast<std::uint64_t>(cfg.max_backoff_slots)));
+    t += air + UsToSamples(mac80211::kDifsUs + k * mac80211::kSlotTimeUs);
+  }
+  result.end_sample = t;
+  return result;
+}
+
+SessionResult GenerateBeacons(emu::Ether& ether, const BeaconConfig& cfg,
+                              std::int64_t start_sample) {
+  SessionResult result;
+  std::int64_t t = start_sample;
+  for (std::size_t i = 0; i < cfg.count; ++i) {
+    const auto frame = mac80211::BuildBeaconFrame(
+        kAp, kAp, static_cast<std::uint16_t>(i), "emulab",
+        static_cast<std::uint64_t>(t / 8));
+    EmitWifiFrame(ether, t, frame, phy80211::Rate::k1Mbps, cfg.snr_db,
+                  cfg.flow_id, i, "BEACON");
+    ++result.packets;
+    t += UsToSamples(mac80211::kBeaconIntervalUs);
+  }
+  result.end_sample = t;
+  return result;
+}
+
+std::size_t L2PingSizeForSeq(std::uint64_t seq) {
+  return 225 + static_cast<std::size_t>(seq % 115);
+}
+
+SessionResult GenerateL2Ping(emu::Ether& ether, const L2PingConfig& cfg,
+                             std::int64_t start_sample) {
+  SessionResult result;
+  const std::int64_t slot = UsToSamples(phybt::kSlotUs);
+  std::uint32_t clk = cfg.clk_start;
+  std::int64_t t = start_sample;
+  phybt::PacketHeader hdr;
+  hdr.type = phybt::PacketType::kDh5;
+  hdr.lt_addr = 1;
+  for (std::size_t i = 0; i < cfg.count; ++i) {
+    const std::size_t size = L2PingSizeForSeq(i);
+    std::vector<std::uint8_t> payload(size);
+    for (std::size_t b = 0; b < size; ++b) {
+      payload[b] = static_cast<std::uint8_t>((i + b) & 0xFF);
+    }
+    // Master request (even slot) and slave response (after 5 slots, DH5).
+    for (int dir = 0; dir < 2; ++dir) {
+      hdr.seqn = (i % 2) != 0;
+      hdr.arqn = dir == 1;
+      const auto burst =
+          phybt::ModulatePacket(cfg.address, hdr, payload, clk);
+      emu::TruthRecord meta;
+      meta.protocol = core::Protocol::kBluetooth;
+      meta.flow_id = cfg.flow_id;
+      meta.packet_id = i;
+      meta.kind = dir == 0 ? "L2PING-REQ" : "L2PING-RSP";
+      if (burst.samples.empty()) {
+        meta.start_sample = t;
+        meta.end_sample =
+            t + UsToSamples(phybt::PacketAirtimeUs(hdr.type, size));
+        ether.AddInvisible(meta);
+      } else {
+        ether.AddBurst(burst.samples, t,
+                       Jitter(ether, cfg.snr_db, cfg.snr_jitter_db), meta);
+      }
+      ++result.packets;
+      clk += static_cast<std::uint32_t>(phybt::SlotsFor(hdr.type));
+      t += slot * static_cast<std::int64_t>(phybt::SlotsFor(hdr.type));
+    }
+  }
+  result.end_sample = t;
+  return result;
+}
+
+SessionResult GenerateMicrowave(emu::Ether& ether, const MicrowaveConfig& cfg,
+                                std::int64_t start_sample,
+                                std::int64_t duration_samples) {
+  SessionResult result;
+  rfsources::MicrowaveOven oven;
+  // Generate in on-phase bursts so each burst is one truth record.
+  const double period = dsp::kSampleRateHz / oven.config().ac_hz;
+  const auto on_len = static_cast<std::int64_t>(period * oven.config().duty);
+  std::int64_t t = start_sample -
+                   static_cast<std::int64_t>(
+                       std::fmod(static_cast<double>(start_sample), period));
+  const std::int64_t end = start_sample + duration_samples;
+  for (; t < end; t += static_cast<std::int64_t>(period)) {
+    const std::int64_t burst_start = std::max(t, start_sample);
+    const std::int64_t burst_end = std::min(t + on_len, end);
+    if (burst_end <= burst_start) continue;
+    const auto burst = oven.Generate(
+        burst_start, static_cast<std::size_t>(burst_end - burst_start));
+    emu::TruthRecord meta;
+    meta.protocol = core::Protocol::kMicrowave;
+    meta.flow_id = cfg.flow_id;
+    meta.packet_id = result.packets;
+    meta.kind = "MW-BURST";
+    ether.AddBurst(burst, burst_start, cfg.snr_db, meta);
+    ++result.packets;
+  }
+  result.end_sample = end;
+  return result;
+}
+
+SessionResult GenerateCampus(emu::Ether& ether, const CampusConfig& cfg,
+                             std::int64_t start_sample) {
+  SessionResult result;
+  const auto duration = static_cast<std::int64_t>(
+      cfg.duration_sec * dsp::kSampleRateHz);
+  const std::int64_t end = start_sample + duration;
+
+  // Background: AP beacons across the whole window.
+  {
+    BeaconConfig bcfg;
+    bcfg.count = static_cast<std::size_t>(
+        cfg.duration_sec * 1e6 / mac80211::kBeaconIntervalUs) + 1;
+    bcfg.snr_db = cfg.snr_db;
+    bcfg.flow_id = cfg.flow_id + 1;
+    const auto r = GenerateBeacons(ether, bcfg, start_sample + 4000);
+    result.packets += r.packets;
+  }
+  // Background: Bluetooth session.
+  if (cfg.include_bluetooth) {
+    L2PingConfig lcfg;
+    lcfg.count = static_cast<std::size_t>(cfg.duration_sec * 1e6 /
+                                          (10.0 * phybt::kSlotUs));
+    lcfg.snr_db = cfg.snr_db;
+    lcfg.snr_jitter_db = cfg.snr_jitter_db;
+    lcfg.flow_id = cfg.flow_id + 2;
+    const auto r = GenerateL2Ping(ether, lcfg, start_sample + 12000);
+    result.packets += r.packets;
+  }
+  if (cfg.include_microwave) {
+    MicrowaveConfig mcfg;
+    mcfg.snr_db = cfg.snr_db + 5.0;
+    mcfg.flow_id = cfg.flow_id + 3;
+    const auto r = GenerateMicrowave(ether, mcfg, start_sample, duration);
+    result.packets += r.packets;
+  }
+
+  // Foreground: unicast exchanges at mixed rates plus occasional ARP-like
+  // broadcasts, with exponential idle gaps.
+  const phy80211::Rate rates[4] = {phy80211::Rate::k1Mbps,
+                                   phy80211::Rate::k2Mbps,
+                                   phy80211::Rate::k5_5Mbps,
+                                   phy80211::Rate::k11Mbps};
+  double weight_sum = 0.0;
+  for (double w : cfg.rate_weights) weight_sum += w;
+  std::int64_t t = start_sample + 2000;
+  std::uint16_t seq = 0;
+  const std::int64_t sifs = UsToSamples(mac80211::kSifsUs);
+  while (t < end) {
+    const double u = ether.rng().UniformDouble();
+    if (u < 0.12) {
+      // ARP-ish small broadcast at the base rate.
+      const auto body = mac80211::BuildIcmpEchoBody(false, 0x0D0E, seq, 28);
+      const auto frame = mac80211::BuildDataFrame(mac80211::kBroadcast, kStaA,
+                                                  kAp, seq, body, 0);
+      t += EmitWifiFrame(ether, t, frame, phy80211::Rate::k1Mbps,
+                         Jitter(ether, cfg.snr_db, cfg.snr_jitter_db),
+                         cfg.flow_id, seq, "ARP");
+      ++result.packets;
+    } else {
+      // Unicast DATA + ACK at a weighted-random payload rate.
+      double pick = ether.rng().UniformDouble() * weight_sum;
+      phy80211::Rate rate = rates[3];
+      for (int i = 0; i < 4; ++i) {
+        if (pick < cfg.rate_weights[i]) {
+          rate = rates[i];
+          break;
+        }
+        pick -= cfg.rate_weights[i];
+      }
+      const std::size_t payload =
+          100 + static_cast<std::size_t>(ether.rng().UniformInt(0, 1300));
+      const auto body = mac80211::BuildIcmpEchoBody(false, 0x0D0F, seq,
+                                                    payload);
+      const auto frame = mac80211::BuildDataFrame(
+          kStaB, kStaA, kAp, seq, body,
+          static_cast<std::uint16_t>(mac80211::kSifsUs));
+      t += EmitWifiFrame(ether, t, frame, rate,
+                         Jitter(ether, cfg.snr_db, cfg.snr_jitter_db),
+                         cfg.flow_id, seq, "DATA");
+      t += sifs;
+      const auto ack = mac80211::BuildAckFrame(kStaA);
+      t += EmitWifiFrame(ether, t, ack, rate,
+                         Jitter(ether, cfg.snr_db, cfg.snr_jitter_db),
+                         cfg.flow_id, seq, "ACK");
+      result.packets += 2;
+    }
+    ++seq;
+    // DIFS + backoff + exponential idle.
+    const double backoff =
+        static_cast<double>(ether.rng().UniformInt(0, 15)) *
+        mac80211::kSlotTimeUs;
+    const double idle =
+        -cfg.mean_idle_us * std::log(1.0 - ether.rng().UniformDouble());
+    t += UsToSamples(mac80211::kDifsUs + backoff + idle);
+  }
+  result.end_sample = end;
+  return result;
+}
+
+SessionResult GenerateZigbee(emu::Ether& ether, const ZigbeeConfig& cfg,
+                             std::int64_t start_sample) {
+  SessionResult result;
+  std::int64_t t = start_sample;
+  for (std::size_t i = 0; i < cfg.count; ++i) {
+    std::vector<std::uint8_t> psdu(cfg.psdu_bytes);
+    for (std::size_t b = 0; b + 2 < psdu.size(); ++b) {
+      psdu[b] = static_cast<std::uint8_t>((i * 7 + b) & 0xFF);
+    }
+    // FCS over the PSDU minus the last two bytes (kept consistent with
+    // phyzigbee::DecodeFrame's check).
+    const std::uint16_t fcs = util::Crc16CcittBits(
+        util::BytesToBitsLsbFirst(
+            std::span<const std::uint8_t>(psdu).first(psdu.size() - 2)),
+        0x0000);
+    psdu[psdu.size() - 2] = static_cast<std::uint8_t>(fcs & 0xFF);
+    psdu[psdu.size() - 1] = static_cast<std::uint8_t>(fcs >> 8);
+    const auto burst = phyzigbee::ModulateFrame(psdu);
+    emu::TruthRecord meta;
+    meta.protocol = core::Protocol::kZigbee;
+    meta.flow_id = cfg.flow_id;
+    meta.packet_id = i;
+    meta.kind = "ZB-DATA";
+    ether.AddBurst(burst, t, cfg.snr_db, meta);
+    ++result.packets;
+    t += UsToSamples(
+        std::max(cfg.interval_us,
+                 phyzigbee::FrameAirtimeUs(cfg.psdu_bytes) +
+                     phyzigbee::kLifsUs));
+  }
+  result.end_sample = t;
+  return result;
+}
+
+}  // namespace rfdump::traffic

@@ -1,0 +1,58 @@
+#include "rfdump/util/crc.hpp"
+
+#include <array>
+
+namespace rfdump::util {
+namespace {
+
+std::array<std::uint32_t, 256> MakeCrc32Table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::span<const std::uint8_t> data) {
+  static const auto table = MakeCrc32Table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t b : data) {
+    crc = table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint16_t Crc16CcittBits(std::span<const std::uint8_t> bits,
+                             std::uint16_t init) {
+  // Bit-serial LFSR implementation: shift in one data bit at a time (as the
+  // PLCP header is CRC'd over its serialized bit order, not bytes).
+  std::uint16_t reg = init;
+  for (std::uint8_t bit : bits) {
+    const std::uint16_t fb = static_cast<std::uint16_t>(
+        ((reg >> 15) & 1u) ^ (bit & 1u));
+    reg = static_cast<std::uint16_t>(reg << 1);
+    if (fb) reg ^= 0x1021;
+  }
+  return reg;
+}
+
+std::uint8_t BluetoothHec(std::span<const std::uint8_t> bits,
+                          std::uint8_t uap) {
+  // LFSR for g(x) = x^8 + x^7 + x^5 + x^2 + x + 1, init with UAP.
+  std::uint8_t reg = uap;
+  for (std::uint8_t bit : bits) {
+    const std::uint8_t fb = static_cast<std::uint8_t>(((reg >> 7) & 1u) ^
+                                                      (bit & 1u));
+    reg = static_cast<std::uint8_t>(reg << 1);
+    if (fb) reg ^= 0xA7;  // taps: x^7 + x^5 + x^2 + x + 1 -> 1010'0111
+  }
+  return reg;
+}
+
+}  // namespace rfdump::util

@@ -1,0 +1,122 @@
+// Channel model tests: AWGN statistics, SNR scaling, CFO, multipath,
+// quantization.
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "rfdump/channel/channel.hpp"
+#include "rfdump/dsp/energy.hpp"
+#include "rfdump/dsp/phase.hpp"
+
+namespace dsp = rfdump::dsp;
+namespace ch = rfdump::channel;
+using rfdump::util::Xoshiro256;
+
+namespace {
+
+TEST(Channel, AwgnPowerMatchesRequest) {
+  Xoshiro256 rng(11);
+  dsp::SampleVec x(100000, {0.0f, 0.0f});
+  ch::AddAwgn(x, 0.25, rng);
+  EXPECT_NEAR(dsp::MeanPower(x), 0.25, 0.01);
+}
+
+TEST(Channel, AwgnZeroPowerIsNoop) {
+  Xoshiro256 rng(12);
+  dsp::SampleVec x(100, {1.0f, 1.0f});
+  ch::AddAwgn(x, 0.0, rng);
+  for (const auto& s : x) {
+    EXPECT_EQ(s, dsp::cfloat(1.0f, 1.0f));
+  }
+}
+
+TEST(Channel, ScaleToPower) {
+  dsp::SampleVec x(1000, {2.0f, 0.0f});  // power 4
+  ch::ScaleToPower(x, 1.0);
+  EXPECT_NEAR(dsp::MeanPower(x), 1.0, 1e-5);
+}
+
+TEST(Channel, ScaleSilenceIsNoop) {
+  dsp::SampleVec x(10, {0.0f, 0.0f});
+  ch::ScaleToPower(x, 1.0);
+  for (const auto& s : x) EXPECT_EQ(std::abs(s), 0.0f);
+}
+
+TEST(Channel, SnrIsAchieved) {
+  Xoshiro256 rng(13);
+  dsp::SampleVec x(50000, {1.0f, 0.0f});  // signal power 1
+  const double noise_power = ch::NoisePowerForSnr(1.0, 10.0);
+  EXPECT_NEAR(noise_power, 0.1, 1e-9);
+  ch::AddAwgn(x, noise_power, rng);
+  // Total power should be signal + noise.
+  EXPECT_NEAR(dsp::MeanPower(x), 1.1, 0.01);
+}
+
+TEST(Channel, FrequencyOffsetRotates) {
+  dsp::SampleVec x(1000, {1.0f, 0.0f});
+  ch::ApplyFrequencyOffset(x, 1e6, 8e6, 0);
+  const auto d = dsp::PhaseDiff(x);
+  const float expected = static_cast<float>(2.0 * std::numbers::pi / 8.0);
+  for (float v : d) EXPECT_NEAR(v, expected, 1e-4f);
+}
+
+TEST(Channel, FrequencyOffsetChunkContinuity) {
+  dsp::SampleVec whole(200, {1.0f, 0.0f});
+  ch::ApplyFrequencyOffset(whole, 0.7e6, 8e6, 0);
+  dsp::SampleVec a(100, {1.0f, 0.0f}), b(100, {1.0f, 0.0f});
+  ch::ApplyFrequencyOffset(a, 0.7e6, 8e6, 0);
+  ch::ApplyFrequencyOffset(b, 0.7e6, 8e6, 100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_NEAR(std::abs(whole[i] - a[i]), 0.0f, 1e-5f);
+    EXPECT_NEAR(std::abs(whole[100 + i] - b[i]), 0.0f, 1e-5f);
+  }
+}
+
+TEST(Channel, MultipathPreservesPower) {
+  ch::Multipath mp(std::vector<ch::Multipath::Tap>{
+      {0, {1.0f, 0.0f}}, {3, {0.5f, 0.2f}}, {7, {0.0f, 0.3f}}});
+  Xoshiro256 rng(14);
+  dsp::SampleVec x(20000);
+  for (auto& s : x) {
+    s = dsp::cfloat(static_cast<float>(rng.Gaussian()),
+                    static_cast<float>(rng.Gaussian()));
+  }
+  const double pin = dsp::MeanPower(x);
+  const auto y = mp.Apply(x);
+  EXPECT_EQ(y.size(), x.size() + 7);
+  // Tap power normalized to 1 and input is white: output power ~= input.
+  EXPECT_NEAR(dsp::MeanPower(y) / pin, 1.0, 0.05);
+}
+
+TEST(Channel, MultipathSingleTapIdentity) {
+  ch::Multipath mp(std::vector<ch::Multipath::Tap>{{0, {1.0f, 0.0f}}});
+  dsp::SampleVec x = {{1.0f, 2.0f}, {3.0f, 4.0f}};
+  const auto y = mp.Apply(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_NEAR(std::abs(y[0] - x[0]), 0.0f, 1e-6f);
+  EXPECT_NEAR(std::abs(y[1] - x[1]), 0.0f, 1e-6f);
+}
+
+TEST(Channel, MultipathRejectsBadTaps) {
+  EXPECT_THROW(ch::Multipath(std::vector<ch::Multipath::Tap>{}), std::invalid_argument);
+  EXPECT_THROW(ch::Multipath(std::vector<ch::Multipath::Tap>{{0, {0.0f, 0.0f}}}),
+               std::invalid_argument);
+}
+
+TEST(Channel, QuantizeClampsAndRounds) {
+  dsp::SampleVec x = {{2.0f, -2.0f}, {0.1f, 0.0f}};
+  ch::Quantize(x, 12, 1.0f);
+  EXPECT_NEAR(x[0].real(), 1.0f, 1e-6f);   // clamped
+  EXPECT_NEAR(x[0].imag(), -1.0f, 1e-6f);  // clamped
+  EXPECT_NEAR(x[1].real(), 0.1f, 1.0f / 2047.0f);
+}
+
+TEST(Channel, QuantizeCoarseLevels) {
+  dsp::SampleVec x = {{0.3f, 0.0f}};
+  ch::Quantize(x, 2, 1.0f);  // levels: -1, 0, 1 per rail
+  EXPECT_NEAR(x[0].real(), 0.0f, 1e-6f);
+  EXPECT_THROW(ch::Quantize(x, 0, 1.0f), std::invalid_argument);
+  EXPECT_THROW(ch::Quantize(x, 12, -1.0f), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Collision detector tests (paper future work, implemented here as an
+// extension): overlapping transmissions produce power-profile steps; clean
+// single bursts do not.
+
+#include <gtest/gtest.h>
+
+#include "rfdump/channel/channel.hpp"
+#include "rfdump/core/collision.hpp"
+#include "rfdump/core/pipeline.hpp"
+#include "rfdump/emu/ether.hpp"
+#include "rfdump/traffic/traffic.hpp"
+#include "rfdump/util/rng.hpp"
+
+namespace core = rfdump::core;
+namespace dsp = rfdump::dsp;
+using rfdump::util::Xoshiro256;
+
+namespace {
+
+core::Peak MakePeak(std::int64_t start, std::int64_t len) {
+  core::Peak p;
+  p.start_sample = start;
+  p.end_sample = start + len;
+  return p;
+}
+
+// Constant-envelope burst with optional second transmitter overlapping
+// [overlap_start, overlap_end).
+dsp::SampleVec BurstWithOverlap(std::size_t len, std::size_t overlap_start,
+                                std::size_t overlap_end, float amp2,
+                                std::uint64_t seed) {
+  dsp::SampleVec x(len, dsp::cfloat{1.0f, 0.0f});
+  for (std::size_t i = overlap_start; i < overlap_end && i < len; ++i) {
+    x[i] += dsp::cfloat{0.0f, amp2};
+  }
+  Xoshiro256 rng(seed);
+  rfdump::channel::AddAwgn(x, 0.01, rng);
+  return x;
+}
+
+TEST(Collision, CleanBurstNotFlagged) {
+  core::CollisionDetector det;
+  const auto x = BurstWithOverlap(8000, 0, 0, 0.0f, 1);
+  const auto info = det.Analyze(MakePeak(0, 8000), x);
+  EXPECT_FALSE(info.collided);
+  ASSERT_EQ(info.segments.size(), 1u);
+  EXPECT_EQ(info.segments[0].start_sample, 0);
+  EXPECT_EQ(info.segments[0].end_sample, 8000);
+}
+
+TEST(Collision, MidBurstOverlapFlagged) {
+  core::CollisionDetector det;
+  // Second transmitter (same power) joins at 3000, leaves at 6000: two steps.
+  const auto x = BurstWithOverlap(9000, 3000, 6000, 1.0f, 2);
+  const auto info = det.Analyze(MakePeak(0, 9000), x);
+  ASSERT_TRUE(info.collided);
+  ASSERT_GE(info.boundaries.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(info.boundaries[0]), 3000.0, 256.0);
+  EXPECT_NEAR(static_cast<double>(info.boundaries[1]), 6000.0, 256.0);
+  EXPECT_GE(info.segments.size(), 3u);
+}
+
+TEST(Collision, WeakOverlapBelowThresholdIgnored) {
+  core::CollisionDetector det;
+  // +0.3 amplitude on power 1.0 -> step ratio ~1.09 < 2.0.
+  const auto x = BurstWithOverlap(9000, 3000, 6000, 0.3f, 3);
+  const auto info = det.Analyze(MakePeak(0, 9000), x);
+  EXPECT_FALSE(info.collided);
+}
+
+TEST(Collision, ShortBlipRejectedByPersistence) {
+  core::CollisionDetector det;
+  // 60-sample spike: shorter than the 128-sample persistence requirement.
+  const auto x = BurstWithOverlap(9000, 3000, 3060, 2.0f, 4);
+  const auto info = det.Analyze(MakePeak(0, 9000), x);
+  EXPECT_FALSE(info.collided);
+}
+
+TEST(Collision, TinyPeakPassesThrough) {
+  core::CollisionDetector det;
+  const auto x = BurstWithOverlap(100, 0, 0, 0.0f, 5);
+  const auto info = det.Analyze(MakePeak(0, 100), x);
+  EXPECT_FALSE(info.collided);
+  EXPECT_EQ(info.segments.size(), 1u);
+}
+
+TEST(Collision, AbsolutePositionsAnchored) {
+  core::CollisionDetector det;
+  const auto x = BurstWithOverlap(9000, 4000, 9000, 1.0f, 6);
+  const auto info = det.Analyze(MakePeak(50000, 9000), x);
+  ASSERT_TRUE(info.collided);
+  EXPECT_NEAR(static_cast<double>(info.boundaries[0]), 54000.0, 256.0);
+}
+
+TEST(Collision, PipelineFlagsRealCollision) {
+  // Overlap a Wi-Fi frame and a Bluetooth burst in the emulator and check
+  // the pipeline reports a collision detection.
+  rfdump::emu::Ether ether;
+  rfdump::traffic::WifiPingConfig wcfg;
+  wcfg.count = 1;
+  wcfg.snr_db = 20.0;
+  rfdump::traffic::L2PingConfig bcfg;
+  bcfg.count = 30;
+  bcfg.snr_db = 28.0;  // 8 dB above the Wi-Fi signal: a clear power step
+  rfdump::traffic::GenerateUnicastPing(ether, wcfg, 8000);
+  const auto bs = rfdump::traffic::GenerateL2Ping(ether, bcfg, 9000);
+  const auto x = ether.Render(bs.end_sample + 8000);
+
+  core::RFDumpPipeline::Config cfg;
+  cfg.collision_detector = true;
+  cfg.analysis.demodulate = false;
+  core::RFDumpPipeline pipeline(cfg);
+  const auto report = pipeline.Process(x);
+  std::size_t collisions = 0;
+  for (const auto& d : report.detections) {
+    if (std::string(d.detector) == "collision") ++collisions;
+  }
+  EXPECT_GE(collisions, 1u);
+}
+
+TEST(Collision, PipelineQuietOnCleanTraffic) {
+  rfdump::emu::Ether ether;
+  rfdump::traffic::WifiPingConfig wcfg;
+  wcfg.count = 4;
+  wcfg.snr_db = 20.0;
+  const auto ws = rfdump::traffic::GenerateUnicastPing(ether, wcfg, 8000);
+  const auto x = ether.Render(ws.end_sample + 8000);
+
+  core::RFDumpPipeline::Config cfg;
+  cfg.collision_detector = true;
+  cfg.analysis.demodulate = false;
+  core::RFDumpPipeline pipeline(cfg);
+  const auto report = pipeline.Process(x);
+  std::size_t collisions = 0;
+  for (const auto& d : report.detections) {
+    if (std::string(d.detector) == "collision") ++collisions;
+  }
+  EXPECT_EQ(collisions, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// Unit tests for the accuracy scoring used by every experiment, plus ether
+// ground-truth bookkeeping edge cases.
+
+#include <gtest/gtest.h>
+
+#include "rfdump/core/scoring.hpp"
+
+namespace core = rfdump::core;
+namespace emu = rfdump::emu;
+
+namespace {
+
+emu::TruthRecord Truth(core::Protocol p, std::int64_t a, std::int64_t b,
+                       bool visible = true) {
+  emu::TruthRecord r;
+  r.protocol = p;
+  r.start_sample = a;
+  r.end_sample = b;
+  r.visible = visible;
+  return r;
+}
+
+core::Detection Det(core::Protocol p, std::int64_t a, std::int64_t b,
+                    const char* name = "d") {
+  return {p, a, b, 1.0f, name};
+}
+
+TEST(Scoring, FullCoverageNoMisses) {
+  std::vector<emu::TruthRecord> truth = {
+      Truth(core::Protocol::kWifi80211b, 100, 200),
+      Truth(core::Protocol::kWifi80211b, 300, 400),
+  };
+  std::vector<core::Detection> dets = {
+      Det(core::Protocol::kWifi80211b, 90, 210),
+      Det(core::Protocol::kWifi80211b, 295, 405),
+  };
+  const auto s = core::ScoreDetections(truth, core::Protocol::kWifi80211b,
+                                       dets, 1000);
+  EXPECT_EQ(s.truth_packets, 2u);
+  EXPECT_EQ(s.missed, 0u);
+  // 20 + 10 padding samples outside any truth interval.
+  EXPECT_EQ(s.false_positive_samples, 30);
+  EXPECT_DOUBLE_EQ(s.FalsePositiveRate(1000), 0.03);
+}
+
+TEST(Scoring, PartialCoverageCountsAsMissBelowThreshold) {
+  std::vector<emu::TruthRecord> truth = {
+      Truth(core::Protocol::kWifi80211b, 0, 1000),
+  };
+  // Only 30% covered: below the default 50% threshold.
+  std::vector<core::Detection> dets = {
+      Det(core::Protocol::kWifi80211b, 0, 300),
+  };
+  auto s = core::ScoreDetections(truth, core::Protocol::kWifi80211b, dets,
+                                 2000);
+  EXPECT_EQ(s.missed, 1u);
+  // With a lower threshold the same coverage counts as found.
+  s = core::ScoreDetections(truth, core::Protocol::kWifi80211b, dets, 2000,
+                            {}, 0.25);
+  EXPECT_EQ(s.missed, 0u);
+}
+
+TEST(Scoring, WrongProtocolDetectionsIgnored) {
+  std::vector<emu::TruthRecord> truth = {
+      Truth(core::Protocol::kBluetooth, 100, 200),
+  };
+  std::vector<core::Detection> dets = {
+      Det(core::Protocol::kWifi80211b, 90, 210),  // covers it, wrong protocol
+  };
+  const auto s = core::ScoreDetections(truth, core::Protocol::kBluetooth,
+                                       dets, 1000);
+  EXPECT_EQ(s.missed, 1u);
+}
+
+TEST(Scoring, DetectorNameFilter) {
+  std::vector<emu::TruthRecord> truth = {
+      Truth(core::Protocol::kWifi80211b, 100, 200),
+  };
+  std::vector<core::Detection> dets = {
+      Det(core::Protocol::kWifi80211b, 90, 210, "phase"),
+  };
+  auto s = core::ScoreDetections(truth, core::Protocol::kWifi80211b, dets,
+                                 1000, "timing");
+  EXPECT_EQ(s.missed, 1u);  // only "timing" detections count
+  s = core::ScoreDetections(truth, core::Protocol::kWifi80211b, dets, 1000,
+                            "phase");
+  EXPECT_EQ(s.missed, 0u);
+}
+
+TEST(Scoring, InvisibleTruthExcluded) {
+  std::vector<emu::TruthRecord> truth = {
+      Truth(core::Protocol::kBluetooth, 100, 200, /*visible=*/false),
+      Truth(core::Protocol::kBluetooth, 300, 400, /*visible=*/true),
+  };
+  const auto s = core::ScoreDetections(truth, core::Protocol::kBluetooth, {},
+                                       1000);
+  EXPECT_EQ(s.truth_packets, 1u);  // invisible hop not expected to be found
+  EXPECT_EQ(s.missed, 1u);
+}
+
+TEST(Scoring, FalsePositiveExcusedByOtherProtocolTruth) {
+  // A Wi-Fi-tagged interval that lands on a real Bluetooth packet is a
+  // misclassification, but not a "non-signal" false positive in the paper's
+  // sample-rate sense.
+  std::vector<emu::TruthRecord> truth = {
+      Truth(core::Protocol::kBluetooth, 100, 200),
+  };
+  std::vector<core::Detection> dets = {
+      Det(core::Protocol::kWifi80211b, 100, 200),
+  };
+  const auto s = core::ScoreDetections(truth, core::Protocol::kWifi80211b,
+                                       dets, 1000);
+  EXPECT_EQ(s.false_positive_samples, 0);
+  EXPECT_EQ(s.forwarded_samples, 100);
+}
+
+TEST(Scoring, EmptyInputs) {
+  const auto s = core::ScoreDetections({}, core::Protocol::kWifi80211b, {},
+                                       1000);
+  EXPECT_EQ(s.truth_packets, 0u);
+  EXPECT_DOUBLE_EQ(s.MissRate(), 0.0);
+  EXPECT_DOUBLE_EQ(s.FalsePositiveRate(0), 0.0);
+}
+
+TEST(Scoring, OverlappingDetectionsCountedOnce) {
+  std::vector<emu::TruthRecord> truth;
+  std::vector<core::Detection> dets = {
+      Det(core::Protocol::kWifi80211b, 100, 300),
+      Det(core::Protocol::kWifi80211b, 200, 400),  // overlaps the first
+  };
+  const auto s = core::ScoreDetections(truth, core::Protocol::kWifi80211b,
+                                       dets, 1000);
+  EXPECT_EQ(s.forwarded_samples, 300);  // union, not sum
+  EXPECT_EQ(s.false_positive_samples, 300);
+}
+
+TEST(Scoring, VisibleTruthWithinBounds) {
+  std::vector<emu::TruthRecord> truth = {
+      Truth(core::Protocol::kZigbee, 0, 100),
+      Truth(core::Protocol::kZigbee, 900, 1100),  // ends past the trace
+      Truth(core::Protocol::kZigbee, 200, 300, /*visible=*/false),
+  };
+  const auto v =
+      core::VisibleTruthWithin(truth, core::Protocol::kZigbee, 1000);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].start_sample, 0);
+}
+
+TEST(EtherTruth, InvisibleAndLastActivity) {
+  emu::Ether ether;
+  emu::TruthRecord meta;
+  meta.protocol = core::Protocol::kBluetooth;
+  meta.start_sample = 500;
+  meta.end_sample = 700;
+  ether.AddInvisible(meta);
+  EXPECT_EQ(ether.LastActivity(), 0);  // invisible doesn't count
+  rfdump::dsp::SampleVec burst(100, {1.0f, 0.0f});
+  ether.AddBurst(burst, 1000, 10.0, meta);
+  EXPECT_EQ(ether.LastActivity(), 1100);
+  EXPECT_EQ(ether.VisibleTruth(core::Protocol::kBluetooth).size(), 1u);
+  EXPECT_EQ(ether.truth().size(), 2u);
+}
+
+}  // namespace

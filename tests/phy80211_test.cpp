@@ -1,0 +1,379 @@
+// 802.11b PHY tests: scrambler properties, PLCP framing, modulator structure,
+// and full modulate->demodulate loopback under clean and impaired channels.
+
+#include <gtest/gtest.h>
+
+#include "rfdump/channel/channel.hpp"
+#include "rfdump/dsp/energy.hpp"
+#include "rfdump/phy80211/demodulator.hpp"
+#include "rfdump/phy80211/modulator.hpp"
+#include "rfdump/phy80211/plcp.hpp"
+#include "rfdump/phy80211/scrambler.hpp"
+#include "rfdump/util/crc.hpp"
+#include "rfdump/util/rng.hpp"
+
+namespace phy = rfdump::phy80211;
+namespace dsp = rfdump::dsp;
+namespace util = rfdump::util;
+
+namespace {
+
+std::vector<std::uint8_t> MakeMpdu(std::size_t payload_bytes,
+                                   std::uint64_t seed) {
+  // Arbitrary frame body + valid FCS at the end, as a MAC layer would emit.
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> mpdu(payload_bytes);
+  for (auto& b : mpdu) b = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+  const std::uint32_t fcs = util::Crc32(mpdu);
+  for (int i = 0; i < 4; ++i) {
+    mpdu.push_back(static_cast<std::uint8_t>((fcs >> (8 * i)) & 0xFF));
+  }
+  return mpdu;
+}
+
+// ---------------------------------------------------------------- scrambler
+
+TEST(Scrambler, RoundTripWithMatchingState) {
+  util::Xoshiro256 rng(1);
+  util::BitVec bits(500);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
+  phy::Scrambler scrambler(phy::Scrambler::kLongPreambleSeed);
+  const auto scrambled = scrambler.Scramble(bits);
+  phy::Descrambler descrambler(phy::Scrambler::kLongPreambleSeed);
+  const auto recovered = descrambler.Descramble(scrambled);
+  EXPECT_EQ(recovered, bits);
+}
+
+TEST(Scrambler, DescramblerSelfSynchronizes) {
+  util::BitVec bits(200, 1u);  // SYNC-like all-ones
+  phy::Scrambler scrambler(phy::Scrambler::kLongPreambleSeed);
+  const auto scrambled = scrambler.Scramble(bits);
+  // Descrambler with a WRONG (zero) seed: must be correct after 7 bits.
+  phy::Descrambler descrambler(0);
+  const auto recovered = descrambler.Descramble(scrambled);
+  for (std::size_t i = 7; i < recovered.size(); ++i) {
+    EXPECT_EQ(recovered[i], 1u) << "i=" << i;
+  }
+}
+
+TEST(Scrambler, OutputLooksRandom) {
+  // All-ones input must not produce long runs (the whole point of scrambling
+  // the SYNC field).
+  util::BitVec bits(1000, 1u);
+  phy::Scrambler scrambler(phy::Scrambler::kLongPreambleSeed);
+  const auto scrambled = scrambler.Scramble(bits);
+  std::size_t ones = 0, max_run = 0, run = 0;
+  std::uint8_t prev = 2;
+  for (auto b : scrambled) {
+    ones += b;
+    run = (b == prev) ? run + 1 : 1;
+    prev = b;
+    max_run = std::max(max_run, run);
+  }
+  EXPECT_GT(ones, 400u);
+  EXPECT_LT(ones, 600u);
+  EXPECT_LT(max_run, 15u);
+}
+
+// --------------------------------------------------------------------- PLCP
+
+TEST(Plcp, HeaderRoundTrip) {
+  phy::PlcpHeader h;
+  h.rate = phy::Rate::k2Mbps;
+  h.service = 0x04;
+  h.length_us = 2352;
+  const auto bits = phy::BuildPlcpBits(h);
+  ASSERT_EQ(bits.size(), 128u + 16u + 48u);
+  const auto parsed = phy::ParsePlcpHeader(
+      std::span<const std::uint8_t>(bits).subspan(144, 48));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->rate, phy::Rate::k2Mbps);
+  EXPECT_EQ(parsed->service, 0x04);
+  EXPECT_EQ(parsed->length_us, 2352);
+}
+
+TEST(Plcp, HeaderCrcRejectsCorruption) {
+  phy::PlcpHeader h;
+  h.rate = phy::Rate::k1Mbps;
+  h.length_us = 800;
+  auto bits = phy::BuildPlcpBits(h);
+  auto hdr = std::span<const std::uint8_t>(bits).subspan(144, 48);
+  for (std::size_t i = 0; i < 48; ++i) {
+    util::BitVec corrupted(hdr.begin(), hdr.end());
+    corrupted[i] ^= 1;
+    EXPECT_FALSE(phy::ParsePlcpHeader(corrupted).has_value()) << "bit " << i;
+  }
+}
+
+TEST(Plcp, RejectsInvalidSignalRate) {
+  phy::PlcpHeader h;
+  h.rate = phy::Rate::k1Mbps;
+  h.length_us = 100;
+  auto bits = phy::BuildPlcpBits(h);
+  EXPECT_FALSE(phy::ParsePlcpHeader(
+                   std::span<const std::uint8_t>(bits).subspan(144, 47))
+                   .has_value());
+}
+
+TEST(Plcp, DurationRoundTrip) {
+  using R = phy::Rate;
+  for (R r : {R::k1Mbps, R::k2Mbps, R::k5_5Mbps, R::k11Mbps}) {
+    for (std::size_t bytes : {64u, 588u, 1500u}) {
+      phy::PlcpHeader h;
+      h.rate = r;
+      h.length_us = phy::PlcpHeader::DurationUsFor(r, bytes);
+      EXPECT_EQ(h.MpduBytes(), bytes)
+          << phy::RateName(r) << " " << bytes << "B";
+    }
+  }
+}
+
+TEST(Plcp, SyncIsScrambledOnes) {
+  // First 128 transmitted PLCP bits are ones (pre-scrambling).
+  phy::PlcpHeader h;
+  h.rate = phy::Rate::k1Mbps;
+  h.length_us = 80;
+  const auto bits = phy::BuildPlcpBits(h);
+  for (std::size_t i = 0; i < 128; ++i) EXPECT_EQ(bits[i], 1u);
+}
+
+// ---------------------------------------------------------------- modulator
+
+TEST(Modulator, ChipStreamLength1Mbps) {
+  phy::Modulator mod;
+  const auto mpdu = MakeMpdu(96, 7);  // 100 bytes total
+  const auto chips = mod.ChipStream(mpdu, phy::Rate::k1Mbps);
+  // (192 PLCP bits + 800 payload bits) symbols x 11 chips.
+  EXPECT_EQ(chips.size(), (192u + 800u) * 11u);
+}
+
+TEST(Modulator, ChipStreamLength2Mbps) {
+  phy::Modulator mod;
+  const auto mpdu = MakeMpdu(96, 8);
+  const auto chips = mod.ChipStream(mpdu, phy::Rate::k2Mbps);
+  // 192 PLCP symbols + 800/2 payload symbols, 11 chips each.
+  EXPECT_EQ(chips.size(), (192u + 400u) * 11u);
+}
+
+TEST(Modulator, CckChipCount11Mbps) {
+  phy::Modulator mod;
+  const auto mpdu = MakeMpdu(96, 9);
+  const auto chips = mod.ChipStream(mpdu, phy::Rate::k11Mbps);
+  // 192 PLCP symbols x 11 + 100 CCK symbols x 8 chips.
+  EXPECT_EQ(chips.size(), 192u * 11u + 100u * 8u);
+}
+
+TEST(Modulator, ConstantEnvelopeChips) {
+  phy::Modulator mod;
+  const auto chips = mod.ChipStream(MakeMpdu(20, 10), phy::Rate::k1Mbps);
+  for (const auto& c : chips) {
+    EXPECT_NEAR(std::abs(c), 1.0f, 1e-5f);
+  }
+}
+
+TEST(Modulator, SampleCountMatchesAirtime) {
+  const auto mpdu = MakeMpdu(496, 11);  // 500 B
+  phy::Modulator mod;
+  const auto samples = mod.Modulate(mpdu, phy::Rate::k1Mbps);
+  const auto expected = phy::Modulator::FrameSampleCount(500, phy::Rate::k1Mbps);
+  // The waveform exceeds the nominal airtime by the resampler flush tail
+  // (~23 samples) plus 8 padding samples.
+  EXPECT_NEAR(static_cast<double>(samples.size()),
+              static_cast<double>(expected) + 31.0, 16.0);
+  // 500 B at 1 Mbps: 192 + 4000 us airtime.
+  EXPECT_DOUBLE_EQ(phy::Modulator::FrameAirtimeUs(500, phy::Rate::k1Mbps),
+                   4192.0);
+}
+
+TEST(Modulator, CckCodewordStructure) {
+  // With all phases zero the codeword is (1,1,1,-1,1,1,-1,1).
+  const auto cw = phy::CckCodeword(0.0f, 0.0f, 0.0f, 0.0f);
+  const float expect_re[8] = {1, 1, 1, -1, 1, 1, -1, 1};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NEAR(cw[i].real(), expect_re[i], 1e-6f) << i;
+    EXPECT_NEAR(cw[i].imag(), 0.0f, 1e-6f) << i;
+  }
+}
+
+// --------------------------------------------------------------- loopback
+
+TEST(Loopback, Clean1Mbps) {
+  const auto mpdu = MakeMpdu(96, 20);
+  phy::Modulator mod;
+  const auto samples = mod.Modulate(mpdu, phy::Rate::k1Mbps);
+  phy::Demodulator demod;
+  const auto frames = demod.DecodeAll(samples);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.rate, phy::Rate::k1Mbps);
+  EXPECT_TRUE(frames[0].payload_decoded);
+  EXPECT_TRUE(frames[0].fcs_ok);
+  EXPECT_EQ(frames[0].mpdu, mpdu);
+}
+
+TEST(Loopback, Clean2Mbps) {
+  const auto mpdu = MakeMpdu(196, 21);
+  phy::Modulator mod;
+  const auto samples = mod.Modulate(mpdu, phy::Rate::k2Mbps);
+  phy::Demodulator demod;
+  const auto frames = demod.DecodeAll(samples);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.rate, phy::Rate::k2Mbps);
+  EXPECT_TRUE(frames[0].fcs_ok);
+  EXPECT_EQ(frames[0].mpdu, mpdu);
+}
+
+TEST(Loopback, CckHeaderOnlyWithoutCckDecoding) {
+  // With CCK decoding disabled, the demodulator behaves like the paper's
+  // BBN decoder: CCK headers (sent at 1 Mbps) parse, payloads do not.
+  const auto mpdu = MakeMpdu(96, 22);
+  phy::Modulator mod;
+  const auto samples = mod.Modulate(mpdu, phy::Rate::k11Mbps);
+  phy::Demodulator::Config cfg;
+  cfg.decode_cck = false;
+  phy::Demodulator demod(cfg);
+  const auto frames = demod.DecodeAll(samples);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.rate, phy::Rate::k11Mbps);
+  EXPECT_FALSE(frames[0].payload_decoded);
+}
+
+TEST(Loopback, Cck11MbpsDecodesClean) {
+  // Extension beyond the paper: CCK payload decoding via band-limited
+  // codeword correlation with decision-feedback ISI cancellation.
+  const auto mpdu = MakeMpdu(96, 22);
+  phy::Modulator mod;
+  const auto samples = mod.Modulate(mpdu, phy::Rate::k11Mbps);
+  phy::Demodulator demod;
+  const auto frames = demod.DecodeAll(samples);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.rate, phy::Rate::k11Mbps);
+  EXPECT_TRUE(frames[0].payload_decoded);
+  EXPECT_TRUE(frames[0].fcs_ok);
+  EXPECT_EQ(frames[0].mpdu, mpdu);
+}
+
+TEST(Loopback, Cck5_5MbpsDecodesNoisy) {
+  const auto mpdu = MakeMpdu(150, 23);
+  phy::Modulator mod;
+  auto samples = mod.Modulate(mpdu, phy::Rate::k5_5Mbps);
+  util::Xoshiro256 rng(123);
+  const double sig_power = dsp::MeanPower(samples);
+  rfdump::channel::AddAwgn(
+      samples, rfdump::channel::NoisePowerForSnr(sig_power, 25.0), rng);
+  phy::Demodulator demod;
+  const auto frames = demod.DecodeAll(samples);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.rate, phy::Rate::k5_5Mbps);
+  EXPECT_TRUE(frames[0].fcs_ok);
+  EXPECT_EQ(frames[0].mpdu, mpdu);
+}
+
+TEST(Loopback, NoisyHighSnrDecodes) {
+  const auto mpdu = MakeMpdu(496, 23);
+  phy::Modulator mod;
+  auto samples = mod.Modulate(mpdu, phy::Rate::k1Mbps);
+  util::Xoshiro256 rng(99);
+  const double sig_power = dsp::MeanPower(samples);
+  rfdump::channel::AddAwgn(samples,
+                           rfdump::channel::NoisePowerForSnr(sig_power, 20.0),
+                           rng);
+  phy::Demodulator demod;
+  const auto frames = demod.DecodeAll(samples);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(frames[0].fcs_ok);
+  EXPECT_EQ(frames[0].mpdu, mpdu);
+}
+
+TEST(Loopback, CfoTolerated) {
+  const auto mpdu = MakeMpdu(96, 24);
+  phy::Modulator mod;
+  auto samples = mod.Modulate(mpdu, phy::Rate::k1Mbps);
+  // 30 kHz CFO (typical crystal error at 2.4 GHz is ~10-50 kHz).
+  rfdump::channel::ApplyFrequencyOffset(samples, 30e3, dsp::kSampleRateHz, 0);
+  phy::Demodulator demod;
+  const auto frames = demod.DecodeAll(samples);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(frames[0].fcs_ok) << "CFO broke the decode";
+}
+
+TEST(Loopback, PureNoiseYieldsNothing) {
+  util::Xoshiro256 rng(55);
+  dsp::SampleVec noise(40000);
+  rfdump::channel::AddAwgn(noise, 1.0, rng);
+  phy::Demodulator demod;
+  EXPECT_TRUE(demod.DecodeAll(noise).empty());
+}
+
+TEST(Loopback, TwoFramesBackToBack) {
+  const auto mpdu1 = MakeMpdu(60, 25);
+  const auto mpdu2 = MakeMpdu(120, 26);
+  phy::Modulator mod;
+  auto s1 = mod.Modulate(mpdu1, phy::Rate::k1Mbps);
+  const auto s2 = mod.Modulate(mpdu2, phy::Rate::k1Mbps);
+  // 20 us of silence between frames.
+  s1.insert(s1.end(), dsp::MicrosToSamples(20), dsp::cfloat{0.0f, 0.0f});
+  s1.insert(s1.end(), s2.begin(), s2.end());
+  phy::Demodulator demod;
+  const auto frames = demod.DecodeAll(s1);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].mpdu, mpdu1);
+  EXPECT_EQ(frames[1].mpdu, mpdu2);
+  EXPECT_LT(frames[0].end_sample, frames[1].start_sample);
+}
+
+TEST(Loopback, FrameBoundariesRoughlyCorrect) {
+  const auto mpdu = MakeMpdu(496, 27);
+  phy::Modulator mod;
+  auto samples = mod.Modulate(mpdu, phy::Rate::k1Mbps);
+  // Prepend silence so the start offset is nontrivial.
+  dsp::SampleVec stream(dsp::MicrosToSamples(100), dsp::cfloat{0.0f, 0.0f});
+  const auto frame_start = static_cast<std::int64_t>(stream.size());
+  stream.insert(stream.end(), samples.begin(), samples.end());
+  phy::Demodulator demod;
+  const auto frames = demod.DecodeAll(stream);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(frames[0].start_sample),
+              static_cast<double>(frame_start), 200.0);
+  const double expect_end =
+      static_cast<double>(frame_start) +
+      phy::Modulator::FrameAirtimeUs(500, phy::Rate::k1Mbps) * 8.0;
+  EXPECT_NEAR(static_cast<double>(frames[0].end_sample), expect_end, 300.0);
+}
+
+TEST(Loopback, CorruptedFcsReported) {
+  auto mpdu = MakeMpdu(96, 28);
+  mpdu[10] ^= 0xFF;  // break content after FCS computed
+  phy::Modulator mod;
+  const auto samples = mod.Modulate(mpdu, phy::Rate::k1Mbps);
+  phy::Demodulator demod;
+  const auto frames = demod.DecodeAll(samples);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(frames[0].payload_decoded);
+  EXPECT_FALSE(frames[0].fcs_ok);
+}
+
+class LoopbackSnrSweep
+    : public ::testing::TestWithParam<std::tuple<double, phy::Rate>> {};
+
+TEST_P(LoopbackSnrSweep, DecodesAboveThreshold) {
+  const auto [snr_db, rate] = GetParam();
+  const auto mpdu = MakeMpdu(196, 30 + static_cast<int>(snr_db));
+  phy::Modulator mod;
+  auto samples = mod.Modulate(mpdu, rate);
+  util::Xoshiro256 rng(777);
+  const double sig_power = dsp::MeanPower(samples);
+  rfdump::channel::AddAwgn(
+      samples, rfdump::channel::NoisePowerForSnr(sig_power, snr_db), rng);
+  phy::Demodulator demod;
+  const auto frames = demod.DecodeAll(samples);
+  ASSERT_GE(frames.size(), 1u) << "no frame at " << snr_db << " dB";
+  EXPECT_TRUE(frames[0].fcs_ok) << "bad decode at " << snr_db << " dB";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HighSnr, LoopbackSnrSweep,
+    ::testing::Combine(::testing::Values(15.0, 20.0, 30.0),
+                       ::testing::Values(phy::Rate::k1Mbps,
+                                         phy::Rate::k2Mbps)));
+
+}  // namespace

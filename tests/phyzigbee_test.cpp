@@ -1,0 +1,149 @@
+// ZigBee (802.15.4) PHY tests: chip table properties, O-QPSK modulation
+// structure, frame loopback, and detector-relevant timing constants.
+
+#include <gtest/gtest.h>
+
+#include "rfdump/channel/channel.hpp"
+#include "rfdump/dsp/db.hpp"
+#include "rfdump/dsp/energy.hpp"
+#include "rfdump/phyzigbee/phy.hpp"
+#include "rfdump/util/crc.hpp"
+#include "rfdump/util/rng.hpp"
+
+namespace zb = rfdump::phyzigbee;
+namespace dsp = rfdump::dsp;
+using rfdump::util::Xoshiro256;
+
+namespace {
+
+std::vector<std::uint8_t> MakePsdu(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> psdu(n);
+  for (std::size_t i = 0; i + 2 < n; ++i) {
+    psdu[i] = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+  }
+  const std::uint16_t fcs = rfdump::util::Crc16CcittBits(
+      rfdump::util::BytesToBitsLsbFirst(
+          std::span<const std::uint8_t>(psdu).first(n - 2)),
+      0x0000);
+  psdu[n - 2] = static_cast<std::uint8_t>(fcs & 0xFF);
+  psdu[n - 1] = static_cast<std::uint8_t>(fcs >> 8);
+  return psdu;
+}
+
+TEST(ZigbeeChips, SixteenSequencesQuasiOrthogonal) {
+  const auto& table = zb::ChipTable();
+  // Every pair of distinct sequences differs in many chip positions.
+  for (std::size_t a = 0; a < 16; ++a) {
+    for (std::size_t b = a + 1; b < 16; ++b) {
+      const int dist = std::popcount(table[a] ^ table[b]);
+      EXPECT_GE(dist, 10) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(ZigbeeChips, CyclicShiftStructure) {
+  // Sequences 1..7 are 4-chip right-rotations of sequence 0 (the standard
+  // inserts the shift at the front of the chip stream, LSB-first).
+  const auto& table = zb::ChipTable();
+  const auto rotr32 = [](std::uint32_t v, int k) {
+    return (v >> k) | (v << (32 - k));
+  };
+  for (int s = 1; s < 8; ++s) {
+    EXPECT_EQ(table[static_cast<std::size_t>(s)], rotr32(table[0], 4 * s))
+        << "symbol " << s;
+  }
+}
+
+TEST(ZigbeeChips, BytesToChipsExpansion) {
+  const std::vector<std::uint8_t> bytes = {0xA7};
+  const auto chips = zb::BytesToChips(bytes);
+  ASSERT_EQ(chips.size(), 64u);  // 2 symbols x 32 chips
+  // Low nibble (7) first.
+  for (int k = 0; k < 32; ++k) {
+    EXPECT_EQ(chips[static_cast<std::size_t>(k)],
+              (zb::ChipTable()[7] >> k) & 1u);
+  }
+}
+
+TEST(ZigbeeMod, FrameAirtimeAndLength) {
+  const auto psdu = MakePsdu(20, 1);
+  const auto wave = zb::ModulateFrame(psdu);
+  // (6 + 20) bytes * 2 symbols * 128 samples, plus a small O-QPSK tail.
+  const std::size_t expected = 26 * 2 * 128;
+  EXPECT_GE(wave.size(), expected);
+  EXPECT_LE(wave.size(), expected + 64);
+  EXPECT_DOUBLE_EQ(zb::FrameAirtimeUs(20), 26.0 * 32.0);
+}
+
+TEST(ZigbeeMod, PowerIsBounded) {
+  const auto wave = zb::ModulateFrame(MakePsdu(30, 2));
+  // O-QPSK half-sine: |I|,|Q| <= 0.7071, total power near constant mid-frame.
+  for (const auto& s : wave) {
+    EXPECT_LE(std::abs(s.real()), 0.72f);
+    EXPECT_LE(std::abs(s.imag()), 0.72f);
+  }
+  const double mid_power = dsp::MeanPower(
+      dsp::const_sample_span(wave).subspan(512, wave.size() - 1024));
+  EXPECT_NEAR(mid_power, 0.5, 0.1);
+}
+
+TEST(ZigbeeLoopback, CleanDecode) {
+  const auto psdu = MakePsdu(24, 3);
+  const auto wave = zb::ModulateFrame(psdu);
+  const auto frame = zb::DecodeFrame(wave);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->psdu, psdu);
+  EXPECT_TRUE(frame->crc_ok);
+}
+
+TEST(ZigbeeLoopback, NoisyDecode) {
+  const auto psdu = MakePsdu(40, 4);
+  auto wave = zb::ModulateFrame(psdu);
+  Xoshiro256 rng(5);
+  rfdump::channel::ScaleToPower(wave, rfdump::dsp::DbToPower(12.0));
+  rfdump::channel::AddAwgn(wave, 1.0, rng);
+  const auto frame = zb::DecodeFrame(wave);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->psdu, psdu);
+  EXPECT_TRUE(frame->crc_ok);
+}
+
+TEST(ZigbeeLoopback, OffsetStartFound) {
+  const auto psdu = MakePsdu(16, 6);
+  const auto wave = zb::ModulateFrame(psdu);
+  dsp::SampleVec stream(3000, dsp::cfloat{0.0f, 0.0f});
+  stream.insert(stream.end(), wave.begin(), wave.end());
+  stream.insert(stream.end(), 1000, dsp::cfloat{0.0f, 0.0f});
+  Xoshiro256 rng(7);
+  rfdump::channel::AddAwgn(stream, 1e-4, rng);
+  const auto frame = zb::DecodeFrame(stream);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_NEAR(static_cast<double>(frame->start_sample), 3000.0, 64.0);
+  EXPECT_EQ(frame->psdu, psdu);
+}
+
+TEST(ZigbeeLoopback, NoiseOnlyNothing) {
+  dsp::SampleVec noise(30000);
+  Xoshiro256 rng(8);
+  rfdump::channel::AddAwgn(noise, 1.0, rng);
+  EXPECT_FALSE(zb::DecodeFrame(noise).has_value());
+}
+
+TEST(ZigbeeLoopback, CorruptedCrcFlagged) {
+  auto psdu = MakePsdu(20, 9);
+  psdu[5] ^= 0x10;  // corrupt after FCS computed
+  const auto wave = zb::ModulateFrame(psdu);
+  const auto frame = zb::DecodeFrame(wave);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_FALSE(frame->crc_ok);
+}
+
+TEST(ZigbeeTiming, ConstantsMatchTable2) {
+  EXPECT_DOUBLE_EQ(zb::kSlotUs, 320.0);
+  EXPECT_DOUBLE_EQ(zb::kSifsUs, 192.0);
+  EXPECT_DOUBLE_EQ(zb::kChipRateHz, 2e6);
+  EXPECT_DOUBLE_EQ(zb::kSymbolRateHz, 62.5e3);
+}
+
+}  // namespace

@@ -1,0 +1,203 @@
+// Traffic generator tests: the emulated workloads must have the exact
+// structural properties the detectors key on (SIFS/DIFS spacing, TDD slots,
+// size-encoded sequence numbers, beacon intervals, rate mixes).
+
+#include <gtest/gtest.h>
+
+#include "rfdump/emu/ether.hpp"
+#include "rfdump/mac80211/timing.hpp"
+#include "rfdump/phybt/hopping.hpp"
+#include "rfdump/phyzigbee/phy.hpp"
+#include "rfdump/traffic/traffic.hpp"
+
+namespace dsp = rfdump::dsp;
+namespace emu = rfdump::emu;
+namespace traffic = rfdump::traffic;
+using rfdump::core::Protocol;
+
+namespace {
+
+TEST(TrafficUnicast, FourFramesPerPing) {
+  emu::Ether ether;
+  traffic::WifiPingConfig cfg;
+  cfg.count = 7;
+  const auto r = traffic::GenerateUnicastPing(ether, cfg, 1000);
+  EXPECT_EQ(r.packets, 28u);
+  EXPECT_EQ(ether.truth().size(), 28u);
+  // Alternating DATA/ACK kinds.
+  for (std::size_t i = 0; i < ether.truth().size(); ++i) {
+    const auto& k = ether.truth()[i].kind;
+    if (i % 2 == 0) {
+      EXPECT_EQ(k.rfind("DATA", 0), 0u) << i;
+    } else {
+      EXPECT_EQ(k.rfind("ACK", 0), 0u) << i;
+    }
+  }
+}
+
+TEST(TrafficUnicast, SifsSpacingExact) {
+  emu::Ether ether;
+  traffic::WifiPingConfig cfg;
+  cfg.count = 3;
+  traffic::GenerateUnicastPing(ether, cfg, 1000);
+  const auto& t = ether.truth();
+  // DATA(i) end to ACK(i) start: SIFS = 80 samples. The burst's truth
+  // interval includes ~23 samples of resampler flush tail plus 8 padding
+  // samples, so the recorded gap is ~80 - 31 = 49.
+  for (std::size_t i = 0; i + 1 < t.size(); i += 2) {
+    const auto gap = t[i + 1].start_sample - t[i].end_sample;
+    EXPECT_NEAR(static_cast<double>(gap), 49.0, 4.0) << i;
+  }
+}
+
+TEST(TrafficUnicast, IntervalRespected) {
+  emu::Ether ether;
+  traffic::WifiPingConfig cfg;
+  cfg.count = 4;
+  cfg.interval_us = 50000.0;
+  traffic::GenerateUnicastPing(ether, cfg, 0);
+  const auto& t = ether.truth();
+  // Request i+1 starts ~interval after request i.
+  const auto req0 = t[0].start_sample;
+  const auto req1 = t[4].start_sample;
+  EXPECT_NEAR(static_cast<double>(req1 - req0), 50000e-6 * 8e6, 100.0);
+}
+
+TEST(TrafficBroadcast, DifsPlusSlotsSpacing) {
+  emu::Ether ether;
+  traffic::WifiBroadcastConfig cfg;
+  cfg.count = 40;
+  traffic::GenerateBroadcastFlood(ether, cfg, 1000);
+  const auto& t = ether.truth();
+  ASSERT_EQ(t.size(), 40u);
+  const std::int64_t slot = dsp::MicrosToSamples(20.0);
+  const std::int64_t difs = dsp::MicrosToSamples(50.0);
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    // Gap (net of the flush tail + pad inside the truth interval).
+    const auto gap = t[i + 1].start_sample - t[i].end_sample + 31;
+    const auto over = gap - difs;
+    EXPECT_GE(over, -2);
+    const auto k = (over + slot / 2) / slot;
+    EXPECT_LE(k, 31);
+    EXPECT_NEAR(static_cast<double>(over - k * slot), 0.0, 2.0) << i;
+  }
+}
+
+TEST(TrafficL2Ping, SlotAlignmentAndVisibility) {
+  emu::Ether ether;
+  traffic::L2PingConfig cfg;
+  cfg.count = 200;
+  traffic::GenerateL2Ping(ether, cfg, 0);
+  const auto& t = ether.truth();
+  ASSERT_EQ(t.size(), 400u);
+  const std::int64_t slot = dsp::MicrosToSamples(rfdump::phybt::kSlotUs);
+  std::size_t visible = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t[i].start_sample % slot, 0) << i;  // started at a slot edge
+    if (t[i].visible) ++visible;
+  }
+  // ~8/79 of packets visible.
+  const double frac = static_cast<double>(visible) / 400.0;
+  EXPECT_NEAR(frac, 8.0 / 79.0, 0.06);
+}
+
+TEST(TrafficL2Ping, SizesEncodeSequence) {
+  EXPECT_EQ(traffic::L2PingSizeForSeq(0), 225u);
+  EXPECT_EQ(traffic::L2PingSizeForSeq(114), 339u);
+  EXPECT_EQ(traffic::L2PingSizeForSeq(115), 225u);
+  emu::Ether ether;
+  traffic::L2PingConfig cfg;
+  cfg.count = 10;
+  traffic::GenerateL2Ping(ether, cfg, 0);
+  // Request and response of ping i have the size encoding seq i; truth
+  // packet_id matches.
+  for (const auto& t : ether.truth()) {
+    EXPECT_LT(t.packet_id, 10u);
+  }
+}
+
+TEST(TrafficBeacons, StandardInterval) {
+  emu::Ether ether;
+  traffic::BeaconConfig cfg;
+  cfg.count = 5;
+  traffic::GenerateBeacons(ether, cfg, 0);
+  const auto& t = ether.truth();
+  ASSERT_EQ(t.size(), 5u);
+  const auto interval =
+      dsp::MicrosToSamples(rfdump::mac80211::kBeaconIntervalUs);
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    EXPECT_EQ(t[i + 1].start_sample - t[i].start_sample, interval);
+  }
+}
+
+TEST(TrafficMicrowave, BurstsAtAcPeriod) {
+  emu::Ether ether;
+  traffic::MicrowaveConfig cfg;
+  const auto duration = static_cast<std::int64_t>(0.1 * dsp::kSampleRateHz);
+  const auto r = traffic::GenerateMicrowave(ether, cfg, 0, duration);
+  // 60 Hz over 0.1 s -> ~6 bursts.
+  EXPECT_GE(r.packets, 5u);
+  EXPECT_LE(r.packets, 7u);
+  const auto& t = ether.truth();
+  const auto period = static_cast<std::int64_t>(dsp::kSampleRateHz / 60.0);
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(t[i + 1].start_sample -
+                                    t[i].start_sample),
+                static_cast<double>(period), 2.0);
+  }
+}
+
+TEST(TrafficCampus, RateMixAndKinds) {
+  emu::Ether ether;
+  traffic::CampusConfig cfg;
+  cfg.duration_sec = 0.3;
+  cfg.include_bluetooth = false;
+  const auto r = traffic::GenerateCampus(ether, cfg, 0);
+  EXPECT_GT(r.packets, 20u);
+  std::size_t rate_1m = 0, cck = 0, arps = 0, beacons = 0;
+  for (const auto& t : ether.truth()) {
+    if (t.protocol != Protocol::kWifi80211b) continue;
+    if (t.kind.find("@1Mbps") != std::string::npos) ++rate_1m;
+    if (t.kind.find("@5.5Mbps") != std::string::npos ||
+        t.kind.find("@11Mbps") != std::string::npos) {
+      ++cck;
+    }
+    if (t.kind.rfind("ARP", 0) == 0) ++arps;
+    if (t.kind.rfind("BEACON", 0) == 0) ++beacons;
+  }
+  // The mix skews to CCK rates; some 1 Mbps (ARPs/beacons at least).
+  EXPECT_GT(cck, rate_1m);
+  EXPECT_GT(arps, 0u);
+  EXPECT_GE(beacons, 3u);
+}
+
+TEST(TrafficCampus, DeterministicForSeed) {
+  emu::Ether a(emu::Ether::Config{}, 7);
+  emu::Ether b(emu::Ether::Config{}, 7);
+  traffic::CampusConfig cfg;
+  cfg.duration_sec = 0.1;
+  traffic::GenerateCampus(a, cfg, 0);
+  traffic::GenerateCampus(b, cfg, 0);
+  ASSERT_EQ(a.truth().size(), b.truth().size());
+  for (std::size_t i = 0; i < a.truth().size(); ++i) {
+    EXPECT_EQ(a.truth()[i].start_sample, b.truth()[i].start_sample);
+    EXPECT_EQ(a.truth()[i].kind, b.truth()[i].kind);
+  }
+}
+
+TEST(TrafficZigbee, LifsRespected) {
+  emu::Ether ether;
+  traffic::ZigbeeConfig cfg;
+  cfg.count = 5;
+  cfg.interval_us = 0.0;  // pack as tightly as LIFS allows
+  traffic::GenerateZigbee(ether, cfg, 0);
+  const auto& t = ether.truth();
+  ASSERT_EQ(t.size(), 5u);
+  const auto min_gap =
+      dsp::MicrosToSamples(rfdump::phyzigbee::kLifsUs) - 64;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    EXPECT_GE(t[i + 1].start_sample - t[i].end_sample, min_gap);
+  }
+}
+
+}  // namespace
