@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_avg_window.dir/ablation_avg_window.cpp.o"
+  "CMakeFiles/ablation_avg_window.dir/ablation_avg_window.cpp.o.d"
+  "ablation_avg_window"
+  "ablation_avg_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_avg_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bt_cache.dir/ablation_bt_cache.cpp.o"
+  "CMakeFiles/ablation_bt_cache.dir/ablation_bt_cache.cpp.o.d"
+  "ablation_bt_cache"
+  "ablation_bt_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bt_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_energy_threshold.dir/ablation_energy_threshold.cpp.o"
+  "CMakeFiles/ablation_energy_threshold.dir/ablation_energy_threshold.cpp.o.d"
+  "ablation_energy_threshold"
+  "ablation_energy_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_energy_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_phase_sampling.dir/ablation_phase_sampling.cpp.o"
+  "CMakeFiles/ablation_phase_sampling.dir/ablation_phase_sampling.cpp.o.d"
+  "ablation_phase_sampling"
+  "ablation_phase_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_phase_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_broadcast_miss_rate.dir/fig7_broadcast_miss_rate.cpp.o"
+  "CMakeFiles/fig7_broadcast_miss_rate.dir/fig7_broadcast_miss_rate.cpp.o.d"
+  "fig7_broadcast_miss_rate"
+  "fig7_broadcast_miss_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_broadcast_miss_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

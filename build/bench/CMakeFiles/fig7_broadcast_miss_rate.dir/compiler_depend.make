@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_broadcast_miss_rate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_block_costs.dir/table1_block_costs.cpp.o"
+  "CMakeFiles/table1_block_costs.dir/table1_block_costs.cpp.o.d"
+  "table1_block_costs"
+  "table1_block_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_block_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

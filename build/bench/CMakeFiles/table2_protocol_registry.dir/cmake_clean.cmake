@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_protocol_registry.dir/table2_protocol_registry.cpp.o"
+  "CMakeFiles/table2_protocol_registry.dir/table2_protocol_registry.cpp.o.d"
+  "table2_protocol_registry"
+  "table2_protocol_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_protocol_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

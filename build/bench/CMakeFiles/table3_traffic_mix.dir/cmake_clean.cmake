@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_traffic_mix.dir/table3_traffic_mix.cpp.o"
+  "CMakeFiles/table3_traffic_mix.dir/table3_traffic_mix.cpp.o.d"
+  "table3_traffic_mix"
+  "table3_traffic_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_traffic_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

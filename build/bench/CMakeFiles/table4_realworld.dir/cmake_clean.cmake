@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_realworld.dir/table4_realworld.cpp.o"
+  "CMakeFiles/table4_realworld.dir/table4_realworld.cpp.o.d"
+  "table4_realworld"
+  "table4_realworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_realworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bt_coexistence.dir/bt_coexistence.cpp.o"
+  "CMakeFiles/example_bt_coexistence.dir/bt_coexistence.cpp.o.d"
+  "example_bt_coexistence"
+  "example_bt_coexistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bt_coexistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

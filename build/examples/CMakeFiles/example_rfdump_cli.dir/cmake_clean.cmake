@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rfdump_cli.dir/rfdump_cli.cpp.o"
+  "CMakeFiles/example_rfdump_cli.dir/rfdump_cli.cpp.o.d"
+  "example_rfdump_cli"
+  "example_rfdump_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rfdump_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

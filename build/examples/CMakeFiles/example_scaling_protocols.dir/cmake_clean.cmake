@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scaling_protocols.dir/scaling_protocols.cpp.o"
+  "CMakeFiles/example_scaling_protocols.dir/scaling_protocols.cpp.o.d"
+  "example_scaling_protocols"
+  "example_scaling_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scaling_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_wifi_diagnosis.dir/wifi_diagnosis.cpp.o"
+  "CMakeFiles/example_wifi_diagnosis.dir/wifi_diagnosis.cpp.o.d"
+  "example_wifi_diagnosis"
+  "example_wifi_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_wifi_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_wifi_diagnosis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/channel.cpp" "src/CMakeFiles/rfdump.dir/channel/channel.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/channel/channel.cpp.o.d"
+  "/root/repo/src/core/collision.cpp" "src/CMakeFiles/rfdump.dir/core/collision.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/core/collision.cpp.o.d"
+  "/root/repo/src/core/detections.cpp" "src/CMakeFiles/rfdump.dir/core/detections.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/core/detections.cpp.o.d"
+  "/root/repo/src/core/freq_detector.cpp" "src/CMakeFiles/rfdump.dir/core/freq_detector.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/core/freq_detector.cpp.o.d"
+  "/root/repo/src/core/peaks.cpp" "src/CMakeFiles/rfdump.dir/core/peaks.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/core/peaks.cpp.o.d"
+  "/root/repo/src/core/phase_detectors.cpp" "src/CMakeFiles/rfdump.dir/core/phase_detectors.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/core/phase_detectors.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/rfdump.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/protocols.cpp" "src/CMakeFiles/rfdump.dir/core/protocols.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/core/protocols.cpp.o.d"
+  "/root/repo/src/core/scoring.cpp" "src/CMakeFiles/rfdump.dir/core/scoring.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/core/scoring.cpp.o.d"
+  "/root/repo/src/core/spectrogram.cpp" "src/CMakeFiles/rfdump.dir/core/spectrogram.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/core/spectrogram.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/CMakeFiles/rfdump.dir/core/streaming.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/core/streaming.cpp.o.d"
+  "/root/repo/src/core/timing_detectors.cpp" "src/CMakeFiles/rfdump.dir/core/timing_detectors.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/core/timing_detectors.cpp.o.d"
+  "/root/repo/src/dsp/barker.cpp" "src/CMakeFiles/rfdump.dir/dsp/barker.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/dsp/barker.cpp.o.d"
+  "/root/repo/src/dsp/energy.cpp" "src/CMakeFiles/rfdump.dir/dsp/energy.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/dsp/energy.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/CMakeFiles/rfdump.dir/dsp/fft.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/dsp/fft.cpp.o.d"
+  "/root/repo/src/dsp/fir.cpp" "src/CMakeFiles/rfdump.dir/dsp/fir.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/dsp/fir.cpp.o.d"
+  "/root/repo/src/dsp/phase.cpp" "src/CMakeFiles/rfdump.dir/dsp/phase.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/dsp/phase.cpp.o.d"
+  "/root/repo/src/dsp/resampler.cpp" "src/CMakeFiles/rfdump.dir/dsp/resampler.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/dsp/resampler.cpp.o.d"
+  "/root/repo/src/dsp/windows.cpp" "src/CMakeFiles/rfdump.dir/dsp/windows.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/dsp/windows.cpp.o.d"
+  "/root/repo/src/emu/ether.cpp" "src/CMakeFiles/rfdump.dir/emu/ether.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/emu/ether.cpp.o.d"
+  "/root/repo/src/mac80211/frames.cpp" "src/CMakeFiles/rfdump.dir/mac80211/frames.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/mac80211/frames.cpp.o.d"
+  "/root/repo/src/phy80211/demodulator.cpp" "src/CMakeFiles/rfdump.dir/phy80211/demodulator.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/phy80211/demodulator.cpp.o.d"
+  "/root/repo/src/phy80211/modulator.cpp" "src/CMakeFiles/rfdump.dir/phy80211/modulator.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/phy80211/modulator.cpp.o.d"
+  "/root/repo/src/phy80211/plcp.cpp" "src/CMakeFiles/rfdump.dir/phy80211/plcp.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/phy80211/plcp.cpp.o.d"
+  "/root/repo/src/phy80211/scrambler.cpp" "src/CMakeFiles/rfdump.dir/phy80211/scrambler.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/phy80211/scrambler.cpp.o.d"
+  "/root/repo/src/phybt/demodulator.cpp" "src/CMakeFiles/rfdump.dir/phybt/demodulator.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/phybt/demodulator.cpp.o.d"
+  "/root/repo/src/phybt/gfsk.cpp" "src/CMakeFiles/rfdump.dir/phybt/gfsk.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/phybt/gfsk.cpp.o.d"
+  "/root/repo/src/phybt/hopping.cpp" "src/CMakeFiles/rfdump.dir/phybt/hopping.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/phybt/hopping.cpp.o.d"
+  "/root/repo/src/phybt/modulator.cpp" "src/CMakeFiles/rfdump.dir/phybt/modulator.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/phybt/modulator.cpp.o.d"
+  "/root/repo/src/phybt/packet.cpp" "src/CMakeFiles/rfdump.dir/phybt/packet.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/phybt/packet.cpp.o.d"
+  "/root/repo/src/phyzigbee/phy.cpp" "src/CMakeFiles/rfdump.dir/phyzigbee/phy.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/phyzigbee/phy.cpp.o.d"
+  "/root/repo/src/rfsources/sources.cpp" "src/CMakeFiles/rfdump.dir/rfsources/sources.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/rfsources/sources.cpp.o.d"
+  "/root/repo/src/trace/pcap.cpp" "src/CMakeFiles/rfdump.dir/trace/pcap.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/trace/pcap.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/rfdump.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/traffic/traffic.cpp" "src/CMakeFiles/rfdump.dir/traffic/traffic.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/traffic/traffic.cpp.o.d"
+  "/root/repo/src/util/bits.cpp" "src/CMakeFiles/rfdump.dir/util/bits.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/util/bits.cpp.o.d"
+  "/root/repo/src/util/crc.cpp" "src/CMakeFiles/rfdump.dir/util/crc.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/util/crc.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/rfdump.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/rfdump.dir/util/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

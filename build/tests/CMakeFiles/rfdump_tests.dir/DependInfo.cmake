@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/channel_test.cpp" "tests/CMakeFiles/rfdump_tests.dir/channel_test.cpp.o" "gcc" "tests/CMakeFiles/rfdump_tests.dir/channel_test.cpp.o.d"
+  "/root/repo/tests/core_collision_test.cpp" "tests/CMakeFiles/rfdump_tests.dir/core_collision_test.cpp.o" "gcc" "tests/CMakeFiles/rfdump_tests.dir/core_collision_test.cpp.o.d"
+  "/root/repo/tests/core_detectors_test.cpp" "tests/CMakeFiles/rfdump_tests.dir/core_detectors_test.cpp.o" "gcc" "tests/CMakeFiles/rfdump_tests.dir/core_detectors_test.cpp.o.d"
+  "/root/repo/tests/core_peaks_test.cpp" "tests/CMakeFiles/rfdump_tests.dir/core_peaks_test.cpp.o" "gcc" "tests/CMakeFiles/rfdump_tests.dir/core_peaks_test.cpp.o.d"
+  "/root/repo/tests/core_scoring_test.cpp" "tests/CMakeFiles/rfdump_tests.dir/core_scoring_test.cpp.o" "gcc" "tests/CMakeFiles/rfdump_tests.dir/core_scoring_test.cpp.o.d"
+  "/root/repo/tests/core_spectrogram_test.cpp" "tests/CMakeFiles/rfdump_tests.dir/core_spectrogram_test.cpp.o" "gcc" "tests/CMakeFiles/rfdump_tests.dir/core_spectrogram_test.cpp.o.d"
+  "/root/repo/tests/core_streaming_test.cpp" "tests/CMakeFiles/rfdump_tests.dir/core_streaming_test.cpp.o" "gcc" "tests/CMakeFiles/rfdump_tests.dir/core_streaming_test.cpp.o.d"
+  "/root/repo/tests/dsp_fft_test.cpp" "tests/CMakeFiles/rfdump_tests.dir/dsp_fft_test.cpp.o" "gcc" "tests/CMakeFiles/rfdump_tests.dir/dsp_fft_test.cpp.o.d"
+  "/root/repo/tests/dsp_fir_test.cpp" "tests/CMakeFiles/rfdump_tests.dir/dsp_fir_test.cpp.o" "gcc" "tests/CMakeFiles/rfdump_tests.dir/dsp_fir_test.cpp.o.d"
+  "/root/repo/tests/dsp_misc_test.cpp" "tests/CMakeFiles/rfdump_tests.dir/dsp_misc_test.cpp.o" "gcc" "tests/CMakeFiles/rfdump_tests.dir/dsp_misc_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/rfdump_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/rfdump_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/mac80211_test.cpp" "tests/CMakeFiles/rfdump_tests.dir/mac80211_test.cpp.o" "gcc" "tests/CMakeFiles/rfdump_tests.dir/mac80211_test.cpp.o.d"
+  "/root/repo/tests/phy80211_test.cpp" "tests/CMakeFiles/rfdump_tests.dir/phy80211_test.cpp.o" "gcc" "tests/CMakeFiles/rfdump_tests.dir/phy80211_test.cpp.o.d"
+  "/root/repo/tests/phybt_test.cpp" "tests/CMakeFiles/rfdump_tests.dir/phybt_test.cpp.o" "gcc" "tests/CMakeFiles/rfdump_tests.dir/phybt_test.cpp.o.d"
+  "/root/repo/tests/phyzigbee_test.cpp" "tests/CMakeFiles/rfdump_tests.dir/phyzigbee_test.cpp.o" "gcc" "tests/CMakeFiles/rfdump_tests.dir/phyzigbee_test.cpp.o.d"
+  "/root/repo/tests/property_sweeps_test.cpp" "tests/CMakeFiles/rfdump_tests.dir/property_sweeps_test.cpp.o" "gcc" "tests/CMakeFiles/rfdump_tests.dir/property_sweeps_test.cpp.o.d"
+  "/root/repo/tests/rfsources_test.cpp" "tests/CMakeFiles/rfdump_tests.dir/rfsources_test.cpp.o" "gcc" "tests/CMakeFiles/rfdump_tests.dir/rfsources_test.cpp.o.d"
+  "/root/repo/tests/short_preamble_pcap_test.cpp" "tests/CMakeFiles/rfdump_tests.dir/short_preamble_pcap_test.cpp.o" "gcc" "tests/CMakeFiles/rfdump_tests.dir/short_preamble_pcap_test.cpp.o.d"
+  "/root/repo/tests/traffic_test.cpp" "tests/CMakeFiles/rfdump_tests.dir/traffic_test.cpp.o" "gcc" "tests/CMakeFiles/rfdump_tests.dir/traffic_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/rfdump_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/rfdump_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rfdump.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
