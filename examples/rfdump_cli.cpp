@@ -19,6 +19,8 @@
 
 #include "rfdump/core/pipeline.hpp"
 #include "rfdump/core/spectrogram.hpp"
+#include "rfdump/core/streaming.hpp"
+#include "rfdump/emu/frontend.hpp"
 #include "rfdump/trace/pcap.hpp"
 #include "rfdump/mac80211/frames.hpp"
 #include "rfdump/trace/trace.hpp"
@@ -41,7 +43,13 @@ void PrintUsage(const char* argv0) {
       "  --stats            print per-stage CPU costs\n"
       "  --waterfall        print an ASCII spectrogram of the band\n"
       "  --pcap FILE        export decoded 802.11 frames as pcap\n"
-      "  --noise-floor P    noise floor power (default 1.0)\n",
+      "  --noise-floor P    noise floor power (default 1.0)\n"
+      "  --impair           replay through a hostile front end (USB-overrun\n"
+      "                     drops, ADC clipping, DC offset, NaN bursts) and\n"
+      "                     monitor it with the fault-tolerant streaming\n"
+      "                     path; prints per-block health\n"
+      "  --budget R         CPU/real-time budget per block for load shedding\n"
+      "                     (streaming path only; 0 = no shedding)\n",
       argv0);
 }
 
@@ -128,6 +136,62 @@ void PrintReport(const core::MonitorReport& report, bool stats) {
   }
 }
 
+// Replays `x` through an emulated hostile front end and monitors it with the
+// fault-tolerant streaming path. Returns the aggregate report; prints
+// per-block health lines as blocks complete.
+core::MonitorReport MonitorImpaired(const dsp::SampleVec& x,
+                                    core::StreamingMonitor::Config mcfg) {
+  rfdump::emu::FrontEnd::Config fe;
+  fe.drops_per_second = 2.0;
+  fe.duplicates_per_second = 0.5;
+  fe.nonfinite_per_second = 4.0;
+  fe.clip_amplitude = 24.0f;
+  fe.dc_offset = {0.05f, -0.02f};
+  rfdump::emu::FrontEnd frontend(x, fe, /*seed=*/7);
+
+  mcfg.pipeline.saturation_amplitude = fe.clip_amplitude;
+  core::StreamingMonitor monitor(mcfg);
+  core::MonitorReport report;
+  monitor.on_wifi_frame = [&](const rfdump::phy80211::DecodedFrame& f) {
+    report.wifi_frames.push_back(f);
+  };
+  monitor.on_bt_packet = [&](const rfdump::phybt::DecodedBtPacket& p) {
+    report.bt_packets.push_back(p);
+  };
+  monitor.on_detection = [&](const core::Detection& d) {
+    report.detections.push_back(d);
+  };
+  monitor.on_health = [](const core::HealthReport& h) {
+    std::printf(
+        "[health] block @%9.3f s: %llu samples, gaps %u (%lld lost), "
+        "dup %lld, sanitized %llu, sat %4.1f%%, stage %d, load %.3f\n",
+        static_cast<double>(h.block_start) / dsp::kSampleRateHz,
+        static_cast<unsigned long long>(h.block_samples), h.gap_count,
+        static_cast<long long>(h.gap_samples),
+        static_cast<long long>(h.overlap_samples),
+        static_cast<unsigned long long>(h.sanitized_samples),
+        100.0 * h.saturation_fraction, h.shed_stage, h.block_load);
+  };
+  while (!frontend.Done()) {
+    const auto seg = frontend.NextSegment();
+    if (!seg.samples.empty()) monitor.PushSegment(seg.start_sample, seg.samples);
+  }
+  monitor.Flush();
+
+  std::size_t drops = 0, bursts = 0;
+  for (const auto& f : frontend.faults()) {
+    if (f.kind == rfdump::emu::FaultKind::kDrop) ++drops;
+    if (f.kind == rfdump::emu::FaultKind::kNonFinite) ++bursts;
+  }
+  std::printf(
+      "\n[front end] injected %zu overrun gaps + %zu NaN bursts; monitor "
+      "reported %zu gaps, shed stage now %d\n\n",
+      drops, bursts, monitor.gaps().size(), monitor.shed_stage());
+  report.costs = monitor.costs();
+  report.samples_total = monitor.samples_processed();
+  return report;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,9 +199,10 @@ int main(int argc, char** argv) {
   std::string arch = "rfdump";
   std::string detectors = "both";
   bool demo = false, no_demod = false, stats = false, collisions = false;
-  bool waterfall = false;
+  bool waterfall = false, impair = false;
   std::string pcap_path;
   double noise_floor = 1.0;
+  double budget = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -161,6 +226,10 @@ int main(int argc, char** argv) {
       pcap_path = argv[++i];
     } else if (arg == "--noise-floor" && i + 1 < argc) {
       noise_floor = std::atof(argv[++i]);
+    } else if (arg == "--impair") {
+      impair = true;
+    } else if (arg == "--budget" && i + 1 < argc) {
+      budget = std::atof(argv[++i]);
     } else {
       PrintUsage(argv[0]);
       return arg == "--help" ? 0 : 2;
@@ -187,7 +256,22 @@ int main(int argc, char** argv) {
               static_cast<double>(x.size()) / dsp::kSampleRateHz, x.size());
 
   core::MonitorReport report;
-  if (arch == "naive" || arch == "energy") {
+  if (impair) {
+    if (arch != "rfdump") {
+      std::fprintf(stderr, "--impair uses the rfdump streaming monitor\n");
+      return 2;
+    }
+    core::StreamingMonitor::Config mcfg;
+    mcfg.pipeline.timing_detectors = (detectors != "phase");
+    mcfg.pipeline.phase_detectors = (detectors != "timing");
+    mcfg.pipeline.collision_detector = collisions;
+    mcfg.pipeline.microwave_detector = true;
+    mcfg.pipeline.noise_floor_power = noise_floor;
+    mcfg.pipeline.analysis.demodulate = !no_demod;
+    mcfg.block_samples = 400'000;  // 50 ms blocks: visible health cadence
+    mcfg.cpu_budget = budget;
+    report = MonitorImpaired(x, mcfg);
+  } else if (arch == "naive" || arch == "energy") {
     core::NaivePipeline::Config cfg;
     cfg.energy_gate = (arch == "energy");
     cfg.noise_floor_power = noise_floor;

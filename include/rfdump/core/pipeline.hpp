@@ -35,6 +35,25 @@ struct StageCost {
   std::uint64_t samples_in = 0;
 };
 
+/// Front-end / processing health for one block of stream. Produced once per
+/// RFDumpPipeline::Process call (input-quality fields) and once per
+/// StreamingMonitor block (all fields). A real front-end produces overruns,
+/// saturation and corrupt buffers as a matter of course; the monitor must
+/// account for them rather than silently decode garbage.
+struct HealthReport {
+  std::int64_t block_start = 0;        // absolute stream index of the block
+  std::uint64_t block_samples = 0;
+  std::uint32_t gap_count = 0;         // stream discontinuities since the
+  std::int64_t gap_samples = 0;        //   previous report, and samples lost
+  std::int64_t overlap_samples = 0;    // duplicated input discarded on ingest
+  std::uint64_t sanitized_samples = 0; // non-finite samples zeroed on ingest
+  std::uint64_t nonfinite_samples = 0; // non-finite samples that reached the
+                                       //   pipeline (0 once sanitized)
+  double saturation_fraction = 0.0;    // fraction of samples at the ADC rail
+  int shed_stage = 0;                  // 0 = full pipeline .. 3 = detect-only
+  double block_load = 0.0;             // CPU/real-time for this block
+};
+
 /// Everything a pipeline produced for one capture.
 struct MonitorReport {
   std::vector<Detection> detections;   // raw detector output (RFDump only)
@@ -43,6 +62,7 @@ struct MonitorReport {
   std::vector<phybt::DecodedBtPacket> bt_packets;
   std::vector<phyzigbee::DecodedZbFrame> zb_frames;
   std::vector<StageCost> costs;
+  std::vector<HealthReport> health;    // input-quality scan(s), see above
   std::uint64_t samples_total = 0;
 
   /// Sum of all stage costs in CPU seconds.
@@ -60,6 +80,11 @@ struct AnalysisConfig {
   bool zigbee_demod = false;   // decode 802.15.4 frames in tagged ranges
   int bt_demods = 8;           // one per visible Bluetooth channel
   std::uint8_t bt_uap = 0x47;  // UAP known to the monitor (see DESIGN.md)
+  /// Detections below this confidence are still reported but not dispatched
+  /// to demodulators. 0 dispatches everything; the streaming monitor's
+  /// load-shedding controller raises it under overload (paper §2.2: when the
+  /// monitor cannot keep up, demodulate the confident tags first).
+  float min_dispatch_confidence = 0.0f;
 };
 
 /// RFDump architecture (Figure 2).
@@ -77,6 +102,12 @@ class RFDumpPipeline {
     bool collision_detector = false;
     double noise_floor_power = 1.0;
     double dispatch_pad_us = 40.0;  // padding around dispatched intervals
+    /// Input health scan: count non-finite samples and samples at the ADC
+    /// rail before detection, reported via MonitorReport::health.
+    bool health_scan = true;
+    /// |I| or |Q| at or above ~this amplitude counts as saturated (matches
+    /// the emulator's default ADC full scale). 0 disables the check.
+    float saturation_amplitude = 64.0f;
     AnalysisConfig analysis;
   };
 

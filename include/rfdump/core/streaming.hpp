@@ -11,6 +11,18 @@
 //
 // This exploits exactly the latency tolerance the paper leans on (§2.2): a
 // block of ~250 ms adds that much reporting delay but none to throughput.
+//
+// Fault tolerance (see DESIGN.md "Fault model and degradation policy"): the
+// monitor consumes *timestamped* segments, so USB-overrun gaps and duplicate
+// buffer deliveries are detected on ingest. A gap hard-splits the block
+// schedule — the buffered samples are processed and detector state is reset,
+// so no frame is ever decoded across missing samples. Non-finite input is
+// zeroed before it can poison averages. Every block yields a HealthReport.
+//
+// Overload (CPU > real time) triggers graceful load shedding in the paper's
+// own priority order: optional detectors first, then demodulation of
+// low-confidence tags, then demodulation entirely (detection-only, the cheap
+// mode of Fig 9). Hysteresis restores stages as load falls.
 
 #include <cstdint>
 #include <functional>
@@ -18,6 +30,9 @@
 #include "rfdump/core/pipeline.hpp"
 
 namespace rfdump::core {
+
+/// Highest shed stage: detection only, no demodulation.
+inline constexpr int kShedStageMax = 3;
 
 class StreamingMonitor {
  public:
@@ -29,13 +44,35 @@ class StreamingMonitor {
     /// that straddle the boundary are seen whole at least once. Must cover
     /// the longest frame (~19 ms => 152k samples; default 160k).
     std::size_t overlap_samples = 160'000;
+
+    /// CPU-over-real-time budget per block. 0 disables load shedding.
+    /// When a block's load exceeds the budget the monitor sheds one stage:
+    ///   1: optional detectors off (freq/microwave/zigbee/collision)
+    ///   2: + demodulation only for tags with confidence >= shed_min_confidence
+    ///   3: + no demodulation at all (detection-only)
+    double cpu_budget = 0.0;
+    /// A stage is restored only after `shed_resume_blocks` consecutive
+    /// blocks below `shed_resume_fraction * cpu_budget` (hysteresis).
+    double shed_resume_fraction = 0.75;
+    int shed_resume_blocks = 2;
+    /// Dispatch-confidence floor applied at shed stage >= 2.
+    float shed_min_confidence = 0.7f;
   };
 
   StreamingMonitor();
   explicit StreamingMonitor(Config config);
 
-  /// Feeds a segment of the sample stream (any size). May invoke callbacks.
+  /// Feeds a segment assumed contiguous with the previous one (a front-end
+  /// that never drops). May invoke callbacks.
   void Push(dsp::const_sample_span segment);
+
+  /// Feeds a timestamped segment: `start_sample` is the absolute stream
+  /// position of segment[0]. A forward jump is a gap (samples lost): the
+  /// buffered stream is processed to completion and detector state resets,
+  /// so nothing is decoded across the gap. A backward jump is a duplicate
+  /// delivery: the already-seen prefix is discarded. Non-finite samples are
+  /// zeroed (and counted) on ingest.
+  void PushSegment(std::int64_t start_sample, dsp::const_sample_span samples);
 
   /// Processes whatever is buffered, regardless of block size.
   void Flush();
@@ -45,6 +82,8 @@ class StreamingMonitor {
   std::function<void(const phy80211::DecodedFrame&)> on_wifi_frame;
   std::function<void(const phybt::DecodedBtPacket&)> on_bt_packet;
   std::function<void(const Detection&)> on_detection;
+  /// Called once per processed block with that block's health.
+  std::function<void(const HealthReport&)> on_health;
 
   /// Aggregate stage costs across all processed blocks.
   const std::vector<StageCost>& costs() const { return costs_; }
@@ -52,15 +91,49 @@ class StreamingMonitor {
   /// CPU/real-time ratio so far.
   [[nodiscard]] double CpuOverRealTime() const;
 
+  /// One record per detected stream discontinuity.
+  struct Gap {
+    std::int64_t at = 0;       // first missing sample
+    std::int64_t missing = 0;  // how many samples were lost
+  };
+  const std::vector<Gap>& gaps() const { return gaps_; }
+
+  /// Per-block health history (one entry per processed block).
+  const std::vector<HealthReport>& health() const { return health_; }
+
+  /// Current load-shedding stage (0 = full pipeline).
+  [[nodiscard]] int shed_stage() const { return shed_stage_; }
+
+  /// Adjusts the CPU budget at runtime (operator knob; 0 disables shedding).
+  void set_cpu_budget(double budget);
+
  private:
-  void ProcessBlock(bool final_block);
+  void ProcessBlock(bool final_block, bool gap_cut);
+  void EmitHealth(HealthReport h);
+  void UpdateShedding(double block_load);
+  void ApplyShedStage();
+  [[nodiscard]] std::uint64_t AppendSanitized(dsp::const_sample_span samples);
 
   Config config_;
+  RFDumpPipeline pipeline_;  // persists across blocks (reflects shed stage)
   dsp::SampleVec buffer_;
   std::int64_t buffer_start_ = 0;      // absolute index of buffer_[0]
   std::int64_t emitted_until_ = 0;     // results before this are already out
+  std::int64_t expected_next_ = -1;    // next expected timestamp (-1: unset)
   std::uint64_t samples_processed_ = 0;
   std::vector<StageCost> costs_;
+  std::vector<Gap> gaps_;
+  std::vector<HealthReport> health_;
+
+  // Ingest-side tallies flushed into the next HealthReport.
+  std::uint32_t pending_gap_count_ = 0;
+  std::int64_t pending_gap_samples_ = 0;
+  std::int64_t pending_overlap_samples_ = 0;
+  std::uint64_t pending_sanitized_ = 0;
+
+  // Load-shedding controller state.
+  int shed_stage_ = 0;
+  int under_budget_blocks_ = 0;
 };
 
 }  // namespace rfdump::core

@@ -2,6 +2,7 @@
 // Energy / power estimation primitives used by the peak detector and the
 // energy-gated baseline architecture.
 
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
@@ -9,10 +10,20 @@
 
 namespace rfdump::dsp {
 
+/// Instantaneous power |s|^2 of one sample, with non-finite input (NaN/Inf
+/// from a corrupt front-end buffer, or overflow of the square itself) mapped
+/// to 0. The energy/peak hot path uses this everywhere so that one corrupt
+/// sample cannot poison a whole block's running averages.
+[[nodiscard]] inline float FinitePower(cfloat s) {
+  const float p = std::norm(s);
+  return std::isfinite(p) ? p : 0.0f;
+}
+
 /// Mean power (|x|^2 average) of a span. Returns 0 for an empty span.
+/// Non-finite samples contribute 0.
 [[nodiscard]] double MeanPower(const_sample_span x);
 
-/// Total energy (sum of |x|^2) of a span.
+/// Total energy (sum of |x|^2) of a span. Non-finite samples contribute 0.
 [[nodiscard]] double TotalEnergy(const_sample_span x);
 
 /// Streaming moving-average of instantaneous power over a fixed window.

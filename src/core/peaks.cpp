@@ -31,7 +31,7 @@ ChunkMeta PeakDetector::PushChunk(dsp::const_sample_span chunk,
   const std::size_t w = std::min(config_.averaging_window, chunk.size());
   double tail_power = 0.0;
   for (std::size_t i = chunk.size() - w; i < chunk.size(); ++i) {
-    tail_power += std::norm(chunk[i]);
+    tail_power += dsp::FinitePower(chunk[i]);
   }
   tail_power = (w > 0) ? tail_power / static_cast<double>(w) : 0.0;
   meta.window_power = static_cast<float>(tail_power);
@@ -61,7 +61,7 @@ void PeakDetector::ProcessSamples(dsp::const_sample_span chunk,
       gate * std::max(config_.instant_factor, 1.0);
   for (std::size_t i = 0; i < chunk.size(); ++i) {
     const std::int64_t n = start + static_cast<std::int64_t>(i);
-    const float p = std::norm(chunk[i]);
+    const float p = dsp::FinitePower(chunk[i]);
     const float avg = avg_.Push(chunk[i]);
     if (!in_peak_) {
       if (avg_.Count() >= config_.averaging_window / 2 && avg > gate) {
@@ -76,7 +76,7 @@ void PeakDetector::ProcessSamples(dsp::const_sample_span chunk,
             std::max<std::int64_t>(refined, start);
         for (std::int64_t m = window_start; m <= n; ++m) {
           const float ip =
-              std::norm(chunk[static_cast<std::size_t>(m - start)]);
+              dsp::FinitePower(chunk[static_cast<std::size_t>(m - start)]);
           if (ip > instant_gate) {
             refined = m;
             break;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "rfdump/phybt/hopping.hpp"
 
@@ -175,6 +176,31 @@ MonitorReport RFDumpPipeline::Process(dsp::const_sample_span x) {
   report.samples_total = x.size();
   CostLedger ledger;
 
+  // Stage 0: input health scan — a real front-end delivers saturated and
+  // occasionally corrupt (non-finite) samples; account for them up front so
+  // downstream results can be interpreted.
+  if (config_.health_scan) {
+    CostLedger::Scope scope(ledger, "detect/health", x.size());
+    HealthReport h;
+    h.block_samples = x.size();
+    const float rail = 0.98f * config_.saturation_amplitude;
+    std::uint64_t saturated = 0;
+    for (const dsp::cfloat& s : x) {
+      const float re = s.real(), im = s.imag();
+      if (!std::isfinite(re) || !std::isfinite(im)) {
+        ++h.nonfinite_samples;
+      } else if (config_.saturation_amplitude > 0.0f &&
+                 (std::fabs(re) >= rail || std::fabs(im) >= rail)) {
+        ++saturated;
+      }
+    }
+    h.saturation_fraction =
+        x.empty() ? 0.0
+                  : static_cast<double>(saturated) /
+                        static_cast<double>(x.size());
+    report.health.push_back(h);
+  }
+
   // Stage 1: protocol-agnostic peak detection over 25 us chunks (with the
   // integrated energy gate).
   PeakDetector::Config pd_cfg;
@@ -272,9 +298,15 @@ MonitorReport RFDumpPipeline::Process(dsp::const_sample_span x) {
   }
 
   // Stage 2: dispatch — merge detections per protocol and analyze only those
-  // sample ranges.
+  // sample ranges. Under load shedding, low-confidence tags stay in the
+  // detection log but are not worth demodulator time.
   const std::int64_t pad = UsToSamples(config_.dispatch_pad_us);
-  std::vector<Detection> padded = detections;
+  std::vector<Detection> padded;
+  padded.reserve(detections.size());
+  for (const auto& d : detections) {
+    if (d.confidence < config_.analysis.min_dispatch_confidence) continue;
+    padded.push_back(d);
+  }
   for (auto& d : padded) {
     d.start_sample -= pad;
     d.end_sample += pad;

@@ -1,24 +1,88 @@
 #include "rfdump/core/streaming.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace rfdump::core {
 
 StreamingMonitor::StreamingMonitor() : StreamingMonitor(Config{}) {}
 
-StreamingMonitor::StreamingMonitor(Config config) : config_(config) {
+StreamingMonitor::StreamingMonitor(Config config)
+    : config_(config), pipeline_(config.pipeline) {
   buffer_.reserve(config_.block_samples + config_.overlap_samples);
 }
 
 void StreamingMonitor::Push(dsp::const_sample_span segment) {
-  buffer_.insert(buffer_.end(), segment.begin(), segment.end());
+  PushSegment(expected_next_ < 0 ? 0 : expected_next_, segment);
+}
+
+void StreamingMonitor::PushSegment(std::int64_t start_sample,
+                                   dsp::const_sample_span samples) {
+  if (expected_next_ < 0) {
+    // First delivery anchors the stream timeline.
+    buffer_start_ = start_sample;
+    emitted_until_ = start_sample;
+    expected_next_ = start_sample;
+  }
+  if (start_sample > expected_next_) {
+    // Discontinuity: the front end lost samples. Finish what we have — the
+    // pre-gap samples are complete up to the gap — then restart the block
+    // schedule on the far side. Nothing is ever decoded across the gap.
+    const std::int64_t missing = start_sample - expected_next_;
+    ++pending_gap_count_;
+    pending_gap_samples_ += missing;
+    gaps_.push_back({expected_next_, missing});
+    if (!buffer_.empty()) {
+      ProcessBlock(/*final_block=*/true, /*gap_cut=*/true);
+    }
+    buffer_start_ = start_sample;
+    emitted_until_ = start_sample;
+    expected_next_ = start_sample;
+  } else if (start_sample < expected_next_) {
+    // Duplicate / re-delivered buffer: drop the part we already consumed.
+    // Any remainder continues the stream at expected_next_.
+    const auto skip = static_cast<std::size_t>(std::min<std::int64_t>(
+        expected_next_ - start_sample,
+        static_cast<std::int64_t>(samples.size())));
+    pending_overlap_samples_ += static_cast<std::int64_t>(skip);
+    samples = samples.subspan(skip);
+  }
+  expected_next_ += static_cast<std::int64_t>(samples.size());
+  pending_sanitized_ += AppendSanitized(samples);
   while (buffer_.size() >= config_.block_samples) {
-    ProcessBlock(/*final_block=*/false);
+    ProcessBlock(/*final_block=*/false, /*gap_cut=*/false);
   }
 }
 
+std::uint64_t StreamingMonitor::AppendSanitized(
+    dsp::const_sample_span samples) {
+  std::uint64_t sanitized = 0;
+  buffer_.reserve(buffer_.size() + samples.size());
+  for (const dsp::cfloat& s : samples) {
+    if (std::isfinite(s.real()) && std::isfinite(s.imag())) {
+      buffer_.push_back(s);
+    } else {
+      // One corrupt sample must not poison a whole block's averages or leak
+      // NaN into demodulator output; zero reads as silence.
+      buffer_.push_back(dsp::cfloat{0.0f, 0.0f});
+      ++sanitized;
+    }
+  }
+  return sanitized;
+}
+
 void StreamingMonitor::Flush() {
-  if (!buffer_.empty()) ProcessBlock(/*final_block=*/true);
+  if (!buffer_.empty()) {
+    ProcessBlock(/*final_block=*/true, /*gap_cut=*/false);
+  } else if (pending_gap_count_ > 0 || pending_overlap_samples_ > 0 ||
+             pending_sanitized_ > 0) {
+    // Nothing buffered, but ingest saw faults since the last block: emit an
+    // empty-block report so no fault goes unrecorded.
+    HealthReport h;
+    h.block_start = buffer_start_;
+    h.shed_stage = shed_stage_;
+    EmitHealth(h);
+  }
 }
 
 double StreamingMonitor::CpuOverRealTime() const {
@@ -29,18 +93,82 @@ double StreamingMonitor::CpuOverRealTime() const {
          (static_cast<double>(samples_processed_) / dsp::kSampleRateHz);
 }
 
-void StreamingMonitor::ProcessBlock(bool final_block) {
+void StreamingMonitor::set_cpu_budget(double budget) {
+  config_.cpu_budget = budget;
+  under_budget_blocks_ = 0;
+}
+
+void StreamingMonitor::EmitHealth(HealthReport h) {
+  h.gap_count = pending_gap_count_;
+  h.gap_samples = pending_gap_samples_;
+  h.overlap_samples = pending_overlap_samples_;
+  h.sanitized_samples = pending_sanitized_;
+  pending_gap_count_ = 0;
+  pending_gap_samples_ = 0;
+  pending_overlap_samples_ = 0;
+  pending_sanitized_ = 0;
+  health_.push_back(h);
+  if (on_health) on_health(health_.back());
+}
+
+void StreamingMonitor::ApplyShedStage() {
+  RFDumpPipeline::Config cfg = config_.pipeline;
+  if (shed_stage_ >= 1) {
+    cfg.freq_detector = false;
+    cfg.microwave_detector = false;
+    cfg.zigbee_detector = false;
+    cfg.collision_detector = false;
+  }
+  if (shed_stage_ >= 2) {
+    cfg.analysis.min_dispatch_confidence = std::max(
+        cfg.analysis.min_dispatch_confidence, config_.shed_min_confidence);
+  }
+  if (shed_stage_ >= 3) {
+    cfg.analysis.demodulate = false;
+  }
+  pipeline_ = RFDumpPipeline(cfg);
+}
+
+void StreamingMonitor::UpdateShedding(double block_load) {
+  if (config_.cpu_budget <= 0.0) {
+    if (shed_stage_ != 0) {
+      shed_stage_ = 0;
+      ApplyShedStage();
+    }
+    return;
+  }
+  if (block_load > config_.cpu_budget) {
+    under_budget_blocks_ = 0;
+    if (shed_stage_ < kShedStageMax) {
+      ++shed_stage_;
+      ApplyShedStage();
+    }
+  } else if (shed_stage_ > 0 &&
+             block_load <
+                 config_.shed_resume_fraction * config_.cpu_budget) {
+    if (++under_budget_blocks_ >= config_.shed_resume_blocks) {
+      --shed_stage_;
+      under_budget_blocks_ = 0;
+      ApplyShedStage();
+    }
+  } else {
+    under_budget_blocks_ = 0;
+  }
+}
+
+void StreamingMonitor::ProcessBlock(bool final_block, bool gap_cut) {
   const std::size_t take =
       final_block ? buffer_.size()
                   : std::min(buffer_.size(), config_.block_samples);
   const auto block = dsp::const_sample_span(buffer_).first(take);
 
-  RFDumpPipeline pipeline(config_.pipeline);
-  auto report = pipeline.Process(block);
+  auto report = pipeline_.Process(block);
   samples_processed_ += take;
 
   // Merge stage costs.
+  double block_cpu = 0.0;
   for (const auto& c : report.costs) {
+    block_cpu += c.cpu_seconds;
     auto it = std::find_if(costs_.begin(), costs_.end(),
                            [&](const StageCost& s) { return s.name == c.name; });
     if (it == costs_.end()) {
@@ -50,6 +178,20 @@ void StreamingMonitor::ProcessBlock(bool final_block) {
       it->samples_in += c.samples_in;
     }
   }
+
+  // Block health: input-quality fields from the pipeline's scan, stream
+  // fields (gaps / overlaps / sanitization) from the ingest tallies.
+  HealthReport h;
+  if (!report.health.empty()) h = report.health.front();
+  h.block_start = buffer_start_;
+  h.block_samples = take;
+  h.shed_stage = shed_stage_;
+  h.block_load =
+      take > 0
+          ? block_cpu / (static_cast<double>(take) / dsp::kSampleRateHz)
+          : 0.0;
+  const double block_load = h.block_load;
+  EmitHealth(h);
 
   // Ownership boundary: this block reports every result that *starts* in
   // [emitted_until_, boundary); results starting inside the overlap tail are
@@ -64,15 +206,28 @@ void StreamingMonitor::ProcessBlock(bool final_block) {
   const auto owned = [&](std::int64_t start) {
     return start >= emitted_until_ && start < boundary;
   };
+  // A block cut short by a gap ends where delivered data ends: a frame that
+  // reaches the cut was truncated by the overrun unless it checked out in
+  // full (FCS/CRC), and a truncated frame is reported as a gap, not a frame.
+  const auto clear_of_cut = [&](std::int64_t end, bool verified) {
+    return !gap_cut || end < boundary || verified;
+  };
   for (auto& f : report.wifi_frames) {
     f.start_sample += base;
     f.end_sample += base;
-    if (owned(f.start_sample) && on_wifi_frame) on_wifi_frame(f);
+    if (owned(f.start_sample) &&
+        clear_of_cut(f.end_sample, f.payload_decoded && f.fcs_ok) &&
+        on_wifi_frame) {
+      on_wifi_frame(f);
+    }
   }
   for (auto& p : report.bt_packets) {
     p.start_sample += base;
     p.end_sample += base;
-    if (owned(p.start_sample) && on_bt_packet) on_bt_packet(p);
+    if (owned(p.start_sample) &&
+        clear_of_cut(p.end_sample, p.packet.crc_ok) && on_bt_packet) {
+      on_bt_packet(p);
+    }
   }
   for (auto& d : report.detections) {
     d.start_sample += base;
@@ -81,6 +236,8 @@ void StreamingMonitor::ProcessBlock(bool final_block) {
   }
 
   emitted_until_ = boundary;
+  // Adapt the shed stage for the *next* block from this block's load.
+  UpdateShedding(block_load);
   if (final_block) {
     buffer_start_ += static_cast<std::int64_t>(take);
     buffer_.clear();

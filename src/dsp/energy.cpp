@@ -11,7 +11,7 @@ double MeanPower(const_sample_span x) {
 
 double TotalEnergy(const_sample_span x) {
   double sum = 0.0;
-  for (const cfloat s : x) sum += std::norm(s);
+  for (const cfloat s : x) sum += FinitePower(s);
   return sum;
 }
 
@@ -31,7 +31,7 @@ void MovingAveragePower::Reset() {
 }
 
 float MovingAveragePower::Push(cfloat sample) {
-  const float p = std::norm(sample);
+  const float p = FinitePower(sample);
   sum_ += p - ring_[head_];
   ring_[head_] = p;
   head_ = (head_ + 1) % window_;

@@ -137,4 +137,44 @@ TEST(Streaming, FlushOnEmptyIsNoop) {
   EXPECT_EQ(monitor.samples_processed(), 0u);
 }
 
+TEST(Streaming, FlushTwiceEmitsNothingTwice) {
+  const auto scenario = MakeScenario(3, 7);
+  core::StreamingMonitor monitor(SmallBlocks());
+  int frames = 0;
+  monitor.on_wifi_frame =
+      [&](const rfdump::phy80211::DecodedFrame&) { ++frames; };
+  monitor.Push(scenario.samples);
+  monitor.Flush();
+  const int after_first = frames;
+  const auto processed = monitor.samples_processed();
+  EXPECT_EQ(after_first, static_cast<int>(scenario.wifi_frames_expected));
+  monitor.Flush();  // must be a no-op, not a re-emit
+  EXPECT_EQ(frames, after_first);
+  EXPECT_EQ(monitor.samples_processed(), processed);
+  // The stream can continue after a flush: positions stay absolute.
+  monitor.Push(scenario.samples);  // contiguous continuation (arbitrary data)
+  monitor.Flush();
+  EXPECT_GT(monitor.samples_processed(), processed);
+}
+
+TEST(Streaming, SegmentLargerThanBlockPlusOverlap) {
+  // One Push bigger than block + overlap must be chopped into the same block
+  // schedule, with no duplicate or lost frames.
+  const auto scenario = MakeScenario(6, 9);
+  auto cfg = SmallBlocks();
+  ASSERT_GT(scenario.samples.size(),
+            cfg.block_samples + cfg.overlap_samples);
+  core::StreamingMonitor monitor(cfg);
+  std::vector<std::int64_t> starts;
+  monitor.on_wifi_frame = [&](const rfdump::phy80211::DecodedFrame& f) {
+    starts.push_back(f.start_sample);
+  };
+  monitor.Push(scenario.samples);  // single oversized segment
+  monitor.Flush();
+  EXPECT_EQ(starts.size(), scenario.wifi_frames_expected);
+  for (std::size_t k = 1; k < starts.size(); ++k) {
+    EXPECT_GT(starts[k], starts[k - 1]) << k;
+  }
+}
+
 }  // namespace

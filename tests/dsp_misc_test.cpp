@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <gtest/gtest.h>
+#include <limits>
 
 #include "rfdump/dsp/barker.hpp"
 #include "rfdump/dsp/db.hpp"
@@ -361,6 +362,30 @@ TEST(Energy, MovingAverageTracksStep) {
 
 TEST(Energy, RejectsZeroWindow) {
   EXPECT_THROW(dsp::MovingAveragePower(0), std::invalid_argument);
+}
+
+TEST(Energy, NonFiniteSamplesDoNotPoisonAverages) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  // FinitePower maps corrupt samples (and overflowing squares) to 0.
+  EXPECT_EQ(dsp::FinitePower({nan, 0.0f}), 0.0f);
+  EXPECT_EQ(dsp::FinitePower({0.0f, inf}), 0.0f);
+  EXPECT_EQ(dsp::FinitePower({1e30f, 0.0f}), 0.0f);  // square overflows
+  EXPECT_NEAR(dsp::FinitePower({3.0f, 4.0f}), 25.0f, 1e-5f);
+
+  dsp::SampleVec x = {{3.0f, 4.0f}, {nan, 0.0f}, {0.0f, inf}, {0.0f, 0.0f}};
+  EXPECT_NEAR(dsp::TotalEnergy(x), 25.0, 1e-6);
+  EXPECT_NEAR(dsp::MeanPower(x), 6.25, 1e-6);
+
+  // One NaN in a running average must not make every later average NaN
+  // (NaN propagates forever through a naive running sum).
+  dsp::MovingAveragePower ma(4);
+  ma.Push({1.0f, 0.0f});
+  ma.Push({nan, nan});
+  ma.Push({inf, 0.0f});
+  for (int i = 0; i < 8; ++i) ma.Push({1.0f, 0.0f});
+  EXPECT_TRUE(std::isfinite(ma.Average()));
+  EXPECT_NEAR(ma.Average(), 1.0f, 1e-6f);
 }
 
 // ------------------------------------------------------------------ windows

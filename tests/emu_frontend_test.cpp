@@ -1,0 +1,186 @@
+// emu::FrontEnd tests: the impairment layer must deliver exactly the samples
+// it claims to (timestamps consistent with the fault log), reproduce
+// bit-for-bit from its seed, and inject each configured fault class.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "rfdump/emu/frontend.hpp"
+
+namespace dsp = rfdump::dsp;
+using rfdump::emu::FaultKind;
+using rfdump::emu::FrontEnd;
+
+namespace {
+
+dsp::SampleVec Ramp(std::size_t n) {
+  dsp::SampleVec x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = dsp::cfloat(static_cast<float>(i % 1000) * 0.01f, 1.0f);
+  }
+  return x;
+}
+
+TEST(FrontEnd, IdealConfigDeliversStreamVerbatim) {
+  const auto x = Ramp(200'000);
+  FrontEnd fe(x, FrontEnd::Config{}, 3);
+  std::int64_t expected = 0;
+  while (!fe.Done()) {
+    const auto seg = fe.NextSegment();
+    ASSERT_EQ(seg.start_sample, expected);
+    for (std::size_t i = 0; i < seg.samples.size(); ++i) {
+      ASSERT_EQ(seg.samples[i],
+                x[static_cast<std::size_t>(seg.start_sample) + i]);
+    }
+    expected += static_cast<std::int64_t>(seg.samples.size());
+  }
+  EXPECT_EQ(expected, static_cast<std::int64_t>(x.size()));
+  EXPECT_TRUE(fe.faults().empty());
+}
+
+TEST(FrontEnd, DeterministicFromSeed) {
+  const auto x = Ramp(500'000);
+  FrontEnd::Config cfg;
+  cfg.drops_per_second = 30.0;
+  cfg.nonfinite_per_second = 50.0;
+  cfg.duplicates_per_second = 20.0;
+  FrontEnd a(x, cfg, 42), b(x, cfg, 42), c(x, cfg, 43);
+  ASSERT_EQ(a.faults().size(), b.faults().size());
+  for (std::size_t i = 0; i < a.faults().size(); ++i) {
+    EXPECT_EQ(a.faults()[i].start_sample, b.faults()[i].start_sample);
+    EXPECT_EQ(a.faults()[i].end_sample, b.faults()[i].end_sample);
+    EXPECT_EQ(a.faults()[i].kind, b.faults()[i].kind);
+  }
+  // A different seed draws a different schedule (overwhelmingly likely).
+  bool differs = a.faults().size() != c.faults().size();
+  for (std::size_t i = 0; !differs && i < a.faults().size(); ++i) {
+    differs = a.faults()[i].start_sample != c.faults()[i].start_sample;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FrontEnd, DropsMatchTimestampJumps) {
+  const auto x = Ramp(800'000);
+  FrontEnd::Config cfg;
+  cfg.drops_per_second = 40.0;  // ~4 drops over 0.1 s
+  FrontEnd fe(x, cfg, 9);
+  const auto drops = fe.FaultsOf(FaultKind::kDrop);
+  ASSERT_FALSE(drops.empty());
+
+  // Walk deliveries and record every forward jump.
+  std::map<std::int64_t, std::int64_t> jumps;  // at -> missing
+  std::int64_t expected = 0;
+  std::int64_t delivered = 0;
+  while (!fe.Done()) {
+    const auto seg = fe.NextSegment();
+    if (seg.samples.empty()) break;
+    if (seg.start_sample > expected) {
+      jumps[expected] = seg.start_sample - expected;
+    }
+    expected = seg.start_sample + static_cast<std::int64_t>(seg.samples.size());
+    delivered += static_cast<std::int64_t>(seg.samples.size());
+  }
+  ASSERT_EQ(jumps.size(), drops.size());
+  std::int64_t dropped_total = 0;
+  for (const auto& d : drops) {
+    ASSERT_TRUE(jumps.count(d.start_sample)) << d.start_sample;
+    EXPECT_EQ(jumps[d.start_sample], d.length());
+    dropped_total += d.length();
+  }
+  EXPECT_EQ(delivered + dropped_total, static_cast<std::int64_t>(x.size()));
+}
+
+TEST(FrontEnd, ClippingBoundsAmplitude) {
+  auto x = Ramp(100'000);
+  for (auto& s : x) s *= 10.0f;  // well past the rail
+  FrontEnd::Config cfg;
+  cfg.clip_amplitude = 3.0f;
+  FrontEnd fe(x, cfg, 1);
+  bool clipped_any = false;
+  for (const auto& seg : fe.DrainAll()) {
+    for (const auto& s : seg.samples) {
+      ASSERT_LE(std::fabs(s.real()), 3.0f);
+      ASSERT_LE(std::fabs(s.imag()), 3.0f);
+      if (std::fabs(s.imag()) == 3.0f) clipped_any = true;
+    }
+  }
+  EXPECT_TRUE(clipped_any);
+  ASSERT_EQ(fe.FaultsOf(FaultKind::kSaturation).size(), 1u);
+}
+
+TEST(FrontEnd, NonFiniteBurstsLandWhereLogged) {
+  const auto x = Ramp(400'000);
+  FrontEnd::Config cfg;
+  cfg.nonfinite_per_second = 100.0;
+  FrontEnd fe(x, cfg, 5);
+  const auto bursts = fe.FaultsOf(FaultKind::kNonFinite);
+  ASSERT_FALSE(bursts.empty());
+  // Reassemble the delivered stream (contiguous: no drops configured).
+  dsp::SampleVec out;
+  for (const auto& seg : fe.DrainAll()) {
+    out.insert(out.end(), seg.samples.begin(), seg.samples.end());
+  }
+  ASSERT_EQ(out.size(), x.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const bool finite =
+        std::isfinite(out[i].real()) && std::isfinite(out[i].imag());
+    bool in_burst = false;
+    for (const auto& b : bursts) {
+      if (static_cast<std::int64_t>(i) >= b.start_sample &&
+          static_cast<std::int64_t>(i) < b.end_sample) {
+        in_burst = true;
+      }
+    }
+    ASSERT_EQ(!finite, in_burst) << i;
+  }
+}
+
+TEST(FrontEnd, DuplicateRedeliversSameTimestamps) {
+  const auto x = Ramp(300'000);
+  FrontEnd::Config cfg;
+  cfg.duplicates_per_second = 80.0;
+  FrontEnd fe(x, cfg, 11);
+  int backwards = 0;
+  std::int64_t expected = 0;
+  while (!fe.Done()) {
+    const auto seg = fe.NextSegment();
+    if (seg.samples.empty()) break;
+    if (seg.start_sample < expected) {
+      ++backwards;
+      // A duplicate replays an already-delivered range exactly.
+      EXPECT_EQ(seg.start_sample + static_cast<std::int64_t>(seg.samples.size()),
+                expected);
+    }
+    expected = std::max(
+        expected,
+        seg.start_sample + static_cast<std::int64_t>(seg.samples.size()));
+  }
+  EXPECT_EQ(backwards,
+            static_cast<int>(fe.FaultsOf(FaultKind::kDuplicate).size()));
+  EXPECT_GT(backwards, 0);
+}
+
+TEST(FrontEnd, CfoRotatesSamples) {
+  dsp::SampleVec x(50'000, dsp::cfloat{1.0f, 0.0f});
+  FrontEnd::Config cfg;
+  cfg.cfo_hz = 10'000.0;
+  FrontEnd fe(x, cfg, 1);
+  dsp::SampleVec out;
+  for (const auto& seg : fe.DrainAll()) {
+    out.insert(out.end(), seg.samples.begin(), seg.samples.end());
+  }
+  // Magnitude preserved, phase advances ~2*pi*f/fs per sample.
+  const double step = 2.0 * std::numbers::pi * cfg.cfo_hz / dsp::kSampleRateHz;
+  for (std::size_t i = 1; i < out.size(); i += 999) {
+    EXPECT_NEAR(std::abs(out[i]), 1.0, 1e-4);
+    double d = std::arg(out[i]) - std::arg(out[i - 1]);
+    while (d < -std::numbers::pi) d += 2.0 * std::numbers::pi;
+    while (d > std::numbers::pi) d -= 2.0 * std::numbers::pi;
+    EXPECT_NEAR(d, step, 1e-3) << i;
+  }
+  ASSERT_EQ(fe.FaultsOf(FaultKind::kCfoDrift).size(), 1u);
+}
+
+}  // namespace

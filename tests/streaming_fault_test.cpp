@@ -1,0 +1,310 @@
+// Fault-tolerance tests for the streaming path: an impaired front end (USB
+// overrun drops, ADC saturation, NaN bursts, duplicate buffers) must yield a
+// monitor that reports every gap, decodes what it honestly can, never emits
+// a frame spanning missing samples, and sheds load gracefully under
+// overload.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "rfdump/core/streaming.hpp"
+#include "rfdump/emu/frontend.hpp"
+#include "rfdump/emu/ether.hpp"
+#include "rfdump/traffic/traffic.hpp"
+
+namespace core = rfdump::core;
+namespace dsp = rfdump::dsp;
+namespace emu = rfdump::emu;
+
+namespace {
+
+struct Scenario {
+  dsp::SampleVec samples;
+  std::vector<emu::TruthRecord> wifi_truth;
+};
+
+Scenario MakeScenario(std::size_t pings, std::uint64_t seed) {
+  emu::Ether ether(emu::Ether::Config{}, seed);
+  rfdump::traffic::WifiPingConfig cfg;
+  cfg.count = pings;
+  cfg.interval_us = 25000.0;
+  cfg.snr_db = 25.0;
+  const auto session = rfdump::traffic::GenerateUnicastPing(ether, cfg, 8000);
+  Scenario s;
+  s.samples = ether.Render(session.end_sample + 8000);
+  s.wifi_truth = ether.VisibleTruth(core::Protocol::kWifi80211b);
+  return s;
+}
+
+core::StreamingMonitor::Config SmallBlocks() {
+  core::StreamingMonitor::Config cfg;
+  cfg.block_samples = 400'000;
+  cfg.overlap_samples = 160'000;
+  return cfg;
+}
+
+/// Feeds every front-end delivery into the monitor and flushes.
+void Drive(emu::FrontEnd& fe, core::StreamingMonitor& monitor) {
+  while (!fe.Done()) {
+    const auto seg = fe.NextSegment();
+    if (!seg.samples.empty()) {
+      monitor.PushSegment(seg.start_sample, seg.samples);
+    }
+  }
+  monitor.Flush();
+}
+
+bool Intersects(std::int64_t a0, std::int64_t a1, std::int64_t b0,
+                std::int64_t b1) {
+  return a0 < b1 && b0 < a1;
+}
+
+TEST(StreamingFault, GapsReportedFramesHonest) {
+  const auto scenario = MakeScenario(/*pings=*/12, /*seed=*/21);
+  const auto n = static_cast<std::int64_t>(scenario.samples.size());
+
+  emu::FrontEnd::Config fcfg;
+  fcfg.drops_per_second = 12.0;        // a few overruns across the capture
+  fcfg.drop_min_samples = 4'000;
+  fcfg.drop_max_samples = 30'000;
+  fcfg.nonfinite_per_second = 20.0;    // frequent short corruption bursts
+  fcfg.clip_amplitude = 20.0f;         // light ADC saturation of the signal
+  fcfg.duplicates_per_second = 4.0;
+  emu::FrontEnd fe(scenario.samples, fcfg, /*seed=*/17);
+
+  auto mcfg = SmallBlocks();
+  mcfg.pipeline.saturation_amplitude = fcfg.clip_amplitude;
+  core::StreamingMonitor monitor(mcfg);
+  std::vector<rfdump::phy80211::DecodedFrame> frames;
+  monitor.on_wifi_frame =
+      [&](const rfdump::phy80211::DecodedFrame& f) { frames.push_back(f); };
+  Drive(fe, monitor);
+
+  // 1. Every injected overrun the host could possibly observe (i.e. followed
+  //    by at least one more delivery) is reported, position- and size-exact.
+  const auto drops = fe.FaultsOf(emu::FaultKind::kDrop);
+  std::vector<emu::FaultRecord> observable;
+  for (const auto& d : drops) {
+    if (d.end_sample < n) observable.push_back(d);
+  }
+  ASSERT_FALSE(observable.empty());
+  ASSERT_EQ(monitor.gaps().size(), observable.size());
+  for (std::size_t i = 0; i < observable.size(); ++i) {
+    EXPECT_EQ(monitor.gaps()[i].at, observable[i].start_sample);
+    EXPECT_EQ(monitor.gaps()[i].missing, observable[i].length());
+  }
+
+  // 2. The HealthReport stream accounts for every gap and for the sanitized
+  //    (non-finite) input.
+  std::uint32_t gap_count = 0;
+  std::int64_t gap_samples = 0;
+  std::uint64_t sanitized = 0;
+  std::int64_t overlap = 0;
+  bool saw_saturation = false;
+  for (const auto& h : monitor.health()) {
+    gap_count += h.gap_count;
+    gap_samples += h.gap_samples;
+    sanitized += h.sanitized_samples;
+    overlap += h.overlap_samples;
+    if (h.saturation_fraction > 0.0) saw_saturation = true;
+    EXPECT_EQ(h.nonfinite_samples, 0u);  // sanitization runs before pipeline
+  }
+  std::int64_t injected_gap_samples = 0;
+  for (const auto& d : observable) injected_gap_samples += d.length();
+  EXPECT_EQ(gap_count, observable.size());
+  EXPECT_EQ(gap_samples, injected_gap_samples);
+  EXPECT_GT(sanitized, 0u);
+  EXPECT_GT(overlap, 0);  // duplicate deliveries were discarded, not decoded
+  EXPECT_TRUE(saw_saturation);
+
+  // 3. No decoded frame spans missing samples.
+  for (const auto& f : frames) {
+    for (const auto& g : monitor.gaps()) {
+      EXPECT_FALSE(f.start_sample < g.at && f.end_sample > g.at)
+          << "frame [" << f.start_sample << "," << f.end_sample
+          << ") spans the gap at " << g.at;
+    }
+  }
+
+  // 4. >= 90% of the frames in ping exchanges untouched by point faults
+  //    decode. (Frames pair through SIFS/DIFS timing, so corruption anywhere
+  //    inside an exchange can cost the whole exchange; exchanges are
+  //    independent of each other.)
+  std::vector<emu::FaultRecord> point_faults = drops;
+  for (const auto& b : fe.FaultsOf(emu::FaultKind::kNonFinite)) {
+    point_faults.push_back(b);
+  }
+  std::map<std::uint64_t, std::vector<const emu::TruthRecord*>> exchanges;
+  for (const auto& t : scenario.wifi_truth) {
+    exchanges[t.packet_id].push_back(&t);
+  }
+  std::size_t untouched_frames = 0, untouched_decoded = 0;
+  const std::int64_t margin = 2'000;  // 250 us guard around each exchange
+  for (const auto& [seq, recs] : exchanges) {
+    std::int64_t lo = recs.front()->start_sample, hi = recs.front()->end_sample;
+    for (const auto* r : recs) {
+      lo = std::min(lo, r->start_sample);
+      hi = std::max(hi, r->end_sample);
+    }
+    bool touched = false;
+    for (const auto& fr : point_faults) {
+      if (Intersects(lo - margin, hi + margin, fr.start_sample,
+                     fr.end_sample)) {
+        touched = true;
+      }
+    }
+    if (touched) continue;
+    for (const auto* r : recs) {
+      ++untouched_frames;
+      for (const auto& f : frames) {
+        if (std::llabs(f.start_sample - r->start_sample) <= 32) {
+          ++untouched_decoded;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_GT(untouched_frames, 0u);
+  EXPECT_GE(static_cast<double>(untouched_decoded),
+            0.9 * static_cast<double>(untouched_frames))
+      << untouched_decoded << " of " << untouched_frames;
+}
+
+TEST(StreamingFault, FrameStraddlingGapIsAGapNotAFrame) {
+  const auto scenario = MakeScenario(/*pings=*/1, /*seed=*/5);
+  // Cut the stream in the middle of the first DATA frame.
+  const auto& data = scenario.wifi_truth.front();
+  const std::int64_t cut =
+      data.start_sample + (data.end_sample - data.start_sample) / 2;
+  const std::int64_t resume = cut + 5'000;  // 5k samples lost
+
+  core::StreamingMonitor monitor(SmallBlocks());
+  std::vector<rfdump::phy80211::DecodedFrame> frames;
+  monitor.on_wifi_frame =
+      [&](const rfdump::phy80211::DecodedFrame& f) { frames.push_back(f); };
+  const auto all = dsp::const_sample_span(scenario.samples);
+  monitor.PushSegment(0, all.first(static_cast<std::size_t>(cut)));
+  monitor.PushSegment(resume, all.subspan(static_cast<std::size_t>(resume)));
+  monitor.Flush();
+
+  // The gap is reported...
+  ASSERT_EQ(monitor.gaps().size(), 1u);
+  EXPECT_EQ(monitor.gaps()[0].at, cut);
+  EXPECT_EQ(monitor.gaps()[0].missing, resume - cut);
+  // ...and the severed frame is not decoded (nothing overlaps the gap).
+  for (const auto& f : frames) {
+    EXPECT_FALSE(Intersects(f.start_sample, f.end_sample, cut, resume))
+        << "decoded a frame across the gap";
+    EXPECT_FALSE(std::llabs(f.start_sample - data.start_sample) <= 32)
+        << "decoded the severed frame";
+  }
+}
+
+TEST(StreamingFault, SheddingEngagesAndRecoversWithHysteresis) {
+  const auto scenario = MakeScenario(/*pings=*/10, /*seed=*/33);
+
+  core::StreamingMonitor::Config mcfg;
+  mcfg.block_samples = 100'000;  // many small blocks => many decisions
+  mcfg.overlap_samples = 40'000;
+  mcfg.cpu_budget = 1e-9;        // impossible budget: every block overruns
+  mcfg.shed_resume_blocks = 2;
+  core::StreamingMonitor monitor(mcfg);
+  std::vector<core::Detection> detections;
+  monitor.on_detection =
+      [&](const core::Detection& d) { detections.push_back(d); };
+
+  const auto all = dsp::const_sample_span(scenario.samples);
+  const std::size_t half = scenario.samples.size() / 2;
+  std::size_t pos = 0;
+  // First half under an impossible budget: the controller must ratchet to
+  // detection-only.
+  while (pos < half) {
+    const std::size_t nseg = std::min<std::size_t>(50'000, half - pos);
+    monitor.Push(all.subspan(pos, nseg));
+    pos += nseg;
+  }
+  EXPECT_EQ(monitor.shed_stage(), core::kShedStageMax);
+  const std::size_t blocks_at_engage = monitor.health().size();
+
+  // Second half under a generous budget: stages must be restored, one at a
+  // time, each only after shed_resume_blocks consecutive calm blocks.
+  monitor.set_cpu_budget(1e9);
+  while (pos < scenario.samples.size()) {
+    const std::size_t nseg =
+        std::min<std::size_t>(50'000, scenario.samples.size() - pos);
+    monitor.Push(all.subspan(pos, nseg));
+    pos += nseg;
+  }
+  monitor.Flush();
+  EXPECT_EQ(monitor.shed_stage(), 0);
+
+  const auto& health = monitor.health();
+  // Engagement ratchets one stage per overloaded block: 0,1,2,3,3,...
+  ASSERT_GE(blocks_at_engage, 4u);
+  EXPECT_EQ(health[0].shed_stage, 0);
+  EXPECT_EQ(health[1].shed_stage, 1);
+  EXPECT_EQ(health[2].shed_stage, 2);
+  EXPECT_EQ(health[3].shed_stage, 3);
+  // Recovery honors hysteresis: each downward transition is preceded by at
+  // least shed_resume_blocks blocks at the higher stage.
+  int last_stage = core::kShedStageMax;
+  int run = 0;
+  for (std::size_t i = blocks_at_engage; i < health.size(); ++i) {
+    const int stage = health[i].shed_stage;
+    if (stage < last_stage) {
+      EXPECT_EQ(stage, last_stage - 1) << "skipped a stage at block " << i;
+      EXPECT_GE(run, mcfg.shed_resume_blocks)
+          << "recovered without hysteresis at block " << i;
+      run = 1;
+      last_stage = stage;
+    } else {
+      ++run;
+    }
+  }
+  // Detection-only blocks still produce detections (the paper's cheap mode):
+  // the band was active the whole time, so stage-3 blocks saw traffic.
+  bool stage3_block_with_activity = false;
+  for (const auto& h : health) {
+    if (h.shed_stage != core::kShedStageMax) continue;
+    for (const auto& d : detections) {
+      if (d.start_sample >= h.block_start &&
+          d.start_sample <
+              h.block_start + static_cast<std::int64_t>(h.block_samples)) {
+        stage3_block_with_activity = true;
+      }
+    }
+  }
+  EXPECT_TRUE(stage3_block_with_activity);
+}
+
+TEST(StreamingFault, BudgetKeepsLoadNearBudgetOnBusyBand) {
+  // Qualitative load check: with shedding enabled at a realistic budget, the
+  // per-block load after the controller settles must not sit above budget
+  // while the full pipeline would have (stage > 0 implies the controller is
+  // actually trading fidelity for CPU).
+  const auto scenario = MakeScenario(/*pings=*/8, /*seed=*/44);
+  core::StreamingMonitor::Config mcfg;
+  mcfg.block_samples = 200'000;
+  mcfg.overlap_samples = 80'000;
+  mcfg.cpu_budget = 0.05;  // deliberately tight for this hardware
+  core::StreamingMonitor monitor(mcfg);
+  monitor.Push(scenario.samples);
+  monitor.Flush();
+  ASSERT_FALSE(monitor.health().empty());
+  // The controller reacted: either the pipeline fit the budget outright or
+  // shedding engaged at some point.
+  bool engaged = false;
+  for (const auto& h : monitor.health()) {
+    if (h.shed_stage > 0) engaged = true;
+  }
+  bool fit = true;
+  for (const auto& h : monitor.health()) {
+    if (h.block_load > mcfg.cpu_budget) fit = false;
+  }
+  EXPECT_TRUE(engaged || fit);
+}
+
+}  // namespace
