@@ -15,9 +15,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "rfdump/core/pipeline.hpp"
+#include "rfdump/obs/obs.hpp"
 #include "rfdump/core/spectrogram.hpp"
 #include "rfdump/core/streaming.hpp"
 #include "rfdump/emu/frontend.hpp"
@@ -49,7 +51,13 @@ void PrintUsage(const char* argv0) {
       "                     monitor it with the fault-tolerant streaming\n"
       "                     path; prints per-block health\n"
       "  --budget R         CPU/real-time budget per block for load shedding\n"
-      "                     (streaming path only; 0 = no shedding)\n",
+      "                     (streaming path only; 0 = no shedding)\n"
+      "  --metrics DEST     dump the metrics registry (Prometheus text\n"
+      "                     format) to DEST on exit; `-` means stdout. With\n"
+      "                     --impair and a file DEST, the file is also\n"
+      "                     rewritten periodically while blocks stream\n"
+      "  --trace FILE       record spans and write Trace Event Format JSON\n"
+      "                     to FILE (load in chrome://tracing or Perfetto)\n",
       argv0);
 }
 
@@ -136,11 +144,29 @@ void PrintReport(const core::MonitorReport& report, bool stats) {
   }
 }
 
+// Writes the registry's Prometheus text exposition to `dest` ("-" = stdout).
+bool DumpMetrics(const std::string& dest) {
+  const std::string text = rfdump::obs::Registry::Default().ExpositionText();
+  if (dest == "-") {
+    std::fputs(text.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(dest, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write metrics to %s\n", dest.c_str());
+    return false;
+  }
+  out << text;
+  return true;
+}
+
 // Replays `x` through an emulated hostile front end and monitors it with the
 // fault-tolerant streaming path. Returns the aggregate report; prints
-// per-block health lines as blocks complete.
+// per-block health lines as blocks complete. A non-stdout `metrics_path` is
+// rewritten periodically so an operator can watch counters move mid-run.
 core::MonitorReport MonitorImpaired(const dsp::SampleVec& x,
-                                    core::StreamingMonitor::Config mcfg) {
+                                    core::StreamingMonitor::Config mcfg,
+                                    const std::string& metrics_path) {
   rfdump::emu::FrontEnd::Config fe;
   fe.drops_per_second = 2.0;
   fe.duplicates_per_second = 0.5;
@@ -161,16 +187,27 @@ core::MonitorReport MonitorImpaired(const dsp::SampleVec& x,
   monitor.on_detection = [&](const core::Detection& d) {
     report.detections.push_back(d);
   };
-  monitor.on_health = [](const core::HealthReport& h) {
+  std::uint64_t blocks_seen = 0;
+  const bool periodic_metrics = !metrics_path.empty() && metrics_path != "-";
+  monitor.on_health = [&](const core::HealthReport& h) {
     std::printf(
         "[health] block @%9.3f s: %llu samples, gaps %u (%lld lost), "
-        "dup %lld, sanitized %llu, sat %4.1f%%, stage %d, load %.3f\n",
+        "dup %lld, sanitized %llu, sat %4.1f%%, stage %d, load %.3f, "
+        "tag %llu/rej %llu/fwd %llu\n",
         static_cast<double>(h.block_start) / dsp::kSampleRateHz,
         static_cast<unsigned long long>(h.block_samples), h.gap_count,
         static_cast<long long>(h.gap_samples),
         static_cast<long long>(h.overlap_samples),
         static_cast<unsigned long long>(h.sanitized_samples),
-        100.0 * h.saturation_fraction, h.shed_stage, h.block_load);
+        100.0 * h.saturation_fraction, h.shed_stage, h.block_load,
+        static_cast<unsigned long long>(h.tagged_detections),
+        static_cast<unsigned long long>(h.rejected_detections),
+        static_cast<unsigned long long>(h.forwarded_intervals));
+    // Refresh the exposition file every ~16 blocks (~0.8 s of ether at the
+    // 50 ms block size): cheap enough, fresh enough to scrape.
+    if (periodic_metrics && (++blocks_seen % 16 == 0)) {
+      DumpMetrics(metrics_path);
+    }
   };
   while (!frontend.Done()) {
     const auto seg = frontend.NextSegment();
@@ -185,8 +222,22 @@ core::MonitorReport MonitorImpaired(const dsp::SampleVec& x,
   }
   std::printf(
       "\n[front end] injected %zu overrun gaps + %zu NaN bursts; monitor "
-      "reported %zu gaps, shed stage now %d\n\n",
+      "reported %zu gaps, shed stage now %d\n",
       drops, bursts, monitor.gaps().size(), monitor.shed_stage());
+  const core::HealthSummary& sum = monitor.summary();
+  std::printf(
+      "[summary] %llu blocks / %llu samples: gaps %u (%lld lost), sanitized "
+      "%llu, tagged %llu, rejected %llu, forwarded %llu, mean load %.3f, "
+      "peak load %.3f (history ring holds %zu of %llu)\n\n",
+      static_cast<unsigned long long>(sum.blocks),
+      static_cast<unsigned long long>(sum.samples), sum.gap_count,
+      static_cast<long long>(sum.gap_samples),
+      static_cast<unsigned long long>(sum.sanitized_samples),
+      static_cast<unsigned long long>(sum.tagged_detections),
+      static_cast<unsigned long long>(sum.rejected_detections),
+      static_cast<unsigned long long>(sum.forwarded_intervals),
+      sum.MeanLoad(), sum.max_block_load, monitor.health().size(),
+      static_cast<unsigned long long>(sum.blocks));
   report.costs = monitor.costs();
   report.samples_total = monitor.samples_processed();
   return report;
@@ -201,6 +252,8 @@ int main(int argc, char** argv) {
   bool demo = false, no_demod = false, stats = false, collisions = false;
   bool waterfall = false, impair = false;
   std::string pcap_path;
+  std::string metrics_path;
+  std::string trace_path_out;
   double noise_floor = 1.0;
   double budget = 0.0;
 
@@ -230,6 +283,10 @@ int main(int argc, char** argv) {
       impair = true;
     } else if (arg == "--budget" && i + 1 < argc) {
       budget = std::atof(argv[++i]);
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path_out = argv[++i];
     } else {
       PrintUsage(argv[0]);
       return arg == "--help" ? 0 : 2;
@@ -238,6 +295,9 @@ int main(int argc, char** argv) {
   if (trace_path.empty() && !demo) {
     PrintUsage(argv[0]);
     return 2;
+  }
+  if (!trace_path_out.empty()) {
+    rfdump::obs::Tracer::Default().Enable();
   }
 
   dsp::SampleVec x;
@@ -270,7 +330,7 @@ int main(int argc, char** argv) {
     mcfg.pipeline.analysis.demodulate = !no_demod;
     mcfg.block_samples = 400'000;  // 50 ms blocks: visible health cadence
     mcfg.cpu_budget = budget;
-    report = MonitorImpaired(x, mcfg);
+    report = MonitorImpaired(x, mcfg, metrics_path);
   } else if (arch == "naive" || arch == "energy") {
     core::NaivePipeline::Config cfg;
     cfg.energy_gate = (arch == "energy");
@@ -299,6 +359,24 @@ int main(int argc, char** argv) {
     const auto n = rfdump::trace::WritePcap(pcap_path, report.wifi_frames);
     std::printf("wrote %zu frames to %s (LINKTYPE_IEEE802_11)\n", n,
                 pcap_path.c_str());
+  }
+  if (!metrics_path.empty() && !DumpMetrics(metrics_path)) return 1;
+  if (!metrics_path.empty() && metrics_path != "-") {
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
+  if (!trace_path_out.empty()) {
+    auto& tracer = rfdump::obs::Tracer::Default();
+    std::ofstream out(trace_path_out, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   trace_path_out.c_str());
+      return 1;
+    }
+    out << tracer.ExportChromeJson();
+    std::printf("wrote %llu spans to %s (chrome://tracing / Perfetto)\n",
+                static_cast<unsigned long long>(tracer.recorded()),
+                trace_path_out.c_str());
+    tracer.Disable();
   }
   return 0;
 }

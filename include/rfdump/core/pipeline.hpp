@@ -52,6 +52,11 @@ struct HealthReport {
   double saturation_fraction = 0.0;    // fraction of samples at the ADC rail
   int shed_stage = 0;                  // 0 = full pipeline .. 3 = detect-only
   double block_load = 0.0;             // CPU/real-time for this block
+  // Dispatch decisions for this block (all protocols; the per-protocol
+  // split lives in the obs metrics registry, DESIGN.md §8):
+  std::uint64_t tagged_detections = 0;    // passed the confidence floor
+  std::uint64_t rejected_detections = 0;  // below the confidence floor
+  std::uint64_t forwarded_intervals = 0;  // merged intervals sent to analysis
 };
 
 /// Everything a pipeline produced for one capture.

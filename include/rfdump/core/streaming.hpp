@@ -25,6 +25,7 @@
 // mode of Fig 9). Hysteresis restores stages as load falls.
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 
 #include "rfdump/core/pipeline.hpp"
@@ -33,6 +34,27 @@ namespace rfdump::core {
 
 /// Highest shed stage: detection only, no demodulation.
 inline constexpr int kShedStageMax = 3;
+
+/// Cumulative health across every block a StreamingMonitor has processed.
+/// Unlike the per-block history (which is a bounded ring), this never loses
+/// information: a monitor that has run for a week still reports exact fault
+/// totals.
+struct HealthSummary {
+  std::uint64_t blocks = 0;
+  std::uint64_t samples = 0;
+  std::uint32_t gap_count = 0;
+  std::int64_t gap_samples = 0;
+  std::int64_t overlap_samples = 0;
+  std::uint64_t sanitized_samples = 0;
+  std::uint64_t tagged_detections = 0;
+  std::uint64_t rejected_detections = 0;
+  std::uint64_t forwarded_intervals = 0;
+  int max_shed_stage = 0;
+  double max_block_load = 0.0;
+  double load_seconds = 0.0;  // sum over blocks of load x block real time
+  /// CPU-over-real-time averaged over all processed samples.
+  [[nodiscard]] double MeanLoad() const;
+};
 
 class StreamingMonitor {
  public:
@@ -57,6 +79,12 @@ class StreamingMonitor {
     int shed_resume_blocks = 2;
     /// Dispatch-confidence floor applied at shed stage >= 2.
     float shed_min_confidence = 0.7f;
+
+    /// Per-block health reports retained by health() (a ring: the oldest
+    /// entry is dropped once the limit is reached, so a long-running monitor
+    /// stays bounded; 0 keeps everything). Cumulative totals survive
+    /// eviction via summary().
+    std::size_t health_history_limit = 4096;
   };
 
   StreamingMonitor();
@@ -98,8 +126,12 @@ class StreamingMonitor {
   };
   const std::vector<Gap>& gaps() const { return gaps_; }
 
-  /// Per-block health history (one entry per processed block).
-  const std::vector<HealthReport>& health() const { return health_; }
+  /// Per-block health history: the most recent blocks, bounded by
+  /// Config::health_history_limit (ring semantics — older entries evicted).
+  const std::deque<HealthReport>& health() const { return health_; }
+
+  /// Exact cumulative health over ALL blocks ever processed (never evicted).
+  const HealthSummary& summary() const { return summary_; }
 
   /// Current load-shedding stage (0 = full pipeline).
   [[nodiscard]] int shed_stage() const { return shed_stage_; }
@@ -123,7 +155,8 @@ class StreamingMonitor {
   std::uint64_t samples_processed_ = 0;
   std::vector<StageCost> costs_;
   std::vector<Gap> gaps_;
-  std::vector<HealthReport> health_;
+  std::deque<HealthReport> health_;
+  HealthSummary summary_;
 
   // Ingest-side tallies flushed into the next HealthReport.
   std::uint32_t pending_gap_count_ = 0;

@@ -1,0 +1,13 @@
+#pragma once
+// Umbrella header for the observability subsystem (DESIGN.md §8): metrics
+// registry, span tracer, monotonic stopwatch. obs depends only on the
+// standard library, so ANY layer may include it (it sits beside util/dsp at
+// the bottom of the layering).
+//
+// Build-time switch: -DRFDUMP_OBS=OFF (CMake option) defines
+// RFDUMP_OBS_ENABLED=0 and compiles every metric mutation and trace span to
+// a no-op; Stopwatch (functional cost accounting) stays live.
+
+#include "rfdump/obs/metrics.hpp"
+#include "rfdump/obs/stopwatch.hpp"
+#include "rfdump/obs/trace.hpp"

@@ -1,0 +1,129 @@
+#pragma once
+// Span tracer: scoped RAII spans, ring-buffered, exportable as
+// chrome://tracing / Perfetto "Trace Event Format" JSON (complete "X"
+// events; viewers reconstruct nesting from timestamp containment per
+// thread).
+//
+// The tracer is DISABLED by default: an un-enabled TraceSpan costs one
+// relaxed atomic load and nothing else, so spans can sit permanently in hot
+// paths. Enabling (CLI --trace, tests) sizes a fixed ring; each completed
+// span is one fetch_add + a plain slot write. When the ring wraps, the
+// oldest spans are overwritten — a monitor that runs for hours keeps the
+// most recent window, which is the one an operator asks about.
+//
+// Span names must be string literals (or otherwise outlive the tracer):
+// only the pointer is recorded.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rfdump/obs/stopwatch.hpp"
+
+#ifndef RFDUMP_OBS_ENABLED
+#define RFDUMP_OBS_ENABLED 1
+#endif
+
+namespace rfdump::obs {
+
+class Tracer {
+ public:
+  struct Event {
+    const char* name = "";
+    double ts_us = 0.0;   // span start, microseconds since Enable()
+    double dur_us = 0.0;  // span duration, microseconds
+    std::uint32_t tid = 0;
+  };
+
+  static Tracer& Default();
+
+  /// Starts recording into a fresh ring of `capacity` spans and resets the
+  /// trace epoch. Not thread-safe against concurrent Record().
+  void Enable(std::size_t capacity = 1 << 16);
+  void Disable();
+
+  [[nodiscard]] bool enabled() const noexcept {
+#if RFDUMP_OBS_ENABLED
+    return enabled_.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+  }
+
+  /// Microseconds since Enable() (meaningless while disabled).
+  [[nodiscard]] double NowUs() const { return epoch_.Microseconds(); }
+
+  /// Records one completed span. Lock-free; concurrent writers only contend
+  /// on the ring index. (After the ring wraps, two writers landing on the
+  /// same recycled slot can interleave — a cosmetic hazard for a diagnostic
+  /// buffer, not a correctness one; events are plain data.)
+  void Record(const char* name, double ts_us, double dur_us) noexcept;
+
+  /// Recorded spans in timestamp order (oldest ring window dropped on wrap).
+  [[nodiscard]] std::vector<Event> Events() const;
+
+  /// Number of spans recorded since Enable() (including overwritten ones).
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// Trace Event Format JSON ({"traceEvents":[...]}), loadable in
+  /// chrome://tracing and Perfetto.
+  [[nodiscard]] std::string ExportChromeJson() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_{0};
+  std::vector<Event> ring_;
+  Stopwatch epoch_;
+};
+
+/// RAII span. Construction snapshots the clock only if the tracer is
+/// enabled; destruction records the completed span.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept {
+#if RFDUMP_OBS_ENABLED
+    Tracer& t = Tracer::Default();
+    if (t.enabled()) {
+      name_ = name;
+      start_us_ = t.NowUs();
+      armed_ = true;
+    }
+#else
+    (void)name;
+#endif
+  }
+
+  ~TraceSpan() {
+#if RFDUMP_OBS_ENABLED
+    if (armed_) {
+      Tracer& t = Tracer::Default();
+      t.Record(name_, start_us_, t.NowUs() - start_us_);
+    }
+#endif
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+#if RFDUMP_OBS_ENABLED
+  const char* name_ = "";
+  double start_us_ = 0.0;
+  bool armed_ = false;
+#endif
+};
+
+}  // namespace rfdump::obs
+
+// Drops an RAII span covering the rest of the enclosing scope.
+#define RFDUMP_OBS_CONCAT_INNER(a, b) a##b
+#define RFDUMP_OBS_CONCAT(a, b) RFDUMP_OBS_CONCAT_INNER(a, b)
+#if RFDUMP_OBS_ENABLED
+#define RFDUMP_TRACE_SPAN(name) \
+  ::rfdump::obs::TraceSpan RFDUMP_OBS_CONCAT(rfdump_obs_span_, __LINE__)(name)
+#else
+#define RFDUMP_TRACE_SPAN(name) static_cast<void>(0)
+#endif

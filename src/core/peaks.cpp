@@ -4,8 +4,28 @@
 #include <cmath>
 
 #include "rfdump/dsp/db.hpp"
+#include "rfdump/obs/metrics.hpp"
 
 namespace rfdump::core {
+namespace {
+
+// Per-chunk metadata extraction is the hottest periodic path in the system
+// (one call per 25 us of ether); its counters are single relaxed increments
+// against statically-resolved registry entries.
+struct ChunkMetrics {
+  obs::Counter& chunks =
+      obs::Registry::Default().GetCounter("rfdump_peaks_chunks_total");
+  obs::Counter& gated =
+      obs::Registry::Default().GetCounter("rfdump_peaks_chunks_gated_total");
+  obs::Counter& completed =
+      obs::Registry::Default().GetCounter("rfdump_peaks_completed_total");
+  static ChunkMetrics& Get() {
+    static ChunkMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 PeakDetector::PeakDetector() : PeakDetector(Config{}) {}
 
@@ -22,6 +42,7 @@ ChunkMeta PeakDetector::PushChunk(dsp::const_sample_span chunk,
   meta.start_sample = start_sample;
   meta.n_samples = chunk.size();
   const std::uint64_t completed_before = completed_;
+  ChunkMetrics::Get().chunks.Inc();
 
   // Cheap pre-check: average energy of the trailing window of the chunk. If
   // it is below the gate and no peak is currently open, the whole chunk can
@@ -38,6 +59,7 @@ ChunkMeta PeakDetector::PushChunk(dsp::const_sample_span chunk,
 
   if (!in_peak_ && tail_power < GatePower()) {
     meta.gated_out = true;
+    ChunkMetrics::Get().gated.Inc();
     // Keep the moving average primed with a cheap summary so a peak starting
     // at the very beginning of the next chunk is still anchored correctly.
     avg_.Reset();
@@ -123,6 +145,7 @@ void PeakDetector::ClosePeak(std::int64_t end) {
       static_cast<float>(open_power_sum_ / std::max(len, 1.0));
   history_.push_back(open_peak_);
   ++completed_;
+  ChunkMetrics::Get().completed.Inc();
   while (history_.size() > config_.history_capacity) history_.pop_front();
   below_since_ = -1;
 }

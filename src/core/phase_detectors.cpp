@@ -1,5 +1,7 @@
 #include "rfdump/core/phase_detectors.hpp"
 
+#include "rfdump/obs/metrics.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -84,6 +86,11 @@ GfskPhaseDetector::GfskPhaseDetector(Config config) : config_(config) {}
 
 std::optional<Detection> GfskPhaseDetector::OnPeak(
     const Peak& peak, dsp::const_sample_span samples) {
+  static obs::Counter& c_examined = obs::LabeledCounter(
+      "rfdump_detect_peaks_examined_total", "detector", "gfsk-phase");
+  static obs::Counter& c_tags =
+      obs::LabeledCounter("rfdump_detect_tags_total", "detector", "gfsk-phase");
+  c_examined.Inc();
   if (dsp::SamplesToMicros(peak.length()) > config_.max_burst_us) {
     return std::nullopt;
   }
@@ -103,6 +110,7 @@ std::optional<Detection> GfskPhaseDetector::OnPeak(
   if (channel < 0 || channel >= phybt::kVisibleChannels) return std::nullopt;
   last_channel_ = channel;
   const float confidence = std::min(1.0f, info.frac_small_d2);
+  c_tags.Inc();
   return Detection{Protocol::kBluetooth, peak.start_sample, peak.end_sample,
                    confidence, "gfsk-phase"};
 }
@@ -158,6 +166,11 @@ float DbpskPhaseDetector::WindowScore(dsp::const_sample_span window) const {
 
 std::optional<Detection> DbpskPhaseDetector::OnPeak(
     const Peak& peak, dsp::const_sample_span samples) {
+  static obs::Counter& c_examined = obs::LabeledCounter(
+      "rfdump_detect_peaks_examined_total", "detector", "dbpsk-phase");
+  static obs::Counter& c_tags = obs::LabeledCounter(
+      "rfdump_detect_tags_total", "detector", "dbpsk-phase");
+  c_examined.Inc();
   const std::size_t win = config_.window_symbols * 8;
   if (samples.size() < 3 * 8) {
     last_score_ = 0.0f;
@@ -191,6 +204,7 @@ std::optional<Detection> DbpskPhaseDetector::OnPeak(
       (matched_end >= cap) ? peak.end_sample
                            : peak.start_sample +
                                  static_cast<std::int64_t>(matched_end);
+  c_tags.Inc();
   return Detection{Protocol::kWifi80211b, peak.start_sample, end,
                    std::min(1.0f, last_score_), "dbpsk-phase"};
 }

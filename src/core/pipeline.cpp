@@ -1,37 +1,34 @@
 #include "rfdump/core/pipeline.hpp"
 
 #include <algorithm>
-#include <chrono>
+#include <array>
 #include <cmath>
 
+#include "rfdump/obs/obs.hpp"
 #include "rfdump/phybt/hopping.hpp"
 
 namespace rfdump::core {
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-/// Accumulates stage costs by name.
+/// Accumulates stage costs by name. Timing comes from the shared
+/// obs::Stopwatch (the same monotonic clock the shed controller and the
+/// benches read), and every ledgered stage doubles as a trace span.
 class CostLedger {
  public:
   class Scope {
    public:
-    Scope(CostLedger& ledger, const std::string& name, std::uint64_t samples)
-        : ledger_(ledger), name_(name), samples_(samples),
-          start_(Clock::now()) {}
-    ~Scope() {
-      const double secs =
-          std::chrono::duration<double>(Clock::now() - start_).count();
-      ledger_.Add(name_, secs, samples_);
-    }
+    Scope(CostLedger& ledger, const char* name, std::uint64_t samples)
+        : ledger_(ledger), name_(name), samples_(samples), span_(name) {}
+    ~Scope() { ledger_.Add(name_, watch_.Seconds(), samples_); }
     Scope(const Scope&) = delete;
     Scope& operator=(const Scope&) = delete;
 
    private:
     CostLedger& ledger_;
-    std::string name_;
+    const char* name_;
     std::uint64_t samples_;
-    Clock::time_point start_;
+    obs::TraceSpan span_;
+    obs::Stopwatch watch_;
   };
 
   void Add(const std::string& name, double secs, std::uint64_t samples) {
@@ -56,6 +53,29 @@ class CostLedger {
 std::int64_t UsToSamples(double us) {
   return static_cast<std::int64_t>(us * 1e-6 * dsp::kSampleRateHz + 0.5);
 }
+
+/// One registry counter per protocol under a common family name, resolved
+/// once (construct as a function-local static) so the per-detection cost is
+/// a single relaxed atomic increment.
+class PerProtocolCounter {
+ public:
+  explicit PerProtocolCounter(const char* family) {
+    static constexpr Protocol kAll[] = {
+        Protocol::kUnknown, Protocol::kWifi80211b, Protocol::kBluetooth,
+        Protocol::kZigbee, Protocol::kMicrowave};
+    for (const Protocol p : kAll) {
+      counters_[static_cast<std::size_t>(p)] =
+          &obs::Registry::Default().GetCounter(
+              std::string(family) + "{protocol=\"" + ProtocolName(p) + "\"}");
+    }
+  }
+  obs::Counter& of(Protocol p) {
+    return *counters_[static_cast<std::size_t>(p)];
+  }
+
+ private:
+  std::array<obs::Counter*, 5> counters_{};
+};
 
 // Runs the demodulator bank over the given per-protocol merged intervals
 // (pass a single full-span detection per protocol for the naive paths).
@@ -104,13 +124,19 @@ void RunAnalysis(const AnalysisConfig& analysis, double noise_floor_power,
   }
   // ZigBee decoder on tagged ranges.
   if (analysis.zigbee_demod) {
+    static obs::Counter& c_zb_attempts = obs::Registry::Default().GetCounter(
+        "rfdump_phyzigbee_decode_attempts_total");
+    static obs::Counter& c_zb_frames = obs::Registry::Default().GetCounter(
+        "rfdump_phyzigbee_frames_total");
     for (const auto& d : intervals) {
       if (d.protocol != Protocol::kZigbee) continue;
       const auto span = x.subspan(
           static_cast<std::size_t>(d.start_sample),
           static_cast<std::size_t>(d.end_sample - d.start_sample));
       CostLedger::Scope scope(ledger, "analysis/zigbee-demod", span.size());
+      c_zb_attempts.Inc();
       if (auto frame = phyzigbee::DecodeFrame(span)) {
+        c_zb_frames.Inc();
         frame->start_sample += d.start_sample;
         frame->end_sample += d.start_sample;
         report.zb_frames.push_back(std::move(*frame));
@@ -172,6 +198,14 @@ RFDumpPipeline::RFDumpPipeline() : RFDumpPipeline(Config{}) {}
 RFDumpPipeline::RFDumpPipeline(Config config) : config_(config) {}
 
 MonitorReport RFDumpPipeline::Process(dsp::const_sample_span x) {
+  RFDUMP_TRACE_SPAN("pipeline/process");
+  static obs::Counter& c_process =
+      obs::Registry::Default().GetCounter("rfdump_pipeline_process_total");
+  static obs::Counter& c_samples =
+      obs::Registry::Default().GetCounter("rfdump_pipeline_samples_total");
+  c_process.Inc();
+  c_samples.Inc(x.size());
+
   MonitorReport report;
   report.samples_total = x.size();
   CostLedger ledger;
@@ -299,12 +333,27 @@ MonitorReport RFDumpPipeline::Process(dsp::const_sample_span x) {
 
   // Stage 2: dispatch — merge detections per protocol and analyze only those
   // sample ranges. Under load shedding, low-confidence tags stay in the
-  // detection log but are not worth demodulator time.
+  // detection log but are not worth demodulator time. Every decision is
+  // counted per protocol (tagged = forwarded to merge, rejected = below the
+  // confidence floor) so an operator can see what load shedding discards.
+  static obs::Counter& c_detections = obs::Registry::Default().GetCounter(
+      "rfdump_detect_detections_total");
+  static PerProtocolCounter c_tagged("rfdump_dispatch_tagged_total");
+  static PerProtocolCounter c_rejected("rfdump_dispatch_rejected_total");
+  static PerProtocolCounter c_forwarded("rfdump_dispatch_forwarded_total");
+  c_detections.Inc(detections.size());
+  std::uint64_t tagged_n = 0, rejected_n = 0;
   const std::int64_t pad = UsToSamples(config_.dispatch_pad_us);
   std::vector<Detection> padded;
   padded.reserve(detections.size());
   for (const auto& d : detections) {
-    if (d.confidence < config_.analysis.min_dispatch_confidence) continue;
+    if (d.confidence < config_.analysis.min_dispatch_confidence) {
+      c_rejected.of(d.protocol).Inc();
+      ++rejected_n;
+      continue;
+    }
+    c_tagged.of(d.protocol).Inc();
+    ++tagged_n;
     padded.push_back(d);
   }
   for (auto& d : padded) {
@@ -313,6 +362,12 @@ MonitorReport RFDumpPipeline::Process(dsp::const_sample_span x) {
   }
   report.dispatched = MergeDetections(std::move(padded), pad,
                                       static_cast<std::int64_t>(x.size()));
+  for (const auto& d : report.dispatched) c_forwarded.of(d.protocol).Inc();
+  if (!report.health.empty()) {
+    report.health.back().tagged_detections = tagged_n;
+    report.health.back().rejected_detections = rejected_n;
+    report.health.back().forwarded_intervals = report.dispatched.size();
+  }
   RunAnalysis(config_.analysis, config_.noise_floor_power, report.dispatched,
               x, ledger, report);
 
@@ -327,6 +382,7 @@ NaivePipeline::NaivePipeline() : NaivePipeline(Config{}) {}
 NaivePipeline::NaivePipeline(Config config) : config_(config) {}
 
 MonitorReport NaivePipeline::Process(dsp::const_sample_span x) {
+  RFDUMP_TRACE_SPAN("pipeline/naive-process");
   MonitorReport report;
   report.samples_total = x.size();
   CostLedger ledger;

@@ -3,7 +3,48 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rfdump/obs/obs.hpp"
+
 namespace rfdump::core {
+namespace {
+
+/// Streaming-path metrics (DESIGN.md §8), resolved once.
+struct StreamingMetrics {
+  obs::Counter& blocks =
+      obs::Registry::Default().GetCounter("rfdump_streaming_blocks_total");
+  obs::Counter& gaps =
+      obs::Registry::Default().GetCounter("rfdump_streaming_gaps_total");
+  obs::Counter& gap_samples = obs::Registry::Default().GetCounter(
+      "rfdump_streaming_gap_samples_total");
+  obs::Counter& duplicate_samples = obs::Registry::Default().GetCounter(
+      "rfdump_streaming_duplicate_samples_total");
+  obs::Counter& sanitized = obs::Registry::Default().GetCounter(
+      "rfdump_streaming_sanitized_samples_total");
+  obs::Counter& shed_up = obs::LabeledCounter(
+      "rfdump_streaming_shed_transitions_total", "direction", "up");
+  obs::Counter& shed_down = obs::LabeledCounter(
+      "rfdump_streaming_shed_transitions_total", "direction", "down");
+  obs::Gauge& shed_stage =
+      obs::Registry::Default().GetGauge("rfdump_streaming_shed_stage");
+  /// CPU-over-real-time per block: buckets straddle 1.0 (the real-time
+  /// wall) so the exposition shows at a glance how close to falling behind
+  /// the monitor runs.
+  obs::Histogram& block_load = obs::Registry::Default().GetHistogram(
+      "rfdump_streaming_block_load",
+      {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 0.75, 1.0, 1.5, 2.0, 5.0});
+  static StreamingMetrics& Get() {
+    static StreamingMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+double HealthSummary::MeanLoad() const {
+  if (samples == 0) return 0.0;
+  return load_seconds /
+         (static_cast<double>(samples) / dsp::kSampleRateHz);
+}
 
 StreamingMonitor::StreamingMonitor() : StreamingMonitor(Config{}) {}
 
@@ -31,6 +72,9 @@ void StreamingMonitor::PushSegment(std::int64_t start_sample,
     const std::int64_t missing = start_sample - expected_next_;
     ++pending_gap_count_;
     pending_gap_samples_ += missing;
+    StreamingMetrics::Get().gaps.Inc();
+    StreamingMetrics::Get().gap_samples.Inc(
+        static_cast<std::uint64_t>(missing));
     gaps_.push_back({expected_next_, missing});
     if (!buffer_.empty()) {
       ProcessBlock(/*final_block=*/true, /*gap_cut=*/true);
@@ -45,10 +89,13 @@ void StreamingMonitor::PushSegment(std::int64_t start_sample,
         expected_next_ - start_sample,
         static_cast<std::int64_t>(samples.size())));
     pending_overlap_samples_ += static_cast<std::int64_t>(skip);
+    StreamingMetrics::Get().duplicate_samples.Inc(skip);
     samples = samples.subspan(skip);
   }
   expected_next_ += static_cast<std::int64_t>(samples.size());
-  pending_sanitized_ += AppendSanitized(samples);
+  const std::uint64_t sanitized = AppendSanitized(samples);
+  pending_sanitized_ += sanitized;
+  StreamingMetrics::Get().sanitized.Inc(sanitized);
   while (buffer_.size() >= config_.block_samples) {
     ProcessBlock(/*final_block=*/false, /*gap_cut=*/false);
   }
@@ -107,7 +154,32 @@ void StreamingMonitor::EmitHealth(HealthReport h) {
   pending_gap_samples_ = 0;
   pending_overlap_samples_ = 0;
   pending_sanitized_ = 0;
+
+  // Cumulative summary first (never evicted), then the bounded ring.
+  ++summary_.blocks;
+  summary_.samples += h.block_samples;
+  summary_.gap_count += h.gap_count;
+  summary_.gap_samples += h.gap_samples;
+  summary_.overlap_samples += h.overlap_samples;
+  summary_.sanitized_samples += h.sanitized_samples;
+  summary_.tagged_detections += h.tagged_detections;
+  summary_.rejected_detections += h.rejected_detections;
+  summary_.forwarded_intervals += h.forwarded_intervals;
+  summary_.max_shed_stage = std::max(summary_.max_shed_stage, h.shed_stage);
+  summary_.max_block_load = std::max(summary_.max_block_load, h.block_load);
+  summary_.load_seconds += h.block_load * (static_cast<double>(h.block_samples) /
+                                           dsp::kSampleRateHz);
+
+  StreamingMetrics::Get().blocks.Inc();
+  if (h.block_samples > 0) {
+    StreamingMetrics::Get().block_load.Observe(h.block_load);
+  }
+
   health_.push_back(h);
+  while (config_.health_history_limit > 0 &&
+         health_.size() > config_.health_history_limit) {
+    health_.pop_front();
+  }
   if (on_health) on_health(health_.back());
 }
 
@@ -141,6 +213,8 @@ void StreamingMonitor::UpdateShedding(double block_load) {
     under_budget_blocks_ = 0;
     if (shed_stage_ < kShedStageMax) {
       ++shed_stage_;
+      StreamingMetrics::Get().shed_up.Inc();
+      StreamingMetrics::Get().shed_stage.Set(shed_stage_);
       ApplyShedStage();
     }
   } else if (shed_stage_ > 0 &&
@@ -149,6 +223,8 @@ void StreamingMonitor::UpdateShedding(double block_load) {
     if (++under_budget_blocks_ >= config_.shed_resume_blocks) {
       --shed_stage_;
       under_budget_blocks_ = 0;
+      StreamingMetrics::Get().shed_down.Inc();
+      StreamingMetrics::Get().shed_stage.Set(shed_stage_);
       ApplyShedStage();
     }
   } else {
@@ -157,18 +233,22 @@ void StreamingMonitor::UpdateShedding(double block_load) {
 }
 
 void StreamingMonitor::ProcessBlock(bool final_block, bool gap_cut) {
+  RFDUMP_TRACE_SPAN("streaming/block");
   const std::size_t take =
       final_block ? buffer_.size()
                   : std::min(buffer_.size(), config_.block_samples);
   const auto block = dsp::const_sample_span(buffer_).first(take);
 
+  // The shed controller and the per-stage ledger read the same monotonic
+  // clock (obs::Stopwatch); this one covers the whole pipeline call, so
+  // block_load also charges any between-stage overhead to the block.
+  obs::Stopwatch block_watch;
   auto report = pipeline_.Process(block);
+  const double block_cpu = block_watch.Seconds();
   samples_processed_ += take;
 
   // Merge stage costs.
-  double block_cpu = 0.0;
   for (const auto& c : report.costs) {
-    block_cpu += c.cpu_seconds;
     auto it = std::find_if(costs_.begin(), costs_.end(),
                            [&](const StageCost& s) { return s.name == c.name; });
     if (it == costs_.end()) {

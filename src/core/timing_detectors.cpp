@@ -3,8 +3,22 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rfdump/obs/metrics.hpp"
+
 namespace rfdump::core {
 namespace {
+
+/// Peaks-examined / tags-emitted counter pair for one detector, resolved
+/// once per detector (function-local static at the call site).
+struct DetectorMetrics {
+  explicit DetectorMetrics(const char* detector)
+      : examined(obs::LabeledCounter("rfdump_detect_peaks_examined_total",
+                                     "detector", detector)),
+        tags(obs::LabeledCounter("rfdump_detect_tags_total", "detector",
+                                 detector)) {}
+  obs::Counter& examined;
+  obs::Counter& tags;
+};
 
 std::int64_t UsToSamples(double us) {
   return static_cast<std::int64_t>(us * 1e-6 * dsp::kSampleRateHz + 0.5);
@@ -20,6 +34,8 @@ WifiTimingDetector::WifiTimingDetector(Config config) : config_(config) {}
 
 std::vector<Detection> WifiTimingDetector::OnPeaks(
     std::span<const Peak> peaks) {
+  static DetectorMetrics metrics("80211-timing");
+  metrics.examined.Inc(peaks.size());
   std::vector<Detection> out;
   const std::int64_t tol = UsToSamples(config_.tolerance_us);
   for (const Peak& peak : peaks) {
@@ -60,6 +76,7 @@ std::vector<Detection> WifiTimingDetector::OnPeaks(
     prev_ = peak;
     have_prev_ = true;
   }
+  metrics.tags.Inc(out.size());
   return out;
 }
 
@@ -82,6 +99,8 @@ bool BluetoothTimingDetector::SlotAligned(std::int64_t delta) const {
 
 std::vector<Detection> BluetoothTimingDetector::OnPeaks(
     std::span<const Peak> peaks) {
+  static DetectorMetrics metrics("bt-slot-timing");
+  metrics.examined.Inc(peaks.size());
   std::vector<Detection> out;
   for (const Peak& peak : peaks) {
     const double len_us = dsp::SamplesToMicros(peak.length());
@@ -93,6 +112,9 @@ std::vector<Detection> BluetoothTimingDetector::OnPeaks(
       for (auto& entry : cache_) {
         if (SlotAligned(peak.start_sample - entry.anchor_start)) {
           ++cache_hits_;
+          static obs::Counter& c_cache_hits = obs::Registry::Default()
+              .GetCounter("rfdump_detect_bt_cache_hits_total");
+          c_cache_hits.Inc();
           ++entry.hits;
           entry.anchor_start = peak.start_sample;
           matched = true;
@@ -106,6 +128,9 @@ std::vector<Detection> BluetoothTimingDetector::OnPeaks(
       // 2. Full history search.
       if (!matched) {
         ++history_searches_;
+        static obs::Counter& c_history = obs::Registry::Default().GetCounter(
+            "rfdump_detect_bt_history_searches_total");
+        c_history.Inc();
         for (auto it = recent_starts_.rbegin(); it != recent_starts_.rend();
              ++it) {
           if (SlotAligned(peak.start_sample - *it)) {
@@ -133,6 +158,7 @@ std::vector<Detection> BluetoothTimingDetector::OnPeaks(
       recent_starts_.pop_front();
     }
   }
+  metrics.tags.Inc(out.size());
   return out;
 }
 
@@ -146,6 +172,8 @@ MicrowaveTimingDetector::MicrowaveTimingDetector(Config config)
 
 std::vector<Detection> MicrowaveTimingDetector::OnPeaks(
     std::span<const Peak> peaks) {
+  static DetectorMetrics metrics("mw-ac-timing");
+  metrics.examined.Inc(peaks.size());
   std::vector<Detection> out;
   const std::int64_t period = UsToSamples(config_.period_us);
   const std::int64_t tol = UsToSamples(config_.tolerance_us);
@@ -181,6 +209,7 @@ std::vector<Detection> MicrowaveTimingDetector::OnPeaks(
     prev_ = peak;
     have_prev_ = true;
   }
+  metrics.tags.Inc(out.size());
   return out;
 }
 
@@ -193,6 +222,8 @@ ZigbeeTimingDetector::ZigbeeTimingDetector(Config config) : config_(config) {}
 
 std::vector<Detection> ZigbeeTimingDetector::OnPeaks(
     std::span<const Peak> peaks) {
+  static DetectorMetrics metrics("zigbee-ifs-timing");
+  metrics.examined.Inc(peaks.size());
   std::vector<Detection> out;
   const std::int64_t tol = UsToSamples(config_.tolerance_us);
   for (const Peak& peak : peaks) {
@@ -220,6 +251,7 @@ std::vector<Detection> ZigbeeTimingDetector::OnPeaks(
     prev_ = peak;
     have_prev_ = true;
   }
+  metrics.tags.Inc(out.size());
   return out;
 }
 

@@ -1,0 +1,199 @@
+#include "rfdump/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace rfdump::obs {
+namespace {
+
+#if RFDUMP_OBS_ENABLED
+void AtomicAddDouble(std::atomic<double>& a, double d) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+#endif
+
+// "rfdump_x_total{protocol=\"wifi\"}" -> family "rfdump_x_total". The `# TYPE`
+// exposition line names the family, not the labeled series.
+std::string FamilyOf(const std::string& name) {
+  const auto brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+// Splits "name{labels}" so extra labels (histogram `le`) can be merged in.
+void SplitLabels(const std::string& name, std::string& base,
+                 std::string& labels) {
+  const auto brace = name.find('{');
+  if (brace == std::string::npos) {
+    base = name;
+    labels.clear();
+  } else {
+    base = name.substr(0, brace);
+    labels = name.substr(brace + 1, name.size() - brace - 2);  // sans braces
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::Observe(double v) noexcept {
+#if RFDUMP_OBS_ENABLED
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sum_, v);
+#else
+  (void)v;
+#endif
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::Reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------------------- Registry
+
+Registry& Registry::Default() {
+  static Registry registry;
+  return registry;
+}
+
+#if RFDUMP_OBS_ENABLED
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+#else  // RFDUMP_OBS disabled: hand out shared dummies, register nothing.
+
+Counter& Registry::GetCounter(const std::string&) {
+  static Counter dummy;
+  return dummy;
+}
+
+Gauge& Registry::GetGauge(const std::string&) {
+  static Gauge dummy;
+  return dummy;
+}
+
+Histogram& Registry::GetHistogram(const std::string&, std::vector<double>) {
+  static Histogram dummy({});
+  return dummy;
+}
+
+#endif
+
+std::uint64_t Registry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string Registry::ExpositionText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[256];
+  std::string last_family;
+  const auto type_line = [&](const std::string& name, const char* kind) {
+    const std::string family = FamilyOf(name);
+    if (family != last_family) {
+      out += "# TYPE " + family + " " + kind + "\n";
+      last_family = family;
+    }
+  };
+  for (const auto& [name, c] : counters_) {
+    type_line(name, "counter");
+    std::snprintf(line, sizeof(line), " %" PRIu64 "\n", c->value());
+    out += name + line;
+  }
+  for (const auto& [name, g] : gauges_) {
+    type_line(name, "gauge");
+    out += name + " " + FmtDouble(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    type_line(name, "histogram");
+    const auto s = h->GetSnapshot();
+    std::string base, labels;
+    SplitLabels(name, base, labels);
+    const std::string sep = labels.empty() ? "" : ",";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+      cum += s.counts[i];
+      std::snprintf(line, sizeof(line), "%s_bucket{%s%sle=\"%s\"} %" PRIu64
+                    "\n", base.c_str(), labels.c_str(), sep.c_str(),
+                    FmtDouble(s.bounds[i]).c_str(), cum);
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), "%s_bucket{%s%sle=\"+Inf\"} %" PRIu64
+                  "\n", base.c_str(), labels.c_str(), sep.c_str(), s.count);
+    out += line;
+    const std::string suffix = labels.empty() ? "" : "{" + labels + "}";
+    out += base + "_sum" + suffix + " " + FmtDouble(s.sum) + "\n";
+    std::snprintf(line, sizeof(line), " %" PRIu64 "\n", s.count);
+    out += base + "_count" + suffix + line;
+  }
+#if !RFDUMP_OBS_ENABLED
+  out += "# rfdump observability compiled out (RFDUMP_OBS=OFF)\n";
+#endif
+  return out;
+}
+
+}  // namespace rfdump::obs

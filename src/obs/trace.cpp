@@ -1,0 +1,89 @@
+#include "rfdump/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rfdump::obs {
+namespace {
+
+// Small dense per-thread ids (chrome://tracing renders one row per tid).
+std::uint32_t ThisThreadId() {
+  static std::atomic<std::uint32_t> next_tid{1};
+  thread_local std::uint32_t tid = next_tid.fetch_add(1);
+  return tid;
+}
+
+void AppendJsonEscaped(std::string& out, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+Tracer& Tracer::Default() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::Enable(std::size_t capacity) {
+#if RFDUMP_OBS_ENABLED
+  enabled_.store(false, std::memory_order_relaxed);
+  ring_.assign(capacity > 0 ? capacity : 1, Event{});
+  next_.store(0, std::memory_order_relaxed);
+  epoch_.Reset();
+  enabled_.store(true, std::memory_order_release);
+#else
+  (void)capacity;
+#endif
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::Record(const char* name, double ts_us, double dur_us) noexcept {
+  if (!enabled() || ring_.empty()) return;
+  const std::uint64_t slot =
+      next_.fetch_add(1, std::memory_order_relaxed) % ring_.size();
+  ring_[slot] = Event{name, ts_us, dur_us, ThisThreadId()};
+}
+
+std::vector<Tracer::Event> Tracer::Events() const {
+  const std::uint64_t n = next_.load(std::memory_order_relaxed);
+  const std::size_t count =
+      static_cast<std::size_t>(std::min<std::uint64_t>(n, ring_.size()));
+  std::vector<Event> out(ring_.begin(),
+                         ring_.begin() + static_cast<std::ptrdiff_t>(count));
+  std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    return a.dur_us > b.dur_us;  // parents before their nested children
+  });
+  return out;
+}
+
+std::string Tracer::ExportChromeJson() const {
+  const auto events = Events();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[128];
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(out, e.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"rfdump\",\"ph\":\"X\",\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+                  e.ts_us, e.dur_us, e.tid);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace rfdump::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "rfdump/dsp/barker.hpp"
+#include "rfdump/obs/obs.hpp"
 #include "rfdump/dsp/phase.hpp"
 #include "rfdump/dsp/resampler.hpp"
 #include "rfdump/phy80211/modulator.hpp"
@@ -273,8 +274,20 @@ std::optional<DecodedFrame> Demodulator::DecodeFirst(dsp::const_sample_span x) {
 }
 
 std::vector<DecodedFrame> Demodulator::DecodeAll(dsp::const_sample_span x) {
+  RFDUMP_TRACE_SPAN("phy80211/decode");
+  static obs::Counter& c_samples = obs::Registry::Default().GetCounter(
+      "rfdump_phy80211_samples_total");
+  static obs::Counter& c_attempts = obs::Registry::Default().GetCounter(
+      "rfdump_phy80211_sync_attempts_total");
+  static obs::Counter& c_frames = obs::Registry::Default().GetCounter(
+      "rfdump_phy80211_frames_total");
+  static obs::Counter& c_fcs_pass = obs::Registry::Default().GetCounter(
+      "rfdump_phy80211_fcs_pass_total");
+  static obs::Counter& c_fcs_fail = obs::Registry::Default().GetCounter(
+      "rfdump_phy80211_fcs_fail_total");
   std::vector<DecodedFrame> frames;
   stats_.samples_processed += x.size();
+  c_samples.Inc(x.size());
   if (x.size() < 64) return frames;
 
   // 1. Resample the 8 Msps capture to the 11 Mchip/s chip rate. Flush with
@@ -316,6 +329,7 @@ std::vector<DecodedFrame> Demodulator::DecodeAll(dsp::const_sample_span x) {
       continue;
     }
     ++stats_.sync_attempts;
+    c_attempts.Inc();
 
     // 3a. Symbol timing: strongest correlation phase (mod 11) over the next
     // min_sync_symbols symbols.
@@ -565,10 +579,12 @@ std::vector<DecodedFrame> Demodulator::DecodeAll(dsp::const_sample_span x) {
                     << (8 * b);
         }
         frame.fcs_ok = (fcs == rx_fcs);
+        (frame.fcs_ok ? c_fcs_pass : c_fcs_fail).Inc();
       }
       ++stats_.frames_decoded;
     }
 
+    c_frames.Inc();
     frames.push_back(std::move(frame));
     // Resume scanning after this frame.
     scan = std::max(end_chip, base + 11 * config_.min_sync_symbols);

@@ -9,6 +9,7 @@
 #include "rfdump/dsp/nco.hpp"
 #include "rfdump/phybt/gfsk.hpp"
 #include "rfdump/phybt/hopping.hpp"
+#include "rfdump/obs/obs.hpp"
 
 namespace rfdump::phybt {
 namespace {
@@ -26,6 +27,7 @@ Demodulator::Demodulator() : Demodulator(Config{}) {}
 Demodulator::Demodulator(Config config) : config_(config) {}
 
 std::vector<DecodedBtPacket> Demodulator::DecodeAll(dsp::const_sample_span x) {
+  RFDUMP_TRACE_SPAN("phybt/decode");
   std::vector<DecodedBtPacket> out;
   if (x.size() < kAccessBits * kSps) return out;
   if (config_.channel_index >= 0) {
@@ -40,7 +42,18 @@ std::vector<DecodedBtPacket> Demodulator::DecodeAll(dsp::const_sample_span x) {
 
 void Demodulator::ScanChannel(dsp::const_sample_span x, int idx,
                               std::vector<DecodedBtPacket>& out) {
+  static obs::Counter& c_samples = obs::Registry::Default().GetCounter(
+      "rfdump_phybt_samples_total");
+  static obs::Counter& c_checks = obs::Registry::Default().GetCounter(
+      "rfdump_phybt_sync_checks_total");
+  static obs::Counter& c_packets = obs::Registry::Default().GetCounter(
+      "rfdump_phybt_packets_total");
+  static obs::Counter& c_crc_pass = obs::Registry::Default().GetCounter(
+      "rfdump_phybt_crc_pass_total");
+  static obs::Counter& c_crc_fail = obs::Registry::Default().GetCounter(
+      "rfdump_phybt_crc_fail_total");
   stats_.samples_processed += x.size();
+  c_samples.Inc(x.size());
 
   // Channelize: translate the channel to DC and low-pass to ~1 MHz.
   dsp::SampleVec ch(x.begin(), x.end());
@@ -102,6 +115,7 @@ void Demodulator::ScanChannel(dsp::const_sample_span x, int idx,
       continue;
     }
     ++stats_.sync_checks;
+    c_checks.Inc();
     // Slice the 64 sync bits and verify against the BCH code.
     const util::BitVec sync_bits =
         SliceSymbols(freq, pos + 4 * kSps, 64);
@@ -133,8 +147,10 @@ void Demodulator::ScanChannel(dsp::const_sample_span x, int idx,
         pkt.packet.header.type,
         pkt.packet.payload.empty() ? 0 : pkt.packet.payload.size());
     pkt.end_sample = static_cast<std::int64_t>(pos + air_bits * kSps);
+    (pkt.packet.crc_ok ? c_crc_pass : c_crc_fail).Inc();
     out.push_back(std::move(pkt));
     ++stats_.packets_decoded;
+    c_packets.Inc();
     pos += air_bits * kSps;
   }
 }

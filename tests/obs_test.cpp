@@ -1,0 +1,215 @@
+// Observability subsystem tests: metric semantics, registry exposition,
+// thread-safety of the hot-path mutations, trace export/nesting, and the
+// RFDUMP_OBS=OFF no-op contract. The whole file compiles in both modes;
+// value assertions flip on RFDUMP_OBS_ENABLED where behaviour differs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rfdump/obs/obs.hpp"
+
+namespace obs = rfdump::obs;
+
+namespace {
+
+TEST(ObsCounter, IncAndReset) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Inc(41);
+#if RFDUMP_OBS_ENABLED
+  EXPECT_EQ(c.value(), 42u);
+#else
+  EXPECT_EQ(c.value(), 0u);  // mutations compile to no-ops
+#endif
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGauge, SetAddReset) {
+  obs::Gauge g;
+  g.Set(2.5);
+  g.Add(-1.0);
+#if RFDUMP_OBS_ENABLED
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+#else
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+#endif
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ObsHistogram, BucketsAreUpperEdges) {
+  obs::Histogram h({1.0, 2.0});
+  h.Observe(0.5);   // le "1"
+  h.Observe(1.0);   // le "1" (upper edge inclusive)
+  h.Observe(1.5);   // le "2"
+  h.Observe(30.0);  // +Inf
+  const auto s = h.GetSnapshot();
+  ASSERT_EQ(s.bounds.size(), 2u);
+  ASSERT_EQ(s.counts.size(), 3u);
+#if RFDUMP_OBS_ENABLED
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 33.0);
+#else
+  EXPECT_EQ(s.count, 0u);
+#endif
+}
+
+TEST(ObsRegistry, SameNameSameMetric) {
+  obs::Counter& a = obs::Registry::Default().GetCounter("obs_test_same_total");
+  obs::Counter& b = obs::Registry::Default().GetCounter("obs_test_same_total");
+  EXPECT_EQ(&a, &b);
+  const std::uint64_t before = a.value();
+  b.Inc(3);
+#if RFDUMP_OBS_ENABLED
+  EXPECT_EQ(obs::Registry::Default().CounterValue("obs_test_same_total"),
+            before + 3);
+#else
+  // Disabled registry registers nothing; lookups report 0.
+  EXPECT_EQ(obs::Registry::Default().CounterValue("obs_test_same_total"), 0u);
+#endif
+}
+
+TEST(ObsRegistry, ConcurrentIncrementsAreExact) {
+  obs::Counter& c =
+      obs::Registry::Default().GetCounter("obs_test_concurrent_total");
+  const std::uint64_t before = c.value();
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 100'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.Inc();
+    });
+  }
+  for (auto& w : workers) w.join();
+#if RFDUMP_OBS_ENABLED
+  EXPECT_EQ(c.value(), before + kThreads * kPerThread);
+#else
+  EXPECT_EQ(c.value(), 0u);
+#endif
+}
+
+TEST(ObsRegistry, ExpositionTextIsWellFormed) {
+  auto& reg = obs::Registry::Default();
+  reg.GetCounter("obs_test_expo_total{kind=\"a\"}").Inc(2);
+  reg.GetCounter("obs_test_expo_total{kind=\"b\"}").Inc(5);
+  reg.GetGauge("obs_test_expo_gauge").Set(1.5);
+  obs::Histogram& h = reg.GetHistogram("obs_test_expo_hist", {1.0, 2.0});
+  h.Reset();
+  h.Observe(0.5);
+  h.Observe(1.5);
+  h.Observe(9.0);
+  const std::string text = reg.ExpositionText();
+#if RFDUMP_OBS_ENABLED
+  // One TYPE line per family, not per labeled series.
+  EXPECT_EQ(text.find("# TYPE obs_test_expo_total counter"),
+            text.rfind("# TYPE obs_test_expo_total counter"));
+  EXPECT_NE(text.find("obs_test_expo_total{kind=\"a\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_expo_total{kind=\"b\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_expo_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_expo_gauge 1.5\n"), std::string::npos);
+  // Histogram buckets are cumulative with an +Inf catch-all.
+  EXPECT_NE(text.find("obs_test_expo_hist_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_expo_hist_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_expo_hist_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_expo_hist_sum 11\n"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_expo_hist_count 3\n"), std::string::npos);
+#else
+  EXPECT_NE(text.find("compiled out"), std::string::npos);
+  EXPECT_EQ(text.find("obs_test_expo_total"), std::string::npos);
+#endif
+}
+
+TEST(ObsTrace, SpansRecordAndNest) {
+  auto& tracer = obs::Tracer::Default();
+  tracer.Enable(64);
+  {
+    RFDUMP_TRACE_SPAN("outer");
+    {
+      RFDUMP_TRACE_SPAN("inner");
+    }
+  }
+#if RFDUMP_OBS_ENABLED
+  ASSERT_TRUE(tracer.enabled());
+  const auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Events() sorts by timestamp, parents before children: the outer span
+  // started first and wholly contains the inner one (how chrome://tracing
+  // reconstructs the nesting).
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+  EXPECT_GE(events[0].ts_us + events[0].dur_us,
+            events[1].ts_us + events[1].dur_us);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+#else
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_EQ(tracer.Events().size(), 0u);
+#endif
+  tracer.Disable();
+}
+
+TEST(ObsTrace, RingKeepsMostRecentOnWrap) {
+  auto& tracer = obs::Tracer::Default();
+  tracer.Enable(/*capacity=*/8);
+  for (int i = 0; i < 20; ++i) {
+    RFDUMP_TRACE_SPAN("wrap");
+  }
+#if RFDUMP_OBS_ENABLED
+  EXPECT_EQ(tracer.recorded(), 20u);
+  EXPECT_EQ(tracer.Events().size(), 8u);
+#else
+  EXPECT_EQ(tracer.recorded(), 0u);
+#endif
+  tracer.Disable();
+}
+
+TEST(ObsTrace, ChromeJsonExport) {
+  auto& tracer = obs::Tracer::Default();
+  tracer.Enable(16);
+  {
+    RFDUMP_TRACE_SPAN("json-span");
+  }
+  const std::string json = tracer.ExportChromeJson();
+  tracer.Disable();
+  // Structural checks a Trace Event Format consumer relies on.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+#if RFDUMP_OBS_ENABLED
+  EXPECT_NE(json.find("\"name\":\"json-span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+#else
+  EXPECT_EQ(json.find("json-span"), std::string::npos);
+#endif
+}
+
+TEST(ObsStopwatch, MonotonicAndResettable) {
+  obs::Stopwatch w;
+  const double a = w.Seconds();
+  const double b = w.Seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);  // Stopwatch is always live, even with RFDUMP_OBS=OFF
+  w.Reset();
+  EXPECT_LE(w.Seconds(), b + 1.0);
+  EXPECT_GE(w.Microseconds(), 0.0);
+}
+
+}  // namespace

@@ -13,6 +13,7 @@
 #include "rfdump/core/streaming.hpp"
 #include "rfdump/emu/frontend.hpp"
 #include "rfdump/emu/ether.hpp"
+#include "rfdump/obs/obs.hpp"
 #include "rfdump/traffic/traffic.hpp"
 
 namespace core = rfdump::core;
@@ -60,6 +61,20 @@ void Drive(emu::FrontEnd& fe, core::StreamingMonitor& monitor) {
 bool Intersects(std::int64_t a0, std::int64_t a1, std::int64_t b0,
                 std::int64_t b1) {
   return a0 < b1 && b0 < a1;
+}
+
+/// Sums a per-protocol labeled counter family over every protocol.
+std::uint64_t SumProtocolFamily(const std::string& family) {
+  static constexpr core::Protocol kAll[] = {
+      core::Protocol::kUnknown, core::Protocol::kWifi80211b,
+      core::Protocol::kBluetooth, core::Protocol::kZigbee,
+      core::Protocol::kMicrowave};
+  std::uint64_t sum = 0;
+  for (const auto p : kAll) {
+    sum += rfdump::obs::Registry::Default().CounterValue(
+        family + "{protocol=\"" + core::ProtocolName(p) + "\"}");
+  }
+  return sum;
 }
 
 TEST(StreamingFault, GapsReportedFramesHonest) {
@@ -278,6 +293,127 @@ TEST(StreamingFault, SheddingEngagesAndRecoversWithHysteresis) {
     }
   }
   EXPECT_TRUE(stage3_block_with_activity);
+}
+
+TEST(StreamingFault, DispatchCountersAgreeWithHealthAndFaultLog) {
+  // The observability counters, the per-block HealthReports, the cumulative
+  // HealthSummary and the front end's ground-truth fault log are four views
+  // of the same impaired run; they must agree exactly.
+  const auto scenario = MakeScenario(/*pings=*/10, /*seed=*/77);
+  const auto n = static_cast<std::int64_t>(scenario.samples.size());
+
+  emu::FrontEnd::Config fcfg;
+  fcfg.drops_per_second = 10.0;
+  fcfg.drop_min_samples = 4'000;
+  fcfg.drop_max_samples = 20'000;
+  fcfg.nonfinite_per_second = 15.0;
+  fcfg.duplicates_per_second = 3.0;
+  emu::FrontEnd fe(scenario.samples, fcfg, /*seed=*/23);
+
+  namespace obs = rfdump::obs;
+  auto& reg = obs::Registry::Default();
+  const std::uint64_t gaps0 = reg.CounterValue("rfdump_streaming_gaps_total");
+  const std::uint64_t gap_samples0 =
+      reg.CounterValue("rfdump_streaming_gap_samples_total");
+  const std::uint64_t sanitized0 =
+      reg.CounterValue("rfdump_streaming_sanitized_samples_total");
+  const std::uint64_t detections0 =
+      reg.CounterValue("rfdump_detect_detections_total");
+  const std::uint64_t tagged0 =
+      SumProtocolFamily("rfdump_dispatch_tagged_total");
+  const std::uint64_t rejected0 =
+      SumProtocolFamily("rfdump_dispatch_rejected_total");
+  const std::uint64_t forwarded0 =
+      SumProtocolFamily("rfdump_dispatch_forwarded_total");
+
+  core::StreamingMonitor monitor(SmallBlocks());
+  Drive(fe, monitor);
+
+  // HealthReport stream vs cumulative summary (nothing evicted here: the run
+  // is far shorter than the default history limit).
+  const core::HealthSummary& sum = monitor.summary();
+  EXPECT_EQ(sum.blocks, monitor.health().size());
+  std::uint64_t h_tagged = 0, h_rejected = 0, h_forwarded = 0, h_sanitized = 0;
+  std::uint32_t h_gaps = 0;
+  std::int64_t h_gap_samples = 0;
+  for (const auto& h : monitor.health()) {
+    h_tagged += h.tagged_detections;
+    h_rejected += h.rejected_detections;
+    h_forwarded += h.forwarded_intervals;
+    h_sanitized += h.sanitized_samples;
+    h_gaps += h.gap_count;
+    h_gap_samples += h.gap_samples;
+  }
+  EXPECT_EQ(sum.tagged_detections, h_tagged);
+  EXPECT_EQ(sum.rejected_detections, h_rejected);
+  EXPECT_EQ(sum.forwarded_intervals, h_forwarded);
+  EXPECT_EQ(sum.sanitized_samples, h_sanitized);
+  EXPECT_EQ(sum.gap_count, h_gaps);
+  EXPECT_EQ(sum.gap_samples, h_gap_samples);
+  EXPECT_GT(sum.tagged_detections, 0u);
+  EXPECT_GT(sum.forwarded_intervals, 0u);
+
+  // Summary vs the front end's ground-truth fault log.
+  std::vector<emu::FaultRecord> observable;
+  for (const auto& d : fe.FaultsOf(emu::FaultKind::kDrop)) {
+    if (d.end_sample < n) observable.push_back(d);
+  }
+  std::int64_t injected_gap_samples = 0;
+  for (const auto& d : observable) injected_gap_samples += d.length();
+  EXPECT_EQ(sum.gap_count, observable.size());
+  EXPECT_EQ(sum.gap_samples, injected_gap_samples);
+
+#if RFDUMP_OBS_ENABLED
+  // Registry deltas vs the summary: the counters tick in the same code paths
+  // that fill the reports, so any disagreement means double- or un-counted
+  // events.
+  EXPECT_EQ(reg.CounterValue("rfdump_streaming_gaps_total") - gaps0,
+            sum.gap_count);
+  EXPECT_EQ(reg.CounterValue("rfdump_streaming_gap_samples_total") -
+                gap_samples0,
+            static_cast<std::uint64_t>(sum.gap_samples));
+  EXPECT_EQ(reg.CounterValue("rfdump_streaming_sanitized_samples_total") -
+                sanitized0,
+            sum.sanitized_samples);
+  const std::uint64_t d_tagged =
+      SumProtocolFamily("rfdump_dispatch_tagged_total") - tagged0;
+  const std::uint64_t d_rejected =
+      SumProtocolFamily("rfdump_dispatch_rejected_total") - rejected0;
+  const std::uint64_t d_forwarded =
+      SumProtocolFamily("rfdump_dispatch_forwarded_total") - forwarded0;
+  EXPECT_EQ(d_tagged, sum.tagged_detections);
+  EXPECT_EQ(d_rejected, sum.rejected_detections);
+  EXPECT_EQ(d_forwarded, sum.forwarded_intervals);
+  // Every detection is either tagged or rejected at dispatch.
+  EXPECT_EQ(d_tagged + d_rejected,
+            reg.CounterValue("rfdump_detect_detections_total") - detections0);
+#else
+  (void)gaps0; (void)gap_samples0; (void)sanitized0; (void)detections0;
+  (void)tagged0; (void)rejected0; (void)forwarded0;
+#endif
+}
+
+TEST(StreamingFault, HealthHistoryRingEvictsButSummaryPersists) {
+  // Regression for the unbounded health() growth: a long-running monitor
+  // keeps only the configured window of per-block reports, while summary()
+  // still accounts for every block ever processed.
+  const auto scenario = MakeScenario(/*pings=*/6, /*seed=*/9);
+  core::StreamingMonitor::Config mcfg;
+  mcfg.block_samples = 100'000;
+  mcfg.overlap_samples = 40'000;
+  mcfg.health_history_limit = 4;
+  core::StreamingMonitor monitor(mcfg);
+  monitor.Push(scenario.samples);
+  monitor.Flush();
+
+  EXPECT_EQ(monitor.health().size(), 4u);
+  EXPECT_GT(monitor.summary().blocks, 4u);
+  EXPECT_GT(monitor.summary().samples, 0u);
+  EXPECT_GT(monitor.summary().max_block_load, 0.0);
+  EXPECT_GT(monitor.summary().MeanLoad(), 0.0);
+  // The retained window is the most recent blocks: its first entry starts
+  // later than the stream did.
+  EXPECT_GT(monitor.health().front().block_start, 0);
 }
 
 TEST(StreamingFault, BudgetKeepsLoadNearBudgetOnBusyBand) {
