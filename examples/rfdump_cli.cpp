@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -52,6 +53,13 @@ void PrintUsage(const char* argv0) {
       "                     path; prints per-block health\n"
       "  --budget R         CPU/real-time budget per block for load shedding\n"
       "                     (streaming path only; 0 = no shedding)\n"
+      "  --deadline S       CPU-seconds deadline per supervised analysis\n"
+      "                     interval (streaming path only; 0 = unlimited)\n"
+      "  --quarantine DIR   write each quarantined interval (a failed\n"
+      "                     analysis: deadline blown or demodulator threw)\n"
+      "                     to DIR as an .iq snippet plus a one-line JSON\n"
+      "                     sidecar (stream offset, protocol, outcome), so\n"
+      "                     the poison input can be replayed with -r\n"
       "  --metrics DEST     dump the metrics registry (Prometheus text\n"
       "                     format) to DEST on exit; `-` means stdout. With\n"
       "                     --impair and a file DEST, the file is also\n"
@@ -160,13 +168,61 @@ bool DumpMetrics(const std::string& dest) {
   return true;
 }
 
+// Minimal JSON string escaping for exception messages in sidecar files.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Dumps the supervisor's quarantine ring: one .iq snippet (replayable with
+// `-r`) plus a one-line JSON sidecar per failed interval.
+std::size_t WriteQuarantine(const std::string& dir,
+                            const core::Supervisor& supervisor) {
+  std::filesystem::create_directories(dir);
+  const auto records = supervisor.quarantine();
+  int idx = 0;
+  for (const auto& rec : records) {
+    char stem[96];
+    std::snprintf(stem, sizeof(stem), "%s/q%03d_%s_%lld", dir.c_str(), idx++,
+                  core::ProtocolName(rec.protocol),
+                  static_cast<long long>(rec.start_sample));
+    rfdump::trace::WriteIqTrace(std::string(stem) + ".iq", rec.snapshot);
+    std::ofstream meta(std::string(stem) + ".json", std::ios::trunc);
+    meta << "{\"stream_start\":" << rec.start_sample
+         << ",\"stream_end\":" << rec.end_sample << ",\"protocol\":\""
+         << core::ProtocolName(rec.protocol) << "\",\"outcome\":\""
+         << core::OutcomeName(rec.outcome) << "\",\"error\":\""
+         << JsonEscape(rec.error)
+         << "\",\"snapshot_samples\":" << rec.snapshot.size() << "}\n";
+  }
+  return records.size();
+}
+
 // Replays `x` through an emulated hostile front end and monitors it with the
 // fault-tolerant streaming path. Returns the aggregate report; prints
 // per-block health lines as blocks complete. A non-stdout `metrics_path` is
 // rewritten periodically so an operator can watch counters move mid-run.
 core::MonitorReport MonitorImpaired(const dsp::SampleVec& x,
                                     core::StreamingMonitor::Config mcfg,
-                                    const std::string& metrics_path) {
+                                    const std::string& metrics_path,
+                                    const std::string& quarantine_dir) {
   rfdump::emu::FrontEnd::Config fe;
   fe.drops_per_second = 2.0;
   fe.duplicates_per_second = 0.5;
@@ -228,7 +284,7 @@ core::MonitorReport MonitorImpaired(const dsp::SampleVec& x,
   std::printf(
       "[summary] %llu blocks / %llu samples: gaps %u (%lld lost), sanitized "
       "%llu, tagged %llu, rejected %llu, forwarded %llu, mean load %.3f, "
-      "peak load %.3f (history ring holds %zu of %llu)\n\n",
+      "peak load %.3f (history ring holds %zu of %llu)\n",
       static_cast<unsigned long long>(sum.blocks),
       static_cast<unsigned long long>(sum.samples), sum.gap_count,
       static_cast<long long>(sum.gap_samples),
@@ -238,6 +294,25 @@ core::MonitorReport MonitorImpaired(const dsp::SampleVec& x,
       static_cast<unsigned long long>(sum.forwarded_intervals),
       sum.MeanLoad(), sum.max_block_load, monitor.health().size(),
       static_cast<unsigned long long>(sum.blocks));
+  if (sum.supervised_intervals > 0) {
+    std::printf(
+        "[supervisor] %llu intervals: %llu deadline, %llu exception, %llu "
+        "skipped (breaker open), %llu quarantined; %llu breaker trips, %d "
+        "open now\n",
+        static_cast<unsigned long long>(sum.supervised_intervals),
+        static_cast<unsigned long long>(sum.deadline_intervals),
+        static_cast<unsigned long long>(sum.exception_intervals),
+        static_cast<unsigned long long>(sum.skipped_intervals),
+        static_cast<unsigned long long>(sum.quarantined_intervals),
+        static_cast<unsigned long long>(sum.breaker_trips),
+        monitor.supervisor().open_breakers());
+  }
+  if (!quarantine_dir.empty()) {
+    const std::size_t n = WriteQuarantine(quarantine_dir, monitor.supervisor());
+    std::printf("wrote %zu quarantined intervals to %s\n", n,
+                quarantine_dir.c_str());
+  }
+  std::printf("\n");
   report.costs = monitor.costs();
   report.samples_total = monitor.samples_processed();
   return report;
@@ -254,8 +329,10 @@ int main(int argc, char** argv) {
   std::string pcap_path;
   std::string metrics_path;
   std::string trace_path_out;
+  std::string quarantine_dir;
   double noise_floor = 1.0;
   double budget = 0.0;
+  double deadline = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -283,6 +360,10 @@ int main(int argc, char** argv) {
       impair = true;
     } else if (arg == "--budget" && i + 1 < argc) {
       budget = std::atof(argv[++i]);
+    } else if (arg == "--deadline" && i + 1 < argc) {
+      deadline = std::atof(argv[++i]);
+    } else if (arg == "--quarantine" && i + 1 < argc) {
+      quarantine_dir = argv[++i];
     } else if (arg == "--metrics" && i + 1 < argc) {
       metrics_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
@@ -330,7 +411,8 @@ int main(int argc, char** argv) {
     mcfg.pipeline.analysis.demodulate = !no_demod;
     mcfg.block_samples = 400'000;  // 50 ms blocks: visible health cadence
     mcfg.cpu_budget = budget;
-    report = MonitorImpaired(x, mcfg, metrics_path);
+    mcfg.supervisor.demod_limits.max_cpu_seconds = deadline;
+    report = MonitorImpaired(x, mcfg, metrics_path, quarantine_dir);
   } else if (arch == "naive" || arch == "energy") {
     core::NaivePipeline::Config cfg;
     cfg.energy_gate = (arch == "energy");

@@ -21,6 +21,7 @@
 #include "rfdump/core/freq_detector.hpp"
 #include "rfdump/core/peaks.hpp"
 #include "rfdump/core/phase_detectors.hpp"
+#include "rfdump/core/supervisor.hpp"
 #include "rfdump/core/timing_detectors.hpp"
 #include "rfdump/phy80211/demodulator.hpp"
 #include "rfdump/phybt/demodulator.hpp"
@@ -57,6 +58,15 @@ struct HealthReport {
   std::uint64_t tagged_detections = 0;    // passed the confidence floor
   std::uint64_t rejected_detections = 0;  // below the confidence floor
   std::uint64_t forwarded_intervals = 0;  // merged intervals sent to analysis
+  // Supervision outcomes for this block (filled by the streaming monitor
+  // from Supervisor::counts() deltas; see DESIGN.md §9):
+  std::uint64_t supervised_intervals = 0;  // analysis invocations attempted
+  std::uint64_t deadline_intervals = 0;    // aborted on WorkBudget expiry
+  std::uint64_t exception_intervals = 0;   // demodulator threw (contained)
+  std::uint64_t skipped_intervals = 0;     // circuit breaker open
+  std::uint64_t quarantined_intervals = 0; // failures recorded for replay
+  std::uint32_t breaker_trips = 0;         // breakers tripped this block
+  int open_breakers = 0;                   // breakers not closed at block end
 };
 
 /// Everything a pipeline produced for one capture.
@@ -114,6 +124,13 @@ class RFDumpPipeline {
     /// the emulator's default ADC full scale). 0 disables the check.
     float saturation_amplitude = 64.0f;
     AnalysisConfig analysis;
+    /// Supervision layer (non-owning; DESIGN.md §9). When set, every
+    /// detector call is exception-contained and every dispatched interval's
+    /// analysis runs under a stage boundary: armed WorkBudget deadline,
+    /// throw containment, per-protocol circuit breaker, quarantine. Null
+    /// (the batch-experiment default) preserves unsupervised semantics. The
+    /// streaming monitor always wires its own supervisor here.
+    Supervisor* supervisor = nullptr;
   };
 
   RFDumpPipeline();
@@ -137,6 +154,8 @@ class NaivePipeline {
     double noise_floor_power = 1.0;
     double dispatch_pad_us = 40.0;
     AnalysisConfig analysis;
+    /// Same contract as RFDumpPipeline::Config::supervisor.
+    Supervisor* supervisor = nullptr;
   };
 
   NaivePipeline();

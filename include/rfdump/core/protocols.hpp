@@ -19,6 +19,10 @@ enum class Protocol : std::uint8_t {
   kMicrowave,    // residential microwave oven interference
 };
 
+/// Number of Protocol enumerators (dense, starting at kUnknown = 0) — sizes
+/// per-protocol state tables (dispatch counters, supervisor breakers).
+inline constexpr std::size_t kProtocolCount = 5;
+
 [[nodiscard]] const char* ProtocolName(Protocol p);
 
 /// Modulation family, as distinguishable by the phase detectors.

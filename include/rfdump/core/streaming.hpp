@@ -49,6 +49,13 @@ struct HealthSummary {
   std::uint64_t tagged_detections = 0;
   std::uint64_t rejected_detections = 0;
   std::uint64_t forwarded_intervals = 0;
+  // Supervision outcomes (DESIGN.md §9), cumulative across all blocks.
+  std::uint64_t supervised_intervals = 0;
+  std::uint64_t deadline_intervals = 0;
+  std::uint64_t exception_intervals = 0;
+  std::uint64_t skipped_intervals = 0;
+  std::uint64_t quarantined_intervals = 0;
+  std::uint64_t breaker_trips = 0;
   int max_shed_stage = 0;
   double max_block_load = 0.0;
   double load_seconds = 0.0;  // sum over blocks of load x block real time
@@ -85,6 +92,12 @@ class StreamingMonitor {
     /// stays bounded; 0 keeps everything). Cumulative totals survive
     /// eviction via summary().
     std::size_t health_history_limit = 4096;
+
+    /// Supervision layer (deadlines / containment / breakers / quarantine,
+    /// DESIGN.md §9). The monitor always owns a Supervisor built from this
+    /// config and wires it into the pipeline; the defaults leave deadlines
+    /// unlimited, so supervision is containment-only unless limits are set.
+    Supervisor::Config supervisor;
   };
 
   StreamingMonitor();
@@ -136,17 +149,26 @@ class StreamingMonitor {
   /// Current load-shedding stage (0 = full pipeline).
   [[nodiscard]] int shed_stage() const { return shed_stage_; }
 
-  /// Adjusts the CPU budget at runtime (operator knob; 0 disables shedding).
+  /// Adjusts the CPU budget at runtime (operator knob; 0 disables shedding
+  /// and immediately restores the full pipeline).
   void set_cpu_budget(double budget);
+
+  /// The supervision layer: breaker states, outcome counts, quarantine.
+  const Supervisor& supervisor() const { return supervisor_; }
+  Supervisor& supervisor() { return supervisor_; }
 
  private:
   void ProcessBlock(bool final_block, bool gap_cut);
   void EmitHealth(HealthReport h);
-  void UpdateShedding(double block_load);
+  void UpdateShedding(double block_load, bool deadline_pressure);
   void ApplyShedStage();
   [[nodiscard]] std::uint64_t AppendSanitized(dsp::const_sample_span samples);
 
   Config config_;
+  /// Owned here (not in the pipeline) so breaker state and quarantine survive
+  /// the pipeline reconstructions that shed-stage changes trigger.
+  Supervisor supervisor_;
+  Supervisor::Counts last_counts_;  // snapshot for per-block deltas
   RFDumpPipeline pipeline_;  // persists across blocks (reflects shed stage)
   dsp::SampleVec buffer_;
   std::int64_t buffer_start_ = 0;      // absolute index of buffer_[0]

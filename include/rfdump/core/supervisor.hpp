@@ -1,0 +1,192 @@
+#pragma once
+// Supervision layer for the analysis stage (DESIGN.md §9).
+//
+// RFDump's bargain (paper §2.2) is that detectors may be sloppy because the
+// expensive analysis stage cleans up after them — which only holds if one
+// pathological dispatched interval cannot take the whole monitor down. The
+// Supervisor wraps every demodulator invocation in a stage boundary that
+//   1. arms a cooperative deadline (util::WorkBudget) so a runaway decode
+//      aborts as Outcome::kDeadline instead of stalling the block,
+//   2. catches every exception and converts it into a per-interval failure
+//      (Outcome::kException) — the monitor never dies on one bad input,
+//   3. tracks a per-protocol circuit breaker: a protocol whose recent window
+//      of intervals keeps failing trips open, is skipped (Outcome::kSkipped)
+//      for an exponentially backed-off number of blocks, then re-admits one
+//      half-open probe and closes on success,
+//   4. quarantines failed intervals (stream position, protocol, outcome,
+//      sample snapshot) in a bounded ring so operators can replay exactly
+//      the input that broke a decoder (rfdump_cli --quarantine DIR).
+//
+// Every decision is counted both into the rfdump_supervisor_* metrics and
+// into Counts (registry-independent; works with RFDUMP_OBS=OFF), which the
+// streaming monitor deltas into per-block HealthReports.
+//
+// Concurrency: Supervise() may be called from multiple analysis workers
+// concurrently (the prerequisite for the future multi-threaded analysis
+// pool) — breaker, quarantine and counter state are mutex-protected, and the
+// supervised closure itself runs outside the lock.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rfdump/core/protocols.hpp"
+#include "rfdump/dsp/types.hpp"
+#include "rfdump/util/work_budget.hpp"
+
+namespace rfdump::core {
+
+/// How one supervised analysis invocation ended.
+enum class Outcome : std::uint8_t {
+  kOk = 0,
+  kDeadline,   // WorkBudget expired; partial results were kept
+  kException,  // the detector/demodulator threw; interval abandoned
+  kSkipped,    // circuit breaker open: the interval was never attempted
+};
+
+[[nodiscard]] const char* OutcomeName(Outcome o);
+
+/// Circuit-breaker state for one protocol (DESIGN.md §9 state machine).
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+[[nodiscard]] const char* BreakerStateName(BreakerState s);
+
+class Supervisor {
+ public:
+  struct Config {
+    /// Per-invocation caps armed on every supervised analysis call.
+    /// Defaults are unlimited (deadlines opt-in): batch experiments must
+    /// reproduce the paper bit-for-bit regardless of host speed.
+    util::WorkBudget::Limits demod_limits;
+
+    /// Breaker: trip when >= `breaker_trip_failures` of the most recent
+    /// `breaker_window` invocations of a protocol failed.
+    int breaker_window = 8;
+    int breaker_trip_failures = 4;
+    /// Open duration in blocks: `breaker_cooldown_blocks << (trips - 1)`,
+    /// capped at `breaker_max_cooldown_blocks` (exponential backoff; a
+    /// successful half-open probe resets the trip count).
+    int breaker_cooldown_blocks = 2;
+    int breaker_max_cooldown_blocks = 64;
+
+    /// Quarantine ring capacity (oldest evicted) and per-record snapshot cap
+    /// (leading samples of the failed interval).
+    std::size_t quarantine_capacity = 16;
+    std::size_t quarantine_snapshot_samples = 65'536;
+
+    /// Test-only fault injection: invoked inside the stage boundary, before
+    /// the real analysis, with (protocol, absolute start sample, budget).
+    /// Throwing simulates a crashing demodulator; spinning the budget down
+    /// (`while (b.Charge(n)) {}`) simulates one that blows its deadline.
+    std::function<void(Protocol, std::int64_t, util::WorkBudget&)> fault_hook;
+  };
+
+  /// One failed interval, replayable offline.
+  struct QuarantineRecord {
+    Protocol protocol = Protocol::kUnknown;
+    Outcome outcome = Outcome::kOk;
+    std::int64_t start_sample = 0;  // absolute stream position
+    std::int64_t end_sample = 0;
+    std::string error;              // exception what() (empty for deadlines)
+    dsp::SampleVec snapshot;        // leading samples of the interval
+  };
+
+  /// Registry-independent totals (monotonic; snapshot under the lock).
+  struct Counts {
+    std::uint64_t invocations = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t deadline = 0;
+    std::uint64_t exception = 0;
+    std::uint64_t skipped = 0;
+    std::uint64_t detector_exceptions = 0;  // contained detector throws
+    std::uint64_t breaker_trips = 0;
+    std::uint64_t breaker_closes = 0;
+    std::uint64_t quarantined = 0;
+    /// WorkBudget accounting summed over finished invocations — the
+    /// supervision-overhead bench prices deadline checks with these.
+    std::uint64_t budget_checks = 0;
+    std::uint64_t budget_charged = 0;
+  };
+
+  Supervisor();
+  explicit Supervisor(Config config);
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Runs `fn` under the stage boundary: breaker check, armed budget,
+  /// exception containment, outcome accounting, quarantine on failure.
+  /// `start`/`end` are interval positions relative to the current stream
+  /// offset (set_stream_offset); `interval` is the dispatched sample range
+  /// (snapshot source). `fn` receives the armed budget to wire into the
+  /// demodulator config.
+  Outcome Supervise(Protocol p, std::int64_t start, std::int64_t end,
+                    dsp::const_sample_span interval,
+                    const std::function<void(util::WorkBudget&)>& fn);
+
+  /// Exception containment for cheap detector calls (no budget, no breaker):
+  /// a throwing detector loses its tags for this chunk, nothing else.
+  /// Returns false if `fn` threw.
+  template <typename F>
+  bool Contain(const char* stage, F&& fn) {
+    try {
+      fn();
+      return true;
+    } catch (const std::exception& e) {
+      NoteDetectorThrow(stage, e.what());
+    } catch (...) {
+      NoteDetectorThrow(stage, "non-std exception");
+    }
+    return false;
+  }
+
+  /// Advances breaker cooldowns by one block (open -> half-open at zero).
+  /// The streaming monitor calls this once per processed block.
+  void OnBlockEnd();
+
+  /// Absolute stream position of sample 0 of the span the pipeline is
+  /// currently processing; quarantine records and the fault hook see
+  /// absolute positions. Safe to set between blocks.
+  void set_stream_offset(std::int64_t offset) {
+    stream_offset_.store(offset, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] BreakerState breaker_state(Protocol p) const;
+  /// Breakers currently not closed (open or half-open).
+  [[nodiscard]] int open_breakers() const;
+  [[nodiscard]] Counts counts() const;
+  /// Snapshot of the quarantine ring, oldest first.
+  [[nodiscard]] std::vector<QuarantineRecord> quarantine() const;
+  const Config& config() const { return config_; }
+
+ private:
+  struct Breaker {
+    BreakerState state = BreakerState::kClosed;
+    std::deque<bool> window;      // recent invocations: true = failure
+    int window_failures = 0;
+    int cooldown_blocks_left = 0;
+    int trips_since_close = 0;    // exponent for the backoff schedule
+    bool probe_in_flight = false;
+  };
+
+  void NoteDetectorThrow(const char* stage, const char* what);
+  void RecordFailure(Protocol p, Outcome outcome, std::int64_t start,
+                     std::int64_t end, dsp::const_sample_span interval,
+                     std::string error);
+  /// Window bookkeeping + trip decision. Caller holds mu_.
+  void NoteResultLocked(Breaker& b, Protocol p, bool failure, bool was_probe);
+  void TripLocked(Breaker& b, Protocol p);
+  [[nodiscard]] int open_breakers_locked() const;
+
+  Config config_;
+  std::atomic<std::int64_t> stream_offset_{0};
+  mutable std::mutex mu_;
+  std::vector<Breaker> breakers_;  // indexed by Protocol, kProtocolCount wide
+  std::deque<QuarantineRecord> quarantine_;
+  Counts counts_;
+};
+
+}  // namespace rfdump::core

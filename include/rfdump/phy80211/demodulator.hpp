@@ -15,6 +15,7 @@
 
 #include "rfdump/dsp/types.hpp"
 #include "rfdump/phy80211/plcp.hpp"
+#include "rfdump/util/work_budget.hpp"
 
 namespace rfdump::phy80211 {
 
@@ -49,6 +50,11 @@ class Demodulator {
     /// beyond the paper's prototype (whose BBN decoder handled 1/2 Mbps
     /// only); with just 8 of the 22 MHz captured it needs high SNR.
     bool decode_cck = true;
+    /// Cooperative deadline (non-owning, armed by the supervision layer):
+    /// the sync-search and payload-decode loops charge their work against it
+    /// and return early — keeping frames already decoded — once it expires.
+    /// Null = unlimited.
+    util::WorkBudget* budget = nullptr;
   };
 
   Demodulator();

@@ -17,6 +17,7 @@
 
 #include "rfdump/dsp/types.hpp"
 #include "rfdump/phybt/packet.hpp"
+#include "rfdump/util/work_budget.hpp"
 
 namespace rfdump::phybt {
 
@@ -50,6 +51,11 @@ class Demodulator {
     /// (which fails when the window is mostly signal, as with dispatched
     /// detector intervals).
     double noise_floor_power = 0.0;
+    /// Cooperative deadline (non-owning, armed by the supervision layer):
+    /// the channelization front matter and the sync-search/body-decode loops
+    /// charge their work against it and return early — keeping packets
+    /// already decoded — once it expires. Null = unlimited.
+    util::WorkBudget* budget = nullptr;
   };
 
   Demodulator();

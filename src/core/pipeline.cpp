@@ -79,68 +79,91 @@ class PerProtocolCounter {
 
 // Runs the demodulator bank over the given per-protocol merged intervals
 // (pass a single full-span detection per protocol for the naive paths).
+// With a supervisor, each interval's analysis runs inside a stage boundary
+// (armed WorkBudget, exception containment, breaker, quarantine); without
+// one, the closure runs directly with an unarmed (unlimited) budget, which
+// preserves the exact unsupervised batch semantics.
 void RunAnalysis(const AnalysisConfig& analysis, double noise_floor_power,
-                 const std::vector<Detection>& intervals,
+                 Supervisor* sup, const std::vector<Detection>& intervals,
                  dsp::const_sample_span x, CostLedger& ledger,
                  MonitorReport& report) {
   if (!analysis.demodulate) return;
-  // 802.11 demodulator.
-  if (analysis.wifi_demod) {
-    phy80211::Demodulator wifi;
-    for (const auto& d : intervals) {
-      if (d.protocol != Protocol::kWifi80211b) continue;
-      const auto span = x.subspan(
-          static_cast<std::size_t>(d.start_sample),
-          static_cast<std::size_t>(d.end_sample - d.start_sample));
-      CostLedger::Scope scope(ledger, "analysis/80211-demod", span.size());
-      auto frames = wifi.DecodeAll(span);
-      for (auto& f : frames) {
-        f.start_sample += d.start_sample;
-        f.end_sample += d.start_sample;
-        report.wifi_frames.push_back(std::move(f));
+  util::WorkBudget unlimited;
+  const auto supervised =
+      [&](const Detection& d, dsp::const_sample_span span,
+          const std::function<void(util::WorkBudget&)>& fn) {
+        if (sup) {
+          return sup->Supervise(d.protocol, d.start_sample, d.end_sample,
+                                span, fn);
+        }
+        fn(unlimited);
+        return Outcome::kOk;
+      };
+  static obs::Counter& c_zb_attempts = obs::Registry::Default().GetCounter(
+      "rfdump_phyzigbee_decode_attempts_total");
+  static obs::Counter& c_zb_frames = obs::Registry::Default().GetCounter(
+      "rfdump_phyzigbee_frames_total");
+  for (const auto& d : intervals) {
+    const auto span = x.subspan(
+        static_cast<std::size_t>(d.start_sample),
+        static_cast<std::size_t>(d.end_sample - d.start_sample));
+    switch (d.protocol) {
+      case Protocol::kWifi80211b: {
+        if (!analysis.wifi_demod) break;
+        CostLedger::Scope scope(ledger, "analysis/80211-demod", span.size());
+        supervised(d, span, [&](util::WorkBudget& budget) {
+          phy80211::Demodulator::Config cfg;
+          cfg.budget = &budget;
+          phy80211::Demodulator wifi(cfg);
+          auto frames = wifi.DecodeAll(span);
+          for (auto& f : frames) {
+            f.start_sample += d.start_sample;
+            f.end_sample += d.start_sample;
+            report.wifi_frames.push_back(std::move(f));
+          }
+        });
+        break;
       }
-    }
-  }
-  // Bluetooth demodulators, one per visible channel.
-  for (int ch = 0; ch < analysis.bt_demods; ++ch) {
-    phybt::Demodulator::Config cfg;
-    cfg.channel_index = ch % phybt::kVisibleChannels;
-    cfg.expected_uap = analysis.bt_uap;
-    cfg.noise_floor_power = noise_floor_power;
-    phybt::Demodulator bt(cfg);
-    for (const auto& d : intervals) {
-      if (d.protocol != Protocol::kBluetooth) continue;
-      const auto span = x.subspan(
-          static_cast<std::size_t>(d.start_sample),
-          static_cast<std::size_t>(d.end_sample - d.start_sample));
-      CostLedger::Scope scope(ledger, "analysis/bt-demod", span.size());
-      auto pkts = bt.DecodeAll(span);
-      for (auto& p : pkts) {
-        p.start_sample += d.start_sample;
-        p.end_sample += d.start_sample;
-        report.bt_packets.push_back(std::move(p));
+      case Protocol::kBluetooth: {
+        // One demodulator pass per visible channel; the whole bank shares
+        // the interval's budget, so a runaway channel cannot starve the
+        // block (remaining channels see the expired budget and bail).
+        supervised(d, span, [&](util::WorkBudget& budget) {
+          for (int ch = 0; ch < analysis.bt_demods; ++ch) {
+            if (budget.expired()) break;
+            phybt::Demodulator::Config cfg;
+            cfg.channel_index = ch % phybt::kVisibleChannels;
+            cfg.expected_uap = analysis.bt_uap;
+            cfg.noise_floor_power = noise_floor_power;
+            cfg.budget = &budget;
+            phybt::Demodulator bt(cfg);
+            CostLedger::Scope scope(ledger, "analysis/bt-demod", span.size());
+            auto pkts = bt.DecodeAll(span);
+            for (auto& p : pkts) {
+              p.start_sample += d.start_sample;
+              p.end_sample += d.start_sample;
+              report.bt_packets.push_back(std::move(p));
+            }
+          }
+        });
+        break;
       }
-    }
-  }
-  // ZigBee decoder on tagged ranges.
-  if (analysis.zigbee_demod) {
-    static obs::Counter& c_zb_attempts = obs::Registry::Default().GetCounter(
-        "rfdump_phyzigbee_decode_attempts_total");
-    static obs::Counter& c_zb_frames = obs::Registry::Default().GetCounter(
-        "rfdump_phyzigbee_frames_total");
-    for (const auto& d : intervals) {
-      if (d.protocol != Protocol::kZigbee) continue;
-      const auto span = x.subspan(
-          static_cast<std::size_t>(d.start_sample),
-          static_cast<std::size_t>(d.end_sample - d.start_sample));
-      CostLedger::Scope scope(ledger, "analysis/zigbee-demod", span.size());
-      c_zb_attempts.Inc();
-      if (auto frame = phyzigbee::DecodeFrame(span)) {
-        c_zb_frames.Inc();
-        frame->start_sample += d.start_sample;
-        frame->end_sample += d.start_sample;
-        report.zb_frames.push_back(std::move(*frame));
+      case Protocol::kZigbee: {
+        if (!analysis.zigbee_demod) break;
+        CostLedger::Scope scope(ledger, "analysis/zigbee-demod", span.size());
+        supervised(d, span, [&](util::WorkBudget&) {
+          c_zb_attempts.Inc();
+          if (auto frame = phyzigbee::DecodeFrame(span)) {
+            c_zb_frames.Inc();
+            frame->start_sample += d.start_sample;
+            frame->end_sample += d.start_sample;
+            report.zb_frames.push_back(std::move(*frame));
+          }
+        });
+        break;
       }
+      default:
+        break;  // no analysis stage for this protocol
     }
   }
   // Deduplicate Bluetooth packets found by more than one pass over
@@ -255,24 +278,45 @@ MonitorReport RFDumpPipeline::Process(dsp::const_sample_span x) {
   std::vector<Detection>& detections = report.detections;
   std::uint64_t peak_cursor = 0;
 
+  // Stage boundary for the cheap detectors: with a supervisor, a throwing
+  // detector is counted and contained (that detector contributes nothing for
+  // this batch of peaks, everything else proceeds); without one, exceptions
+  // propagate as before.
+  Supervisor* const sup = config_.supervisor;
+  const auto contain = [sup](const char* stage, auto&& fn) {
+    if (sup) {
+      sup->Contain(stage, fn);
+    } else {
+      fn();
+    }
+  };
+
   const auto handle_peaks = [&](std::span<const Peak> fresh) {
     if (fresh.empty()) return;
     if (config_.timing_detectors) {
       CostLedger::Scope scope(ledger, "detect/timing", 0);
-      auto d1 = wifi_timing.OnPeaks(fresh);
-      detections.insert(detections.end(), d1.begin(), d1.end());
-      auto d2 = bt_timing.OnPeaks(fresh);
-      detections.insert(detections.end(), d2.begin(), d2.end());
+      contain("detect/timing-wifi", [&] {
+        auto d1 = wifi_timing.OnPeaks(fresh);
+        detections.insert(detections.end(), d1.begin(), d1.end());
+      });
+      contain("detect/timing-bt", [&] {
+        auto d2 = bt_timing.OnPeaks(fresh);
+        detections.insert(detections.end(), d2.begin(), d2.end());
+      });
     }
     if (config_.microwave_detector) {
       CostLedger::Scope scope(ledger, "detect/timing", 0);
-      auto d = mw_timing.OnPeaks(fresh);
-      detections.insert(detections.end(), d.begin(), d.end());
+      contain("detect/timing-microwave", [&] {
+        auto d = mw_timing.OnPeaks(fresh);
+        detections.insert(detections.end(), d.begin(), d.end());
+      });
     }
     if (config_.zigbee_detector) {
       CostLedger::Scope scope(ledger, "detect/timing", 0);
-      auto d = zb_timing.OnPeaks(fresh);
-      detections.insert(detections.end(), d.begin(), d.end());
+      contain("detect/timing-zigbee", [&] {
+        auto d = zb_timing.OnPeaks(fresh);
+        detections.insert(detections.end(), d.begin(), d.end());
+      });
     }
     if (config_.collision_detector) {
       for (const Peak& p : fresh) {
@@ -284,8 +328,10 @@ MonitorReport RFDumpPipeline::Process(dsp::const_sample_span x) {
                                      static_cast<std::int64_t>(x.size())));
         if (e <= s) continue;
         CostLedger::Scope scope(ledger, "detect/collision", e - s);
-        auto d = collision.OnPeak(p, x.subspan(s, e - s));
-        detections.insert(detections.end(), d.begin(), d.end());
+        contain("detect/collision", [&] {
+          auto d = collision.OnPeak(p, x.subspan(s, e - s));
+          detections.insert(detections.end(), d.begin(), d.end());
+        });
       }
     }
     if (config_.phase_detectors) {
@@ -299,8 +345,12 @@ MonitorReport RFDumpPipeline::Process(dsp::const_sample_span x) {
         if (e <= s) continue;
         const auto span = x.subspan(s, e - s);
         CostLedger::Scope scope(ledger, "detect/phase", span.size());
-        if (auto d = dbpsk_phase.OnPeak(p, span)) detections.push_back(*d);
-        if (auto d = gfsk_phase.OnPeak(p, span)) detections.push_back(*d);
+        contain("detect/phase-dbpsk", [&] {
+          if (auto d = dbpsk_phase.OnPeak(p, span)) detections.push_back(*d);
+        });
+        contain("detect/phase-gfsk", [&] {
+          if (auto d = gfsk_phase.OnPeak(p, span)) detections.push_back(*d);
+        });
       }
     }
   };
@@ -368,8 +418,8 @@ MonitorReport RFDumpPipeline::Process(dsp::const_sample_span x) {
     report.health.back().rejected_detections = rejected_n;
     report.health.back().forwarded_intervals = report.dispatched.size();
   }
-  RunAnalysis(config_.analysis, config_.noise_floor_power, report.dispatched,
-              x, ledger, report);
+  RunAnalysis(config_.analysis, config_.noise_floor_power, config_.supervisor,
+              report.dispatched, x, ledger, report);
 
   report.costs = ledger.Costs();
   return report;
@@ -421,8 +471,8 @@ MonitorReport NaivePipeline::Process(dsp::const_sample_span x) {
                          static_cast<std::int64_t>(x.size()), 1.0f, "naive"});
   }
   report.dispatched = intervals;
-  RunAnalysis(config_.analysis, config_.noise_floor_power, intervals, x,
-              ledger, report);
+  RunAnalysis(config_.analysis, config_.noise_floor_power, config_.supervisor,
+              intervals, x, ledger, report);
   report.costs = ledger.Costs();
   return report;
 }

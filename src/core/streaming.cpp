@@ -20,6 +20,11 @@ struct StreamingMetrics {
       "rfdump_streaming_duplicate_samples_total");
   obs::Counter& sanitized = obs::Registry::Default().GetCounter(
       "rfdump_streaming_sanitized_samples_total");
+  /// Whole-block pipeline failures (an escape the per-interval stage
+  /// boundaries did not catch — should stay at zero; the block's results are
+  /// lost but the monitor itself keeps running).
+  obs::Counter& block_failures = obs::Registry::Default().GetCounter(
+      "rfdump_streaming_block_failures_total");
   obs::Counter& shed_up = obs::LabeledCounter(
       "rfdump_streaming_shed_transitions_total", "direction", "up");
   obs::Counter& shed_down = obs::LabeledCounter(
@@ -49,8 +54,13 @@ double HealthSummary::MeanLoad() const {
 StreamingMonitor::StreamingMonitor() : StreamingMonitor(Config{}) {}
 
 StreamingMonitor::StreamingMonitor(Config config)
-    : config_(config), pipeline_(config.pipeline) {
+    : config_(config),
+      supervisor_(config.supervisor),
+      pipeline_(config.pipeline) {
   buffer_.reserve(config_.block_samples + config_.overlap_samples);
+  // Rebuild the pipeline with the owned supervisor wired in (the caller's
+  // pipeline config cannot point at it — it does not exist yet).
+  ApplyShedStage();
 }
 
 void StreamingMonitor::Push(dsp::const_sample_span segment) {
@@ -143,6 +153,13 @@ double StreamingMonitor::CpuOverRealTime() const {
 void StreamingMonitor::set_cpu_budget(double budget) {
   config_.cpu_budget = budget;
   under_budget_blocks_ = 0;
+  if (budget <= 0.0 && shed_stage_ != 0) {
+    // Disabling shedding is an operator decision; restore the full pipeline
+    // immediately rather than waiting for the next block's load sample.
+    shed_stage_ = 0;
+    StreamingMetrics::Get().shed_stage.Set(0);
+    ApplyShedStage();
+  }
 }
 
 void StreamingMonitor::EmitHealth(HealthReport h) {
@@ -165,6 +182,12 @@ void StreamingMonitor::EmitHealth(HealthReport h) {
   summary_.tagged_detections += h.tagged_detections;
   summary_.rejected_detections += h.rejected_detections;
   summary_.forwarded_intervals += h.forwarded_intervals;
+  summary_.supervised_intervals += h.supervised_intervals;
+  summary_.deadline_intervals += h.deadline_intervals;
+  summary_.exception_intervals += h.exception_intervals;
+  summary_.skipped_intervals += h.skipped_intervals;
+  summary_.quarantined_intervals += h.quarantined_intervals;
+  summary_.breaker_trips += h.breaker_trips;
   summary_.max_shed_stage = std::max(summary_.max_shed_stage, h.shed_stage);
   summary_.max_block_load = std::max(summary_.max_block_load, h.block_load);
   summary_.load_seconds += h.block_load * (static_cast<double>(h.block_samples) /
@@ -185,6 +208,7 @@ void StreamingMonitor::EmitHealth(HealthReport h) {
 
 void StreamingMonitor::ApplyShedStage() {
   RFDumpPipeline::Config cfg = config_.pipeline;
+  cfg.supervisor = &supervisor_;  // breaker state survives reconstruction
   if (shed_stage_ >= 1) {
     cfg.freq_detector = false;
     cfg.microwave_detector = false;
@@ -201,7 +225,8 @@ void StreamingMonitor::ApplyShedStage() {
   pipeline_ = RFDumpPipeline(cfg);
 }
 
-void StreamingMonitor::UpdateShedding(double block_load) {
+void StreamingMonitor::UpdateShedding(double block_load,
+                                      bool deadline_pressure) {
   if (config_.cpu_budget <= 0.0) {
     if (shed_stage_ != 0) {
       shed_stage_ = 0;
@@ -217,6 +242,11 @@ void StreamingMonitor::UpdateShedding(double block_load) {
       StreamingMetrics::Get().shed_stage.Set(shed_stage_);
       ApplyShedStage();
     }
+  } else if (deadline_pressure) {
+    // Deadline-aborted intervals mean measured load understates offered
+    // load (work was cut short, not completed). Don't let an artificially
+    // cheap block walk the shed stage back down.
+    under_budget_blocks_ = 0;
   } else if (shed_stage_ > 0 &&
              block_load <
                  config_.shed_resume_fraction * config_.cpu_budget) {
@@ -239,13 +269,38 @@ void StreamingMonitor::ProcessBlock(bool final_block, bool gap_cut) {
                   : std::min(buffer_.size(), config_.block_samples);
   const auto block = dsp::const_sample_span(buffer_).first(take);
 
+  // Quarantine records want absolute stream positions; the pipeline works
+  // block-relative, so tell the supervisor where this block starts.
+  supervisor_.set_stream_offset(buffer_start_);
+
   // The shed controller and the per-stage ledger read the same monotonic
   // clock (obs::Stopwatch); this one covers the whole pipeline call, so
   // block_load also charges any between-stage overhead to the block.
   obs::Stopwatch block_watch;
-  auto report = pipeline_.Process(block);
+  MonitorReport report;
+  // Last-resort containment: per-interval stage boundaries catch demodulator
+  // and detector throws, so anything arriving here escaped from pipeline
+  // plumbing itself. The block's results are lost; the monitor is not.
+  try {
+    report = pipeline_.Process(block);
+  } catch (...) {
+    StreamingMetrics::Get().block_failures.Inc();
+    report = MonitorReport{};
+    report.samples_total = take;
+  }
   const double block_cpu = block_watch.Seconds();
   samples_processed_ += take;
+
+  // Supervision outcomes for this block: delta against the last snapshot of
+  // the (cumulative) supervisor counters.
+  const Supervisor::Counts now = supervisor_.counts();
+  const std::uint64_t d_supervised = now.invocations - last_counts_.invocations;
+  const std::uint64_t d_deadline = now.deadline - last_counts_.deadline;
+  const std::uint64_t d_exception = now.exception - last_counts_.exception;
+  const std::uint64_t d_skipped = now.skipped - last_counts_.skipped;
+  const std::uint64_t d_quarantined = now.quarantined - last_counts_.quarantined;
+  const std::uint64_t d_trips = now.breaker_trips - last_counts_.breaker_trips;
+  last_counts_ = now;
 
   // Merge stage costs.
   for (const auto& c : report.costs) {
@@ -270,8 +325,18 @@ void StreamingMonitor::ProcessBlock(bool final_block, bool gap_cut) {
       take > 0
           ? block_cpu / (static_cast<double>(take) / dsp::kSampleRateHz)
           : 0.0;
+  h.supervised_intervals = d_supervised;
+  h.deadline_intervals = d_deadline;
+  h.exception_intervals = d_exception;
+  h.skipped_intervals = d_skipped;
+  h.quarantined_intervals = d_quarantined;
+  h.breaker_trips = static_cast<std::uint32_t>(d_trips);
+  h.open_breakers = supervisor_.open_breakers();
   const double block_load = h.block_load;
   EmitHealth(h);
+  // A block has elapsed for breaker cooldown purposes (open -> half-open
+  // transitions happen here, after the block's health was reported).
+  supervisor_.OnBlockEnd();
 
   // Ownership boundary: this block reports every result that *starts* in
   // [emitted_until_, boundary); results starting inside the overlap tail are
@@ -317,7 +382,7 @@ void StreamingMonitor::ProcessBlock(bool final_block, bool gap_cut) {
 
   emitted_until_ = boundary;
   // Adapt the shed stage for the *next* block from this block's load.
-  UpdateShedding(block_load);
+  UpdateShedding(block_load, /*deadline_pressure=*/d_deadline > 0);
   if (final_block) {
     buffer_start_ += static_cast<std::int64_t>(take);
     buffer_.clear();

@@ -174,7 +174,8 @@ const CckCodebook& CodebookFor(Rate rate) {
 util::BitVec DecodeCckPayloadRaw(dsp::const_sample_span chips,
                                  std::size_t payload_start_chip,
                                  std::size_t symbols_needed, Rate rate,
-                                 cfloat prev_ref) {
+                                 cfloat prev_ref,
+                                 rfdump::util::WorkBudget* budget) {
   const auto& cb = CodebookFor(rate);
   // Pass 1: decide each symbol while cancelling the *post*-cursor ISI of the
   // previous decision (the band-limited image of a symbol bleeds ~4 chips
@@ -219,6 +220,9 @@ util::BitVec DecodeCckPayloadRaw(dsp::const_sample_span chips,
     std::array<cfloat, 4> pending_tail{};
     const cfloat* tail_ptr = nullptr;
     for (std::size_t m = 0; m < symbols_needed; ++m) {
+      // The codeword search dominates CCK cost: charge the budget per symbol
+      // quantum so an absurd claimed length aborts instead of spinning.
+      if (budget && (m & 31u) == 0u && !budget->Charge(32 * 8)) break;
       pass1[m] = decide(payload_start_chip + 8 * m, nullptr, tail_ptr);
       if (!pass1[m].valid) break;
       for (std::size_t c = 0; c < 4; ++c) {
@@ -234,6 +238,7 @@ util::BitVec DecodeCckPayloadRaw(dsp::const_sample_span chips,
   std::array<cfloat, 4> pending_tail{};
   const cfloat* tail_ptr = nullptr;
   for (std::size_t m = 0; m < symbols_needed; ++m) {
+    if (budget && (m & 31u) == 0u && !budget->Charge(32 * 8)) break;
     if (!pass1[m].valid) break;
     std::array<cfloat, 4> head{};
     const cfloat* head_ptr = nullptr;
@@ -290,6 +295,12 @@ std::vector<DecodedFrame> Demodulator::DecodeAll(dsp::const_sample_span x) {
   c_samples.Inc(x.size());
   if (x.size() < 64) return frames;
 
+  // Cooperative deadline: the fixed front matter (resample + correlation) is
+  // linear in the window, so charge it up front; the scan loop below charges
+  // per sync attempt because adversarial input can retry indefinitely there.
+  util::WorkBudget* budget = config_.budget;
+  if (budget && !budget->Charge(x.size())) return frames;
+
   // 1. Resample the 8 Msps capture to the 11 Mchip/s chip rate. Flush with
   // zeros so the resampler group delay and the 11-chip correlation window do
   // not truncate the final symbols of a frame that ends at the window edge.
@@ -324,12 +335,14 @@ std::vector<DecodedFrame> Demodulator::DecodeAll(dsp::const_sample_span x) {
   // 3. Scan for DSSS activity and attempt frame sync at each candidate.
   std::size_t scan = 0;
   while (scan + config_.min_sync_symbols * 11 < ncorr) {
+    if (budget && budget->expired()) break;  // abort with partial results
     if (norm[scan] < config_.correlation_threshold) {
       ++scan;
       continue;
     }
     ++stats_.sync_attempts;
     c_attempts.Inc();
+    if (budget && !budget->Charge(11 * config_.min_sync_symbols)) break;
 
     // 3a. Symbol timing: strongest correlation phase (mod 11) over the next
     // min_sync_symbols symbols.
@@ -364,6 +377,7 @@ std::vector<DecodedFrame> Demodulator::DecodeAll(dsp::const_sample_span x) {
     {
       std::size_t misses = 0;
       for (std::size_t n = 0; base + 11 * n < ncorr; ++n) {
+        if (budget && (n & 255u) == 255u && !budget->Charge(11 * 256)) break;
         const std::size_t idx = base + 11 * n;
         if (norm[idx] < config_.correlation_threshold * 0.5f) {
           if (++misses > 8) break;
@@ -540,7 +554,7 @@ std::vector<DecodedFrame> Demodulator::DecodeAll(dsp::const_sample_span x) {
       if (last_header_symbol < symbols.size()) {
         payload_raw = DecodeCckPayloadRaw(
             chips, payload_start_chip, symbols_needed, header->rate,
-            symbols[last_header_symbol]);
+            symbols[last_header_symbol], budget);
         if (payload_raw.size() > payload_bits_needed) {
           payload_raw.resize(payload_bits_needed);
         }

@@ -34,6 +34,7 @@ std::vector<DecodedBtPacket> Demodulator::DecodeAll(dsp::const_sample_span x) {
     ScanChannel(x, config_.channel_index, out);
   } else {
     for (int idx = 0; idx < kVisibleChannels; ++idx) {
+      if (config_.budget && config_.budget->expired()) break;
       ScanChannel(x, idx, out);
     }
   }
@@ -54,6 +55,12 @@ void Demodulator::ScanChannel(dsp::const_sample_span x, int idx,
       "rfdump_phybt_crc_fail_total");
   stats_.samples_processed += x.size();
   c_samples.Inc(x.size());
+
+  // Cooperative deadline: channelize + filter + discriminate are linear in
+  // the window, so charge them up front; the scan loop charges per sync
+  // check and per body decode, where adversarial input can burn CPU.
+  util::WorkBudget* budget = config_.budget;
+  if (budget && !budget->Charge(x.size())) return;
 
   // Channelize: translate the channel to DC and low-pass to ~1 MHz.
   dsp::SampleVec ch(x.begin(), x.end());
@@ -116,6 +123,7 @@ void Demodulator::ScanChannel(dsp::const_sample_span x, int idx,
     }
     ++stats_.sync_checks;
     c_checks.Inc();
+    if (budget && !budget->Charge(64 * kSps)) break;
     // Slice the 64 sync bits and verify against the BCH code.
     const util::BitVec sync_bits =
         SliceSymbols(freq, pos + 4 * kSps, 64);
@@ -131,6 +139,10 @@ void Demodulator::ScanChannel(dsp::const_sample_span x, int idx,
     const std::size_t body_start = pos + kAccessBits * kSps;
     const std::size_t avail_bits =
         (freq.size() - body_start) / kSps;
+    if (budget &&
+        !budget->Charge(std::min(avail_bits, kMaxBodyBits) * kSps)) {
+      break;
+    }
     const util::BitVec body = SliceSymbols(
         freq, body_start, std::min(avail_bits, kMaxBodyBits));
     auto parsed = ParsePacketBits(body, config_.expected_uap);

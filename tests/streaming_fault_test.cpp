@@ -295,6 +295,39 @@ TEST(StreamingFault, SheddingEngagesAndRecoversWithHysteresis) {
   EXPECT_TRUE(stage3_block_with_activity);
 }
 
+TEST(StreamingFault, DisablingBudgetRestoresFullPipelineImmediately) {
+  // Regression: set_cpu_budget(0) used to leave shed_stage_ stuck at its
+  // last value until the next processed block happened to run the shedding
+  // controller — so an operator turning shedding *off* kept a degraded
+  // pipeline. Disabling the budget must restore stage 0 on the spot.
+  const auto scenario = MakeScenario(/*pings=*/6, /*seed=*/61);
+  core::StreamingMonitor::Config mcfg;
+  mcfg.block_samples = 100'000;
+  mcfg.overlap_samples = 40'000;
+  mcfg.cpu_budget = 1e-9;  // impossible: ratchets straight to detect-only
+  core::StreamingMonitor monitor(mcfg);
+
+  const auto all = dsp::const_sample_span(scenario.samples);
+  const std::size_t half = scenario.samples.size() / 2;
+  monitor.Push(all.first(half));
+  ASSERT_EQ(monitor.shed_stage(), core::kShedStageMax);
+  const std::size_t blocks_before = monitor.health().size();
+
+  monitor.set_cpu_budget(0.0);
+  // Restored immediately — not after the next block's load sample.
+  EXPECT_EQ(monitor.shed_stage(), 0);
+
+  monitor.Push(all.subspan(half));
+  monitor.Flush();
+  // Every block processed after the operator disabled shedding ran the full
+  // pipeline.
+  ASSERT_GT(monitor.health().size(), blocks_before);
+  for (std::size_t i = blocks_before; i < monitor.health().size(); ++i) {
+    EXPECT_EQ(monitor.health()[i].shed_stage, 0);
+  }
+  EXPECT_EQ(monitor.shed_stage(), 0);
+}
+
 TEST(StreamingFault, DispatchCountersAgreeWithHealthAndFaultLog) {
   // The observability counters, the per-block HealthReports, the cumulative
   // HealthSummary and the front end's ground-truth fault log are four views
