@@ -19,6 +19,7 @@
 #include <fstream>
 #include <string>
 
+#include "rfdump/core/executor.hpp"
 #include "rfdump/core/pipeline.hpp"
 #include "rfdump/obs/obs.hpp"
 #include "rfdump/core/spectrogram.hpp"
@@ -42,6 +43,9 @@ void PrintUsage(const char* argv0) {
       "  --arch A           rfdump (default) | naive | energy\n"
       "  --detectors D      both (default) | timing | phase\n"
       "  --no-demod         detection stage only\n"
+      "  --threads N        analysis worker threads (default 1 = serial;\n"
+      "                     0 = one per hardware thread). Results are\n"
+      "                     identical at every width; only wall time moves\n"
       "  --collisions       enable collision detection\n"
       "  --stats            print per-stage CPU costs\n"
       "  --waterfall        print an ASCII spectrogram of the band\n"
@@ -333,6 +337,7 @@ int main(int argc, char** argv) {
   double noise_floor = 1.0;
   double budget = 0.0;
   double deadline = 0.0;
+  int threads = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -346,6 +351,8 @@ int main(int argc, char** argv) {
       detectors = argv[++i];
     } else if (arg == "--no-demod") {
       no_demod = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
     } else if (arg == "--collisions") {
       collisions = true;
     } else if (arg == "--stats") {
@@ -396,6 +403,18 @@ int main(int argc, char** argv) {
   std::printf("monitoring %.3f s (%zu samples)\n\n",
               static_cast<double>(x.size()) / dsp::kSampleRateHz, x.size());
 
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+  }
+  if (threads < 1) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return 2;
+  }
+  // One executor for the whole run: Executor(1) is serial inline (no pool),
+  // wider widths fan the analysis stage out per interval x protocol.
+  core::Executor executor(threads);
+
   core::MonitorReport report;
   if (impair) {
     if (arch != "rfdump") {
@@ -410,6 +429,7 @@ int main(int argc, char** argv) {
     mcfg.pipeline.noise_floor_power = noise_floor;
     mcfg.pipeline.analysis.demodulate = !no_demod;
     mcfg.block_samples = 400'000;  // 50 ms blocks: visible health cadence
+    mcfg.threads = threads;
     mcfg.cpu_budget = budget;
     mcfg.supervisor.demod_limits.max_cpu_seconds = deadline;
     report = MonitorImpaired(x, mcfg, metrics_path, quarantine_dir);
@@ -418,6 +438,7 @@ int main(int argc, char** argv) {
     cfg.energy_gate = (arch == "energy");
     cfg.noise_floor_power = noise_floor;
     cfg.analysis.demodulate = !no_demod;
+    cfg.executor = &executor;
     report = core::NaivePipeline(cfg).Process(x);
   } else if (arch == "rfdump") {
     core::RFDumpPipeline::Config cfg;
@@ -427,6 +448,7 @@ int main(int argc, char** argv) {
     cfg.microwave_detector = true;
     cfg.noise_floor_power = noise_floor;
     cfg.analysis.demodulate = !no_demod;
+    cfg.executor = &executor;
     report = core::RFDumpPipeline(cfg).Process(x);
   } else {
     std::fprintf(stderr, "unknown --arch %s\n", arch.c_str());

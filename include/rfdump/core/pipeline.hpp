@@ -29,6 +29,9 @@
 
 namespace rfdump::core {
 
+class Executor;    // core/executor.hpp — analysis-stage execution engine
+class ResultSink;  // core/result_sink.hpp — unified result emission
+
 /// Cost of one pipeline stage over a Process() call.
 struct StageCost {
   std::string name;
@@ -102,6 +105,37 @@ struct AnalysisConfig {
   float min_dispatch_confidence = 0.0f;
 };
 
+/// Product of a pipeline's detection stages (health scan, peak detection,
+/// protocol detectors, dispatch): everything up to — but not including —
+/// demodulation, plus the parameters the analysis stage needs. The split
+/// exists so the streaming monitor can run detection of block N+1 while
+/// block N is still in analysis (DESIGN.md §10); Process() is simply
+/// AnalyzeDetections(Detect(x), x, ...).
+struct DetectOutput {
+  /// detections / dispatched / health and the detect-stage costs are
+  /// filled; the analysis result vectors are still empty.
+  MonitorReport report;
+  /// Snapshot of the analysis parameters at detection time (the streaming
+  /// monitor's shed controller may reconfigure the pipeline between blocks,
+  /// so the block analyzed later must use the config it was detected with).
+  AnalysisConfig analysis;
+  double noise_floor_power = 1.0;
+  Supervisor* supervisor = nullptr;  // non-owning, may be null
+};
+
+/// Runs the demodulator bank over `det.report.dispatched` and returns the
+/// completed report. `x` must be the same span Detect() saw. A null or
+/// serial `executor` reproduces the historical single-threaded analysis
+/// byte-for-byte; a parallel executor fans each interval x protocol
+/// demodulation out as independent tasks and merges result slots in
+/// submission order, so the result-bearing report fields are identical to
+/// the serial run. `sink`, when set, receives every report entry (health
+/// first, then detections/frames/packets) after analysis completes.
+[[nodiscard]] MonitorReport AnalyzeDetections(DetectOutput det,
+                                              dsp::const_sample_span x,
+                                              Executor* executor = nullptr,
+                                              ResultSink* sink = nullptr);
+
 /// RFDump architecture (Figure 2).
 class RFDumpPipeline {
  public:
@@ -131,14 +165,28 @@ class RFDumpPipeline {
     /// (the batch-experiment default) preserves unsupervised semantics. The
     /// streaming monitor always wires its own supervisor here.
     Supervisor* supervisor = nullptr;
+    /// Analysis-stage execution engine (non-owning; DESIGN.md §10). Null or
+    /// Executor(1): serial inline analysis, the historical behaviour. A
+    /// wider executor parallelises demodulation with a deterministic
+    /// ordered merge — result-bearing report fields are bit-identical.
+    Executor* executor = nullptr;
+    /// Optional live consumer: Process() emits every report entry into the
+    /// sink after analysis (non-owning; see core/result_sink.hpp).
+    ResultSink* sink = nullptr;
   };
 
   RFDumpPipeline();
   explicit RFDumpPipeline(Config config);
 
   /// Processes a full capture (one-shot batch over a recorded trace, the
-  /// paper's experimental mode).
+  /// paper's experimental mode). Equivalent to
+  /// AnalyzeDetections(Detect(x), x, config().executor, config().sink).
   [[nodiscard]] MonitorReport Process(dsp::const_sample_span x);
+
+  /// Detection stages only (no demodulation); feed the result to
+  /// AnalyzeDetections(). Stateless across calls, so one thread may Detect
+  /// block N+1 while another analyzes block N.
+  [[nodiscard]] DetectOutput Detect(dsp::const_sample_span x);
 
   const Config& config() const { return config_; }
 
@@ -156,12 +204,18 @@ class NaivePipeline {
     AnalysisConfig analysis;
     /// Same contract as RFDumpPipeline::Config::supervisor.
     Supervisor* supervisor = nullptr;
+    /// Same contracts as RFDumpPipeline::Config::{executor, sink}.
+    Executor* executor = nullptr;
+    ResultSink* sink = nullptr;
   };
 
   NaivePipeline();
   explicit NaivePipeline(Config config);
 
   [[nodiscard]] MonitorReport Process(dsp::const_sample_span x);
+
+  /// Detection/gating stages only; same contract as RFDumpPipeline::Detect.
+  [[nodiscard]] DetectOutput Detect(dsp::const_sample_span x);
 
   const Config& config() const { return config_; }
 

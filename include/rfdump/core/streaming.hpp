@@ -23,14 +23,35 @@
 // own priority order: optional detectors first, then demodulation of
 // low-confidence tags, then demodulation entirely (detection-only, the cheap
 // mode of Fig 9). Hysteresis restores stages as load falls.
+//
+// Execution model (DESIGN.md §10): with Config::threads == 1 the monitor is
+// fully serial — every Push runs detection and analysis inline, exactly the
+// historical behaviour. With threads >= 2 the monitor pipelines: the caller
+// thread keeps doing ingest + detection, completed blocks are handed to an
+// internal analyzer thread through a bounded queue (double-buffering:
+// detection of block N+1 overlaps analysis of block N), and the analyzer
+// fans the demodulator bank out over a core::Executor of the configured
+// width. Emission stays a single synchronised point — the analyzer thread —
+// so ResultSink implementations never see concurrent calls, and the ordered
+// merge keeps results identical to the serial run. When the queue is full,
+// Push blocks (backpressure) and the stall is fed to the shed controller as
+// an overload signal.
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
 
 #include "rfdump/core/pipeline.hpp"
 
 namespace rfdump::core {
+
+class Executor;    // core/executor.hpp
+class ResultSink;  // core/result_sink.hpp
 
 /// Highest shed stage: detection only, no demodulation.
 inline constexpr int kShedStageMax = 3;
@@ -74,6 +95,25 @@ class StreamingMonitor {
     /// the longest frame (~19 ms => 152k samples; default 160k).
     std::size_t overlap_samples = 160'000;
 
+    /// Analysis workers (core::Executor width, including the analyzer
+    /// thread itself). 1 = fully serial monitor, the historical behaviour.
+    /// >= 2 enables the pipelined mode described in the file comment.
+    /// 0 is invalid here (Validate() throws): the monitor must not silently
+    /// pick a width, the operator chooses (the CLI maps --threads 0 to the
+    /// hardware concurrency before it reaches this config).
+    int threads = 1;
+    /// Bounded depth of the detect->analyze hand-off queue, in blocks
+    /// (pipelined mode only). Push blocks when the queue is full; the stall
+    /// is reported to the shed controller as overload. Must be >= 1.
+    std::size_t max_queue_blocks = 2;
+
+    /// Unified result sink (non-owning; see core/result_sink.hpp): decoded
+    /// frames/packets, detections and per-block health all emit here, from
+    /// one synchronised emission point. The legacy on_* callback members on
+    /// the monitor still fire (back-compat shims through the same path) but
+    /// are deprecated in favour of this.
+    ResultSink* sink = nullptr;
+
     /// CPU-over-real-time budget per block. 0 disables load shedding.
     /// When a block's load exceeds the budget the monitor sheds one stage:
     ///   1: optional detectors off (freq/microwave/zigbee/collision)
@@ -98,13 +138,27 @@ class StreamingMonitor {
     /// config and wires it into the pipeline; the defaults leave deadlines
     /// unlimited, so supervision is containment-only unless limits are set.
     Supervisor::Config supervisor;
+
+    /// Rejects configurations that used to misbehave silently. Throws
+    /// std::invalid_argument on: overlap_samples >= block_samples (the
+    /// block schedule would never advance), block_samples == 0, threads < 1,
+    /// max_queue_blocks == 0, and negative budgets (cpu_budget or the
+    /// supervisor's demod CPU limit). Both constructors call this.
+    void Validate() const;
   };
 
   StreamingMonitor();
   explicit StreamingMonitor(Config config);
+  ~StreamingMonitor();
+  StreamingMonitor(const StreamingMonitor&) = delete;
+  StreamingMonitor& operator=(const StreamingMonitor&) = delete;
 
   /// Feeds a segment assumed contiguous with the previous one (a front-end
-  /// that never drops). May invoke callbacks.
+  /// that never drops). Documented alias for
+  /// `PushSegment(next_expected_timestamp, segment)`: the timestamp
+  /// auto-advances past everything pushed so far (first call anchors the
+  /// stream at 0), so there is exactly one ingest path and mixing Push with
+  /// PushSegment is well-defined. May invoke sink/callbacks.
   void Push(dsp::const_sample_span segment);
 
   /// Feeds a timestamped segment: `start_sample` is the absolute stream
@@ -115,11 +169,16 @@ class StreamingMonitor {
   /// zeroed (and counted) on ingest.
   void PushSegment(std::int64_t start_sample, dsp::const_sample_span samples);
 
-  /// Processes whatever is buffered, regardless of block size.
+  /// Processes whatever is buffered, regardless of block size, and (in
+  /// pipelined mode) drains the analyzer queue: after Flush() every result
+  /// for pushed samples has been emitted and the accessors below are safe
+  /// to read even with threads >= 2.
   void Flush();
 
-  /// Called for every decoded 802.11 frame / Bluetooth packet / detection.
-  /// Positions are absolute stream sample indices.
+  /// Legacy per-event callbacks (positions are absolute stream indices).
+  /// Deprecated: thin shims kept for one release — they are invoked through
+  /// the same single emission point as Config::sink, which also receives
+  /// ZigBee frames (these callbacks never did). Prefer Config::sink.
   std::function<void(const phy80211::DecodedFrame&)> on_wifi_frame;
   std::function<void(const phybt::DecodedBtPacket&)> on_bt_packet;
   std::function<void(const Detection&)> on_detection;
@@ -147,10 +206,13 @@ class StreamingMonitor {
   const HealthSummary& summary() const { return summary_; }
 
   /// Current load-shedding stage (0 = full pipeline).
-  [[nodiscard]] int shed_stage() const { return shed_stage_; }
+  [[nodiscard]] int shed_stage() const {
+    return shed_stage_.load(std::memory_order_relaxed);
+  }
 
   /// Adjusts the CPU budget at runtime (operator knob; 0 disables shedding
-  /// and immediately restores the full pipeline).
+  /// and immediately restores the full pipeline). In pipelined mode, call
+  /// only while quiescent (before the first Push or after a Flush).
   void set_cpu_budget(double budget);
 
   /// The supervision layer: breaker states, outcome counts, quarantine.
@@ -158,9 +220,51 @@ class StreamingMonitor {
   Supervisor& supervisor() { return supervisor_; }
 
  private:
+  /// One detected block handed from the ingest/detect thread to the
+  /// analyzer (pipelined mode). Carries everything the analyzer needs so
+  /// the two threads share no mutable monitor state: the sample copy, the
+  /// detection output, the emission window, and the ingest tallies.
+  struct BlockJob {
+    dsp::SampleVec samples;
+    DetectOutput det;
+    std::int64_t base = 0;       // absolute index of samples[0]
+    std::size_t take = 0;        // block length
+    std::int64_t emit_from = 0;  // ownership window [emit_from, boundary)
+    std::int64_t boundary = 0;
+    bool gap_cut = false;
+    int shed_stage = 0;          // stage the block was detected at
+    double detect_seconds = 0.0;
+    // Ingest tallies flushed into this block's HealthReport.
+    std::uint32_t gap_count = 0;
+    std::int64_t gap_samples = 0;
+    std::int64_t overlap_samples = 0;
+    std::uint64_t sanitized = 0;
+  };
+
+  [[nodiscard]] bool pipelined() const { return analyzer_.joinable(); }
   void ProcessBlock(bool final_block, bool gap_cut);
+  /// Pipelined-mode block hand-off: detect on the calling thread, package a
+  /// BlockJob, advance the ingest state, enqueue (blocking when full).
+  void EnqueueBlock(bool final_block, bool gap_cut);
+  void AnalyzerLoop();
+  /// Analyzer-side half of a block: analysis fan-out, health, emission,
+  /// shed-controller update.
+  void AnalyzeBlock(BlockJob& job);
+  /// Blocks until the analyzer queue is empty and the analyzer is idle.
+  void DrainQueue();
+  /// Serial-mode health emission: folds the pending ingest tallies into `h`
+  /// and forwards to RecordHealth.
   void EmitHealth(HealthReport h);
-  void UpdateShedding(double block_load, bool deadline_pressure);
+  /// Summary/ring/metrics bookkeeping + health emission (tally-free; safe
+  /// from the analyzer thread).
+  void RecordHealth(const HealthReport& h);
+  // The single emission point: Config::sink plus the legacy callback shims.
+  void EmitWifi(const phy80211::DecodedFrame& f);
+  void EmitBt(const phybt::DecodedBtPacket& p);
+  void EmitZb(const phyzigbee::DecodedZbFrame& z);
+  void EmitDetection(const Detection& d);
+  void UpdateShedding(double block_load, bool deadline_pressure,
+                      bool backpressure);
   void ApplyShedStage();
   [[nodiscard]] std::uint64_t AppendSanitized(dsp::const_sample_span samples);
 
@@ -169,7 +273,8 @@ class StreamingMonitor {
   /// the pipeline reconstructions that shed-stage changes trigger.
   Supervisor supervisor_;
   Supervisor::Counts last_counts_;  // snapshot for per-block deltas
-  RFDumpPipeline pipeline_;  // persists across blocks (reflects shed stage)
+  RFDumpPipeline pipeline_;  // persists across blocks (reflects shed stage);
+                             // owned by the ingest/detect thread
   dsp::SampleVec buffer_;
   std::int64_t buffer_start_ = 0;      // absolute index of buffer_[0]
   std::int64_t emitted_until_ = 0;     // results before this are already out
@@ -186,9 +291,24 @@ class StreamingMonitor {
   std::int64_t pending_overlap_samples_ = 0;
   std::uint64_t pending_sanitized_ = 0;
 
-  // Load-shedding controller state.
-  int shed_stage_ = 0;
+  // Load-shedding controller state. The controller runs wherever block
+  // bookkeeping runs (caller thread when serial, analyzer thread when
+  // pipelined); shed_stage_ is atomic because the ingest thread reads it as
+  // the rebuild target and accessors may poll it.
+  std::atomic<int> shed_stage_{0};
   int under_budget_blocks_ = 0;
+  int applied_shed_stage_ = 0;  // ingest-side: stage pipeline_ was built at
+
+  // Pipelined mode (threads >= 2): analyzer thread + bounded job queue.
+  std::unique_ptr<Executor> executor_;
+  std::thread analyzer_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;        // signalled on push / stop
+  std::condition_variable queue_space_cv_;  // signalled on pop / idle
+  std::deque<BlockJob> queue_;
+  bool stop_ = false;
+  bool analyzer_busy_ = false;
+  std::atomic<bool> backpressure_{false};  // ingest stalled since last block
 };
 
 }  // namespace rfdump::core

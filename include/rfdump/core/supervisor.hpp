@@ -22,14 +22,20 @@
 // streaming monitor deltas into per-block HealthReports.
 //
 // Concurrency: Supervise() may be called from multiple analysis workers
-// concurrently (the prerequisite for the future multi-threaded analysis
-// pool) — breaker, quarantine and counter state are mutex-protected, and the
-// supervised closure itself runs outside the lock.
+// concurrently — breaker, quarantine and counter state are mutex-protected,
+// and the supervised closure itself runs outside the lock. The parallel
+// analysis path (core::Executor, DESIGN.md §10) uses the split form of the
+// same boundary: Admit() on the driver thread in dispatch order (so breaker
+// decisions are deterministic for a given stream), the units run on workers
+// charging the shared Admission budget, and Finish() closes the boundary
+// exactly once when the last unit completes. Supervise() is implemented on
+// top of Admit()/Finish() and keeps its exact historical semantics.
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -112,10 +118,47 @@ class Supervisor {
     std::uint64_t budget_charged = 0;
   };
 
+  /// Supervision context for one dispatched interval, shared by every
+  /// analysis unit of that interval (e.g. the 8 per-channel Bluetooth
+  /// demodulations). Produced by Admit(), closed by Finish().
+  struct Admission {
+    Protocol protocol = Protocol::kUnknown;
+    std::int64_t start = 0;  // relative to the current stream offset
+    std::int64_t end = 0;
+    /// True: run the unit(s), then call Finish() exactly once. False: the
+    /// boundary is already fully accounted (breaker skip, or the fault hook
+    /// threw) — `outcome` holds the result and Finish() must NOT be called.
+    bool admitted = false;
+    bool is_probe = false;  // half-open probe; resolved by Finish()
+    Outcome outcome = Outcome::kOk;
+    /// Deadline budget shared by all units of the interval. WorkBudget is
+    /// safe to Charge() from concurrent units.
+    util::WorkBudget budget;
+  };
+
   Supervisor();
   explicit Supervisor(Config config);
   Supervisor(const Supervisor&) = delete;
   Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Opens the stage boundary for one interval: invocation accounting,
+  /// breaker check (skip if open), budget arm and fault-hook injection.
+  /// Thread-safe, but callers that need deterministic breaker behaviour
+  /// must Admit() intervals in dispatch order from one thread.
+  /// shared_ptr because the Admission (its WorkBudget holds atomics and
+  /// cannot move) outlives the call in every parallel unit's closure.
+  [[nodiscard]] std::shared_ptr<Admission> Admit(
+      Protocol p, std::int64_t start, std::int64_t end,
+      dsp::const_sample_span interval);
+
+  /// Closes the boundary: budget/outcome accounting, breaker window note
+  /// (trip/close), quarantine on failure. Call exactly once per admitted
+  /// Admission, from any thread, after every unit has completed. `outcome`
+  /// is the combined unit result (any throw => kException with `error`
+  /// from the first failing unit in submission order, else expired budget
+  /// => kDeadline, else kOk); `interval` feeds the quarantine snapshot.
+  Outcome Finish(Admission& admission, Outcome outcome, std::string error,
+                 dsp::const_sample_span interval);
 
   /// Runs `fn` under the stage boundary: breaker check, armed budget,
   /// exception containment, outcome accounting, quarantine on failure.

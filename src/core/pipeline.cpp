@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <deque>
+#include <exception>
 
+#include "rfdump/core/executor.hpp"
+#include "rfdump/core/result_sink.hpp"
 #include "rfdump/obs/obs.hpp"
 #include "rfdump/phybt/hopping.hpp"
 
@@ -77,17 +81,45 @@ class PerProtocolCounter {
   std::array<obs::Counter*, 5> counters_{};
 };
 
+// Deduplicates frames/packets found by more than one pass over overlapping
+// intervals. Runs on the full per-report vectors, so serial and parallel
+// analysis produce identical output as long as they append in the same
+// (interval x unit) submission order — which both do.
+void DedupAnalysisResults(MonitorReport& report) {
+  std::sort(report.bt_packets.begin(), report.bt_packets.end(),
+            [](const auto& a, const auto& b) {
+              return a.start_sample < b.start_sample;
+            });
+  report.bt_packets.erase(
+      std::unique(report.bt_packets.begin(), report.bt_packets.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.channel_index == b.channel_index &&
+                           std::llabs(a.start_sample - b.start_sample) < 16;
+                  }),
+      report.bt_packets.end());
+  std::sort(report.wifi_frames.begin(), report.wifi_frames.end(),
+            [](const auto& a, const auto& b) {
+              return a.start_sample < b.start_sample;
+            });
+  report.wifi_frames.erase(
+      std::unique(report.wifi_frames.begin(), report.wifi_frames.end(),
+                  [](const auto& a, const auto& b) {
+                    return std::llabs(a.start_sample - b.start_sample) < 16;
+                  }),
+      report.wifi_frames.end());
+}
+
 // Runs the demodulator bank over the given per-protocol merged intervals
 // (pass a single full-span detection per protocol for the naive paths).
 // With a supervisor, each interval's analysis runs inside a stage boundary
 // (armed WorkBudget, exception containment, breaker, quarantine); without
 // one, the closure runs directly with an unarmed (unlimited) budget, which
 // preserves the exact unsupervised batch semantics.
-void RunAnalysis(const AnalysisConfig& analysis, double noise_floor_power,
-                 Supervisor* sup, const std::vector<Detection>& intervals,
-                 dsp::const_sample_span x, CostLedger& ledger,
-                 MonitorReport& report) {
-  if (!analysis.demodulate) return;
+void RunAnalysisSerial(const AnalysisConfig& analysis,
+                       double noise_floor_power, Supervisor* sup,
+                       const std::vector<Detection>& intervals,
+                       dsp::const_sample_span x, CostLedger& ledger,
+                       MonitorReport& report) {
   util::WorkBudget unlimited;
   const auto supervised =
       [&](const Detection& d, dsp::const_sample_span span,
@@ -166,29 +198,245 @@ void RunAnalysis(const AnalysisConfig& analysis, double noise_floor_power,
         break;  // no analysis stage for this protocol
     }
   }
-  // Deduplicate Bluetooth packets found by more than one pass over
-  // overlapping intervals.
-  std::sort(report.bt_packets.begin(), report.bt_packets.end(),
-            [](const auto& a, const auto& b) {
-              return a.start_sample < b.start_sample;
-            });
-  report.bt_packets.erase(
-      std::unique(report.bt_packets.begin(), report.bt_packets.end(),
-                  [](const auto& a, const auto& b) {
-                    return a.channel_index == b.channel_index &&
-                           std::llabs(a.start_sample - b.start_sample) < 16;
-                  }),
-      report.bt_packets.end());
-  std::sort(report.wifi_frames.begin(), report.wifi_frames.end(),
-            [](const auto& a, const auto& b) {
-              return a.start_sample < b.start_sample;
-            });
-  report.wifi_frames.erase(
-      std::unique(report.wifi_frames.begin(), report.wifi_frames.end(),
-                  [](const auto& a, const auto& b) {
-                    return std::llabs(a.start_sample - b.start_sample) < 16;
-                  }),
-      report.wifi_frames.end());
+  DedupAnalysisResults(report);
+}
+
+// The parallel analysis path (DESIGN.md §10). Each dispatched interval x
+// protocol demodulation — including every per-channel Bluetooth pass — is
+// submitted as one independent task writing into its own result slot; after
+// the batch joins, slots are merged in submission order, so the
+// result-bearing report fields are bit-identical to the serial run.
+//
+// Supervision uses the split boundary: Admit() on this (driver) thread in
+// interval order — deterministic breaker decisions — and one Finish() per
+// admitted interval at merge time, also in interval order, combining the
+// unit outcomes (first throwing unit in submission order wins the error
+// slot). Unlike the serial path, a throwing unit does not abort its sibling
+// channel units: they run to completion and their results are kept (the
+// "one worker cannot poison siblings" guarantee).
+void RunAnalysisParallel(const AnalysisConfig& analysis,
+                         double noise_floor_power, Supervisor* sup,
+                         Executor* ex, const std::vector<Detection>& intervals,
+                         dsp::const_sample_span x, CostLedger& ledger,
+                         MonitorReport& report) {
+  static obs::Counter& c_zb_attempts = obs::Registry::Default().GetCounter(
+      "rfdump_phyzigbee_decode_attempts_total");
+  static obs::Counter& c_zb_frames = obs::Registry::Default().GetCounter(
+      "rfdump_phyzigbee_frames_total");
+
+  // One result slot per task. Slots are written by exactly one worker each
+  // and only read after Batch::Wait(), so they need no locking.
+  struct UnitOut {
+    const char* stage = nullptr;
+    std::uint64_t samples = 0;
+    double cpu = 0.0;
+    bool ran = false;  // false: skipped on an already-expired budget
+    std::vector<phy80211::DecodedFrame> wifi;
+    std::vector<phybt::DecodedBtPacket> bt;
+    std::vector<phyzigbee::DecodedZbFrame> zb;
+    std::exception_ptr error;
+    std::string error_text;
+  };
+  struct IntervalJob {
+    dsp::const_sample_span span;
+    std::shared_ptr<Supervisor::Admission> admission;  // null without sup
+    bool run_units = true;
+    std::vector<UnitOut> units;
+  };
+
+  // Shared by every task when unsupervised; WorkBudget::Charge is
+  // documented safe under concurrent callers.
+  util::WorkBudget unlimited;
+  std::deque<IntervalJob> jobs;  // deque: stable addresses for task captures
+  Executor::Batch batch(ex);
+
+  for (const auto& d : intervals) {
+    // Unit plan per protocol, mirroring the serial path exactly: protocols
+    // whose demodulation is disabled never open a supervision boundary;
+    // Bluetooth always does (even with zero channels configured).
+    int unit_count = 0;
+    switch (d.protocol) {
+      case Protocol::kWifi80211b:
+        if (!analysis.wifi_demod) continue;
+        unit_count = 1;
+        break;
+      case Protocol::kBluetooth:
+        unit_count = std::max(analysis.bt_demods, 0);
+        break;
+      case Protocol::kZigbee:
+        if (!analysis.zigbee_demod) continue;
+        unit_count = 1;
+        break;
+      default:
+        continue;  // no analysis stage for this protocol
+    }
+
+    jobs.emplace_back();
+    IntervalJob& job = jobs.back();
+    job.span = x.subspan(
+        static_cast<std::size_t>(d.start_sample),
+        static_cast<std::size_t>(d.end_sample - d.start_sample));
+    if (sup != nullptr) {
+      job.admission =
+          sup->Admit(d.protocol, d.start_sample, d.end_sample, job.span);
+      job.run_units = job.admission->admitted;
+    }
+    if (!job.run_units) continue;
+    job.units.resize(static_cast<std::size_t>(unit_count));
+    util::WorkBudget* budget =
+        job.admission ? &job.admission->budget : &unlimited;
+    const std::int64_t start = d.start_sample;
+    const auto span = job.span;
+
+    switch (d.protocol) {
+      case Protocol::kWifi80211b: {
+        UnitOut* out = &job.units[0];
+        batch.Run([out, budget, span, start] {
+          out->ran = true;
+          out->stage = "analysis/80211-demod";
+          out->samples = span.size();
+          obs::Stopwatch w;
+          RFDUMP_TRACE_SPAN("analysis/80211-demod");
+          try {
+            phy80211::Demodulator::Config cfg;
+            cfg.budget = budget;
+            phy80211::Demodulator wifi(cfg);
+            auto frames = wifi.DecodeAll(span);
+            for (auto& f : frames) {
+              f.start_sample += start;
+              f.end_sample += start;
+            }
+            out->wifi = std::move(frames);
+          } catch (const std::exception& e) {
+            out->error = std::current_exception();
+            out->error_text = e.what();
+          } catch (...) {
+            out->error = std::current_exception();
+            out->error_text = "non-std exception";
+          }
+          out->cpu = w.Seconds();
+        });
+        break;
+      }
+      case Protocol::kBluetooth: {
+        for (int ch = 0; ch < unit_count; ++ch) {
+          UnitOut* out = &job.units[static_cast<std::size_t>(ch)];
+          const std::uint8_t uap = analysis.bt_uap;
+          batch.Run([out, budget, span, start, ch, uap, noise_floor_power] {
+            if (budget->expired()) return;  // the serial path's early break
+            out->ran = true;
+            out->stage = "analysis/bt-demod";
+            out->samples = span.size();
+            obs::Stopwatch w;
+            RFDUMP_TRACE_SPAN("analysis/bt-demod");
+            try {
+              phybt::Demodulator::Config cfg;
+              cfg.channel_index = ch % phybt::kVisibleChannels;
+              cfg.expected_uap = uap;
+              cfg.noise_floor_power = noise_floor_power;
+              cfg.budget = budget;
+              phybt::Demodulator bt(cfg);
+              auto pkts = bt.DecodeAll(span);
+              for (auto& p : pkts) {
+                p.start_sample += start;
+                p.end_sample += start;
+              }
+              out->bt = std::move(pkts);
+            } catch (const std::exception& e) {
+              out->error = std::current_exception();
+              out->error_text = e.what();
+            } catch (...) {
+              out->error = std::current_exception();
+              out->error_text = "non-std exception";
+            }
+            out->cpu = w.Seconds();
+          });
+        }
+        break;
+      }
+      case Protocol::kZigbee: {
+        UnitOut* out = &job.units[0];
+        batch.Run([out, budget, span, start] {
+          (void)budget;
+          out->ran = true;
+          out->stage = "analysis/zigbee-demod";
+          out->samples = span.size();
+          obs::Stopwatch w;
+          RFDUMP_TRACE_SPAN("analysis/zigbee-demod");
+          try {
+            c_zb_attempts.Inc();
+            if (auto frame = phyzigbee::DecodeFrame(span)) {
+              c_zb_frames.Inc();
+              frame->start_sample += start;
+              frame->end_sample += start;
+              out->zb.push_back(std::move(*frame));
+            }
+          } catch (const std::exception& e) {
+            out->error = std::current_exception();
+            out->error_text = e.what();
+          } catch (...) {
+            out->error = std::current_exception();
+            out->error_text = "non-std exception";
+          }
+          out->cpu = w.Seconds();
+        });
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  batch.Wait();
+
+  // Deterministic ordered merge: jobs in interval order, units in
+  // submission order — the exact append order of the serial path.
+  std::exception_ptr unsupervised_error;
+  for (IntervalJob& job : jobs) {
+    std::exception_ptr first_error;
+    std::string error_text;
+    for (UnitOut& u : job.units) {
+      if (u.ran) ledger.Add(u.stage, u.cpu, u.samples);
+      if (u.error && !first_error) {
+        first_error = u.error;
+        error_text = u.error_text;
+      }
+      for (auto& f : u.wifi) report.wifi_frames.push_back(std::move(f));
+      for (auto& p : u.bt) report.bt_packets.push_back(std::move(p));
+      for (auto& z : u.zb) report.zb_frames.push_back(std::move(z));
+    }
+    if (job.admission && job.admission->admitted) {
+      Outcome outcome = Outcome::kOk;
+      if (first_error) {
+        outcome = Outcome::kException;
+      } else if (job.admission->budget.expired()) {
+        outcome = Outcome::kDeadline;
+      }
+      sup->Finish(*job.admission, outcome, std::move(error_text), job.span);
+    } else if (!job.admission && first_error && !unsupervised_error) {
+      unsupervised_error = first_error;
+    }
+  }
+  // Unsupervised semantics: a demodulator throw propagates out of the
+  // pipeline (first failing unit in submission order, deterministically).
+  if (unsupervised_error) std::rethrow_exception(unsupervised_error);
+
+  DedupAnalysisResults(report);
+}
+
+void RunAnalysis(const AnalysisConfig& analysis, double noise_floor_power,
+                 Supervisor* sup, Executor* ex,
+                 const std::vector<Detection>& intervals,
+                 dsp::const_sample_span x, CostLedger& ledger,
+                 MonitorReport& report) {
+  if (!analysis.demodulate) return;
+  if (ex != nullptr && !ex->serial()) {
+    RunAnalysisParallel(analysis, noise_floor_power, sup, ex, intervals, x,
+                        ledger, report);
+  } else {
+    RunAnalysisSerial(analysis, noise_floor_power, sup, intervals, x, ledger,
+                      report);
+  }
 }
 
 }  // namespace
@@ -216,12 +464,38 @@ double MonitorReport::CpuOverRealTime() const {
 
 // ------------------------------------------------------------------- RFDump
 
+MonitorReport AnalyzeDetections(DetectOutput det, dsp::const_sample_span x,
+                                Executor* executor, ResultSink* sink) {
+  RFDUMP_TRACE_SPAN("pipeline/analyze");
+  MonitorReport report = std::move(det.report);
+  CostLedger ledger;
+  for (const auto& c : report.costs) {
+    ledger.Add(c.name, c.cpu_seconds, c.samples_in);
+  }
+  RunAnalysis(det.analysis, det.noise_floor_power, det.supervisor, executor,
+              report.dispatched, x, ledger, report);
+  report.costs = ledger.Costs();
+  if (sink != nullptr) {
+    for (const auto& h : report.health) sink->OnHealth(h);
+    for (const auto& d : report.detections) sink->OnDetection(d);
+    for (const auto& f : report.wifi_frames) sink->OnWifiFrame(f);
+    for (const auto& p : report.bt_packets) sink->OnBtPacket(p);
+    for (const auto& z : report.zb_frames) sink->OnZbFrame(z);
+  }
+  return report;
+}
+
 RFDumpPipeline::RFDumpPipeline() : RFDumpPipeline(Config{}) {}
 
 RFDumpPipeline::RFDumpPipeline(Config config) : config_(config) {}
 
 MonitorReport RFDumpPipeline::Process(dsp::const_sample_span x) {
   RFDUMP_TRACE_SPAN("pipeline/process");
+  return AnalyzeDetections(Detect(x), x, config_.executor, config_.sink);
+}
+
+DetectOutput RFDumpPipeline::Detect(dsp::const_sample_span x) {
+  RFDUMP_TRACE_SPAN("pipeline/detect");
   static obs::Counter& c_process =
       obs::Registry::Default().GetCounter("rfdump_pipeline_process_total");
   static obs::Counter& c_samples =
@@ -418,11 +692,13 @@ MonitorReport RFDumpPipeline::Process(dsp::const_sample_span x) {
     report.health.back().rejected_detections = rejected_n;
     report.health.back().forwarded_intervals = report.dispatched.size();
   }
-  RunAnalysis(config_.analysis, config_.noise_floor_power, config_.supervisor,
-              report.dispatched, x, ledger, report);
-
+  DetectOutput out;
   report.costs = ledger.Costs();
-  return report;
+  out.report = std::move(report);
+  out.analysis = config_.analysis;
+  out.noise_floor_power = config_.noise_floor_power;
+  out.supervisor = config_.supervisor;
+  return out;
 }
 
 // -------------------------------------------------------------------- naive
@@ -433,6 +709,10 @@ NaivePipeline::NaivePipeline(Config config) : config_(config) {}
 
 MonitorReport NaivePipeline::Process(dsp::const_sample_span x) {
   RFDUMP_TRACE_SPAN("pipeline/naive-process");
+  return AnalyzeDetections(Detect(x), x, config_.executor, config_.sink);
+}
+
+DetectOutput NaivePipeline::Detect(dsp::const_sample_span x) {
   MonitorReport report;
   report.samples_total = x.size();
   CostLedger ledger;
@@ -470,11 +750,14 @@ MonitorReport NaivePipeline::Process(dsp::const_sample_span x) {
     intervals.push_back({Protocol::kBluetooth, 0,
                          static_cast<std::int64_t>(x.size()), 1.0f, "naive"});
   }
-  report.dispatched = intervals;
-  RunAnalysis(config_.analysis, config_.noise_floor_power, config_.supervisor,
-              intervals, x, ledger, report);
+  report.dispatched = std::move(intervals);
+  DetectOutput out;
   report.costs = ledger.Costs();
-  return report;
+  out.report = std::move(report);
+  out.analysis = config_.analysis;
+  out.noise_floor_power = config_.noise_floor_power;
+  out.supervisor = config_.supervisor;
+  return out;
 }
 
 }  // namespace rfdump::core

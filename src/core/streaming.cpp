@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
+#include "rfdump/core/executor.hpp"
+#include "rfdump/core/result_sink.hpp"
 #include "rfdump/obs/obs.hpp"
 
 namespace rfdump::core {
@@ -31,6 +34,13 @@ struct StreamingMetrics {
       "rfdump_streaming_shed_transitions_total", "direction", "down");
   obs::Gauge& shed_stage =
       obs::Registry::Default().GetGauge("rfdump_streaming_shed_stage");
+  /// Pipelined mode: blocks waiting between detect and analyze, and how
+  /// often ingest stalled on a full queue (each stall is an overload signal
+  /// fed to the shed controller).
+  obs::Gauge& queue_depth =
+      obs::Registry::Default().GetGauge("rfdump_streaming_queue_depth");
+  obs::Counter& backpressure = obs::Registry::Default().GetCounter(
+      "rfdump_streaming_backpressure_total");
   /// CPU-over-real-time per block: buckets straddle 1.0 (the real-time
   /// wall) so the exposition shows at a glance how close to falling behind
   /// the monitor runs.
@@ -51,19 +61,64 @@ double HealthSummary::MeanLoad() const {
          (static_cast<double>(samples) / dsp::kSampleRateHz);
 }
 
+void StreamingMonitor::Config::Validate() const {
+  if (block_samples == 0) {
+    throw std::invalid_argument("StreamingMonitor: block_samples must be > 0");
+  }
+  if (overlap_samples >= block_samples) {
+    throw std::invalid_argument(
+        "StreamingMonitor: overlap_samples must be < block_samples "
+        "(the block schedule would never advance)");
+  }
+  if (threads < 1) {
+    throw std::invalid_argument(
+        "StreamingMonitor: threads must be >= 1 (1 = serial)");
+  }
+  if (max_queue_blocks == 0) {
+    throw std::invalid_argument(
+        "StreamingMonitor: max_queue_blocks must be >= 1");
+  }
+  if (cpu_budget < 0.0) {
+    throw std::invalid_argument(
+        "StreamingMonitor: cpu_budget must be >= 0 (0 disables shedding)");
+  }
+  if (supervisor.demod_limits.max_cpu_seconds < 0.0) {
+    throw std::invalid_argument(
+        "StreamingMonitor: supervisor.demod_limits.max_cpu_seconds must be "
+        ">= 0 (0 = unlimited)");
+  }
+}
+
 StreamingMonitor::StreamingMonitor() : StreamingMonitor(Config{}) {}
 
 StreamingMonitor::StreamingMonitor(Config config)
     : config_(config),
       supervisor_(config.supervisor),
       pipeline_(config.pipeline) {
+  config_.Validate();
   buffer_.reserve(config_.block_samples + config_.overlap_samples);
   // Rebuild the pipeline with the owned supervisor wired in (the caller's
   // pipeline config cannot point at it — it does not exist yet).
   ApplyShedStage();
+  if (config_.threads > 1) {
+    executor_ = std::make_unique<Executor>(config_.threads);
+    analyzer_ = std::thread([this] { AnalyzerLoop(); });
+  }
+}
+
+StreamingMonitor::~StreamingMonitor() {
+  if (analyzer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      stop_ = true;
+    }
+    queue_cv_.notify_all();
+    analyzer_.join();  // drains queued blocks first (AnalyzerLoop contract)
+  }
 }
 
 void StreamingMonitor::Push(dsp::const_sample_span segment) {
+  // Documented alias: Push IS PushSegment with the auto-advancing timestamp.
   PushSegment(expected_next_ < 0 ? 0 : expected_next_, segment);
 }
 
@@ -131,14 +186,18 @@ std::uint64_t StreamingMonitor::AppendSanitized(
 void StreamingMonitor::Flush() {
   if (!buffer_.empty()) {
     ProcessBlock(/*final_block=*/true, /*gap_cut=*/false);
+    if (pipelined()) DrainQueue();
   } else if (pending_gap_count_ > 0 || pending_overlap_samples_ > 0 ||
              pending_sanitized_ > 0) {
     // Nothing buffered, but ingest saw faults since the last block: emit an
     // empty-block report so no fault goes unrecorded.
+    if (pipelined()) DrainQueue();
     HealthReport h;
     h.block_start = buffer_start_;
-    h.shed_stage = shed_stage_;
+    h.shed_stage = shed_stage_.load(std::memory_order_relaxed);
     EmitHealth(h);
+  } else if (pipelined()) {
+    DrainQueue();
   }
 }
 
@@ -153,10 +212,10 @@ double StreamingMonitor::CpuOverRealTime() const {
 void StreamingMonitor::set_cpu_budget(double budget) {
   config_.cpu_budget = budget;
   under_budget_blocks_ = 0;
-  if (budget <= 0.0 && shed_stage_ != 0) {
+  if (budget <= 0.0 && shed_stage_.load(std::memory_order_relaxed) != 0) {
     // Disabling shedding is an operator decision; restore the full pipeline
     // immediately rather than waiting for the next block's load sample.
-    shed_stage_ = 0;
+    shed_stage_.store(0, std::memory_order_relaxed);
     StreamingMetrics::Get().shed_stage.Set(0);
     ApplyShedStage();
   }
@@ -171,7 +230,10 @@ void StreamingMonitor::EmitHealth(HealthReport h) {
   pending_gap_samples_ = 0;
   pending_overlap_samples_ = 0;
   pending_sanitized_ = 0;
+  RecordHealth(h);
+}
 
+void StreamingMonitor::RecordHealth(const HealthReport& h) {
   // Cumulative summary first (never evicted), then the bounded ring.
   ++summary_.blocks;
   summary_.samples += h.block_samples;
@@ -203,59 +265,91 @@ void StreamingMonitor::EmitHealth(HealthReport h) {
          health_.size() > config_.health_history_limit) {
     health_.pop_front();
   }
+  if (config_.sink != nullptr) config_.sink->OnHealth(health_.back());
   if (on_health) on_health(health_.back());
+}
+
+void StreamingMonitor::EmitWifi(const phy80211::DecodedFrame& f) {
+  if (config_.sink != nullptr) config_.sink->OnWifiFrame(f);
+  if (on_wifi_frame) on_wifi_frame(f);
+}
+
+void StreamingMonitor::EmitBt(const phybt::DecodedBtPacket& p) {
+  if (config_.sink != nullptr) config_.sink->OnBtPacket(p);
+  if (on_bt_packet) on_bt_packet(p);
+}
+
+void StreamingMonitor::EmitZb(const phyzigbee::DecodedZbFrame& z) {
+  // No legacy callback existed for ZigBee — sink-only (the quartet never
+  // carried these; they were silently dropped before the sink API).
+  if (config_.sink != nullptr) config_.sink->OnZbFrame(z);
+}
+
+void StreamingMonitor::EmitDetection(const Detection& d) {
+  if (config_.sink != nullptr) config_.sink->OnDetection(d);
+  if (on_detection) on_detection(d);
 }
 
 void StreamingMonitor::ApplyShedStage() {
   RFDumpPipeline::Config cfg = config_.pipeline;
   cfg.supervisor = &supervisor_;  // breaker state survives reconstruction
-  if (shed_stage_ >= 1) {
+  // The monitor controls execution and emission itself: analysis fan-out
+  // happens via AnalyzeDetections on the analyzer thread, and all emission
+  // goes through the monitor's ownership filter.
+  cfg.executor = nullptr;
+  cfg.sink = nullptr;
+  const int stage = shed_stage_.load(std::memory_order_relaxed);
+  if (stage >= 1) {
     cfg.freq_detector = false;
     cfg.microwave_detector = false;
     cfg.zigbee_detector = false;
     cfg.collision_detector = false;
   }
-  if (shed_stage_ >= 2) {
+  if (stage >= 2) {
     cfg.analysis.min_dispatch_confidence = std::max(
         cfg.analysis.min_dispatch_confidence, config_.shed_min_confidence);
   }
-  if (shed_stage_ >= 3) {
+  if (stage >= 3) {
     cfg.analysis.demodulate = false;
   }
+  applied_shed_stage_ = stage;
   pipeline_ = RFDumpPipeline(cfg);
 }
 
 void StreamingMonitor::UpdateShedding(double block_load,
-                                      bool deadline_pressure) {
+                                      bool deadline_pressure,
+                                      bool backpressure) {
   if (config_.cpu_budget <= 0.0) {
-    if (shed_stage_ != 0) {
-      shed_stage_ = 0;
-      ApplyShedStage();
+    if (shed_stage_.load(std::memory_order_relaxed) != 0) {
+      shed_stage_.store(0, std::memory_order_relaxed);
+      if (!pipelined()) ApplyShedStage();
     }
     return;
   }
-  if (block_load > config_.cpu_budget) {
+  // A stalled ingest queue means analysis cannot keep up regardless of what
+  // the per-block load sample says — treat it as over budget.
+  if (block_load > config_.cpu_budget || backpressure) {
     under_budget_blocks_ = 0;
-    if (shed_stage_ < kShedStageMax) {
-      ++shed_stage_;
+    if (shed_stage_.load(std::memory_order_relaxed) < kShedStageMax) {
+      const int stage = shed_stage_.fetch_add(1, std::memory_order_relaxed) + 1;
       StreamingMetrics::Get().shed_up.Inc();
-      StreamingMetrics::Get().shed_stage.Set(shed_stage_);
-      ApplyShedStage();
+      StreamingMetrics::Get().shed_stage.Set(stage);
+      if (!pipelined()) ApplyShedStage();
     }
   } else if (deadline_pressure) {
     // Deadline-aborted intervals mean measured load understates offered
     // load (work was cut short, not completed). Don't let an artificially
     // cheap block walk the shed stage back down.
     under_budget_blocks_ = 0;
-  } else if (shed_stage_ > 0 &&
+  } else if (shed_stage_.load(std::memory_order_relaxed) > 0 &&
              block_load <
                  config_.shed_resume_fraction * config_.cpu_budget) {
     if (++under_budget_blocks_ >= config_.shed_resume_blocks) {
-      --shed_stage_;
+      const int stage = shed_stage_.fetch_sub(1, std::memory_order_relaxed) - 1;
       under_budget_blocks_ = 0;
       StreamingMetrics::Get().shed_down.Inc();
-      StreamingMetrics::Get().shed_stage.Set(shed_stage_);
-      ApplyShedStage();
+      StreamingMetrics::Get().shed_stage.Set(stage);
+      if (!pipelined()) ApplyShedStage();
     }
   } else {
     under_budget_blocks_ = 0;
@@ -263,6 +357,10 @@ void StreamingMonitor::UpdateShedding(double block_load,
 }
 
 void StreamingMonitor::ProcessBlock(bool final_block, bool gap_cut) {
+  if (pipelined()) {
+    EnqueueBlock(final_block, gap_cut);
+    return;
+  }
   RFDUMP_TRACE_SPAN("streaming/block");
   const std::size_t take =
       final_block ? buffer_.size()
@@ -320,7 +418,7 @@ void StreamingMonitor::ProcessBlock(bool final_block, bool gap_cut) {
   if (!report.health.empty()) h = report.health.front();
   h.block_start = buffer_start_;
   h.block_samples = take;
-  h.shed_stage = shed_stage_;
+  h.shed_stage = shed_stage_.load(std::memory_order_relaxed);
   h.block_load =
       take > 0
           ? block_cpu / (static_cast<double>(take) / dsp::kSampleRateHz)
@@ -361,28 +459,34 @@ void StreamingMonitor::ProcessBlock(bool final_block, bool gap_cut) {
     f.start_sample += base;
     f.end_sample += base;
     if (owned(f.start_sample) &&
-        clear_of_cut(f.end_sample, f.payload_decoded && f.fcs_ok) &&
-        on_wifi_frame) {
-      on_wifi_frame(f);
+        clear_of_cut(f.end_sample, f.payload_decoded && f.fcs_ok)) {
+      EmitWifi(f);
     }
   }
   for (auto& p : report.bt_packets) {
     p.start_sample += base;
     p.end_sample += base;
-    if (owned(p.start_sample) &&
-        clear_of_cut(p.end_sample, p.packet.crc_ok) && on_bt_packet) {
-      on_bt_packet(p);
+    if (owned(p.start_sample) && clear_of_cut(p.end_sample, p.packet.crc_ok)) {
+      EmitBt(p);
+    }
+  }
+  for (auto& z : report.zb_frames) {
+    z.start_sample += base;
+    z.end_sample += base;
+    if (owned(z.start_sample) && clear_of_cut(z.end_sample, z.crc_ok)) {
+      EmitZb(z);
     }
   }
   for (auto& d : report.detections) {
     d.start_sample += base;
     d.end_sample += base;
-    if (owned(d.start_sample) && on_detection) on_detection(d);
+    if (owned(d.start_sample)) EmitDetection(d);
   }
 
   emitted_until_ = boundary;
   // Adapt the shed stage for the *next* block from this block's load.
-  UpdateShedding(block_load, /*deadline_pressure=*/d_deadline > 0);
+  UpdateShedding(block_load, /*deadline_pressure=*/d_deadline > 0,
+                 /*backpressure=*/false);
   if (final_block) {
     buffer_start_ += static_cast<std::int64_t>(take);
     buffer_.clear();
@@ -392,6 +496,223 @@ void StreamingMonitor::ProcessBlock(bool final_block, bool gap_cut) {
   buffer_.erase(buffer_.begin(),
                 buffer_.begin() + static_cast<std::ptrdiff_t>(consumed));
   buffer_start_ += static_cast<std::int64_t>(consumed);
+}
+
+// ------------------------------------------------------------ pipelined mode
+
+void StreamingMonitor::EnqueueBlock(bool final_block, bool gap_cut) {
+  RFDUMP_TRACE_SPAN("streaming/detect");
+  // Apply any shed-stage change the analyzer's controller decided since the
+  // previous block: the ingest thread owns pipeline_, so the rebuild happens
+  // here, before detection.
+  if (shed_stage_.load(std::memory_order_relaxed) != applied_shed_stage_) {
+    ApplyShedStage();
+    StreamingMetrics::Get().shed_stage.Set(applied_shed_stage_);
+  }
+
+  const std::size_t take =
+      final_block ? buffer_.size()
+                  : std::min(buffer_.size(), config_.block_samples);
+  const auto block = dsp::const_sample_span(buffer_).first(take);
+
+  BlockJob job;
+  job.base = buffer_start_;
+  job.take = take;
+  const std::size_t keep =
+      final_block ? 0 : std::min(config_.overlap_samples, take);
+  job.boundary = buffer_start_ + static_cast<std::int64_t>(take - keep);
+  job.emit_from = emitted_until_;
+  job.gap_cut = gap_cut;
+  job.shed_stage = applied_shed_stage_;
+  job.gap_count = pending_gap_count_;
+  job.gap_samples = pending_gap_samples_;
+  job.overlap_samples = pending_overlap_samples_;
+  job.sanitized = pending_sanitized_;
+  pending_gap_count_ = 0;
+  pending_gap_samples_ = 0;
+  pending_overlap_samples_ = 0;
+  pending_sanitized_ = 0;
+
+  obs::Stopwatch detect_watch;
+  try {
+    job.det = pipeline_.Detect(block);
+  } catch (...) {
+    // Same last-resort containment as the serial path: the block yields an
+    // empty report (plus health/tallies), the monitor keeps running.
+    StreamingMetrics::Get().block_failures.Inc();
+    job.det = DetectOutput{};
+    job.det.report.samples_total = take;
+  }
+  job.detect_seconds = detect_watch.Seconds();
+  job.samples.assign(block.begin(), block.end());
+
+  // Ingest state advances NOW — this is the double-buffering: the next
+  // segment lands in a clean buffer while the analyzer works on the copy.
+  emitted_until_ = job.boundary;
+  if (final_block) {
+    buffer_start_ += static_cast<std::int64_t>(take);
+    buffer_.clear();
+  } else {
+    const std::size_t consumed = take - keep;
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed));
+    buffer_start_ += static_cast<std::int64_t>(consumed);
+  }
+
+  std::size_t depth;
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    if (queue_.size() >= config_.max_queue_blocks) {
+      // Backpressure: ingest waits for analysis. The stall itself is the
+      // overload signal — the shed controller sees it with the next block.
+      backpressure_.store(true, std::memory_order_relaxed);
+      StreamingMetrics::Get().backpressure.Inc();
+      queue_space_cv_.wait(lock, [&] {
+        return queue_.size() < config_.max_queue_blocks;
+      });
+    }
+    queue_.push_back(std::move(job));
+    depth = queue_.size();
+  }
+  StreamingMetrics::Get().queue_depth.Set(static_cast<double>(depth));
+  queue_cv_.notify_one();
+}
+
+void StreamingMonitor::AnalyzerLoop() {
+  for (;;) {
+    BlockJob job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      analyzer_busy_ = true;
+      StreamingMetrics::Get().queue_depth.Set(
+          static_cast<double>(queue_.size()));
+    }
+    queue_space_cv_.notify_all();
+    AnalyzeBlock(job);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      analyzer_busy_ = false;
+    }
+    queue_space_cv_.notify_all();  // DrainQueue also waits for idle
+  }
+}
+
+void StreamingMonitor::DrainQueue() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_space_cv_.wait(lock,
+                       [&] { return queue_.empty() && !analyzer_busy_; });
+}
+
+void StreamingMonitor::AnalyzeBlock(BlockJob& job) {
+  RFDUMP_TRACE_SPAN("streaming/block");
+  // All Admit/Finish calls for this block happen on this thread before the
+  // next block starts, so the offset is stable for its quarantine records.
+  supervisor_.set_stream_offset(job.base);
+
+  obs::Stopwatch analyze_watch;
+  MonitorReport report;
+  try {
+    report = AnalyzeDetections(std::move(job.det),
+                               dsp::const_sample_span(job.samples),
+                               executor_.get(), nullptr);
+  } catch (...) {
+    StreamingMetrics::Get().block_failures.Inc();
+    report = MonitorReport{};
+    report.samples_total = job.take;
+  }
+  // The block's critical-path cost: detect (ingest thread) + analyze (this
+  // thread). With a wide executor the analyze term is wall time over the
+  // fan-out, which is what "can the monitor keep up" actually measures.
+  const double block_cpu = job.detect_seconds + analyze_watch.Seconds();
+  samples_processed_ += job.take;
+
+  const Supervisor::Counts now = supervisor_.counts();
+  const std::uint64_t d_supervised = now.invocations - last_counts_.invocations;
+  const std::uint64_t d_deadline = now.deadline - last_counts_.deadline;
+  const std::uint64_t d_exception = now.exception - last_counts_.exception;
+  const std::uint64_t d_skipped = now.skipped - last_counts_.skipped;
+  const std::uint64_t d_quarantined = now.quarantined - last_counts_.quarantined;
+  const std::uint64_t d_trips = now.breaker_trips - last_counts_.breaker_trips;
+  last_counts_ = now;
+
+  for (const auto& c : report.costs) {
+    auto it = std::find_if(costs_.begin(), costs_.end(),
+                           [&](const StageCost& s) { return s.name == c.name; });
+    if (it == costs_.end()) {
+      costs_.push_back(c);
+    } else {
+      it->cpu_seconds += c.cpu_seconds;
+      it->samples_in += c.samples_in;
+    }
+  }
+
+  HealthReport h;
+  if (!report.health.empty()) h = report.health.front();
+  h.block_start = job.base;
+  h.block_samples = job.take;
+  h.shed_stage = job.shed_stage;
+  h.block_load =
+      job.take > 0
+          ? block_cpu / (static_cast<double>(job.take) / dsp::kSampleRateHz)
+          : 0.0;
+  h.gap_count = job.gap_count;
+  h.gap_samples = job.gap_samples;
+  h.overlap_samples = job.overlap_samples;
+  h.sanitized_samples = job.sanitized;
+  h.supervised_intervals = d_supervised;
+  h.deadline_intervals = d_deadline;
+  h.exception_intervals = d_exception;
+  h.skipped_intervals = d_skipped;
+  h.quarantined_intervals = d_quarantined;
+  h.breaker_trips = static_cast<std::uint32_t>(d_trips);
+  h.open_breakers = supervisor_.open_breakers();
+  const double block_load = h.block_load;
+  RecordHealth(h);
+  supervisor_.OnBlockEnd();
+
+  // Same ownership filter as the serial path, from the window the ingest
+  // thread computed when it packaged the block.
+  const auto owned = [&](std::int64_t start) {
+    return start >= job.emit_from && start < job.boundary;
+  };
+  const auto clear_of_cut = [&](std::int64_t end, bool verified) {
+    return !job.gap_cut || end < job.boundary || verified;
+  };
+  const std::int64_t base = job.base;
+  for (auto& f : report.wifi_frames) {
+    f.start_sample += base;
+    f.end_sample += base;
+    if (owned(f.start_sample) &&
+        clear_of_cut(f.end_sample, f.payload_decoded && f.fcs_ok)) {
+      EmitWifi(f);
+    }
+  }
+  for (auto& p : report.bt_packets) {
+    p.start_sample += base;
+    p.end_sample += base;
+    if (owned(p.start_sample) && clear_of_cut(p.end_sample, p.packet.crc_ok)) {
+      EmitBt(p);
+    }
+  }
+  for (auto& z : report.zb_frames) {
+    z.start_sample += base;
+    z.end_sample += base;
+    if (owned(z.start_sample) && clear_of_cut(z.end_sample, z.crc_ok)) {
+      EmitZb(z);
+    }
+  }
+  for (auto& d : report.detections) {
+    d.start_sample += base;
+    d.end_sample += base;
+    if (owned(d.start_sample)) EmitDetection(d);
+  }
+
+  UpdateShedding(block_load, /*deadline_pressure=*/d_deadline > 0,
+                 backpressure_.exchange(false, std::memory_order_relaxed));
 }
 
 }  // namespace rfdump::core

@@ -79,61 +79,69 @@ Supervisor::Supervisor() : Supervisor(Config{}) {}
 Supervisor::Supervisor(Config config)
     : config_(std::move(config)), breakers_(kProtocolCount) {}
 
-Outcome Supervisor::Supervise(
+std::shared_ptr<Supervisor::Admission> Supervisor::Admit(
     Protocol p, std::int64_t start, std::int64_t end,
-    dsp::const_sample_span interval,
-    const std::function<void(util::WorkBudget&)>& fn) {
+    dsp::const_sample_span interval) {
   auto& metrics = SupervisorMetrics::Get();
   metrics.invocations.of(p).Inc();
-  const auto idx = static_cast<std::size_t>(p);
-  bool is_probe = false;
+  auto admission = std::make_shared<Admission>();
+  admission->protocol = p;
+  admission->start = start;
+  admission->end = end;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++counts_.invocations;
-    Breaker& b = breakers_[idx];
+    Breaker& b = breakers_[static_cast<std::size_t>(p)];
     if (b.state == BreakerState::kOpen ||
         (b.state == BreakerState::kHalfOpen && b.probe_in_flight)) {
       ++counts_.skipped;
       metrics.skipped.Inc();
-      return Outcome::kSkipped;
+      admission->outcome = Outcome::kSkipped;
+      return admission;
     }
     if (b.state == BreakerState::kHalfOpen) {
       b.probe_in_flight = true;
-      is_probe = true;
+      admission->is_probe = true;
     }
   }
-
-  util::WorkBudget budget;
-  budget.Arm(config_.demod_limits);
-  Outcome outcome = Outcome::kOk;
-  std::string error;
-  try {
-    if (config_.fault_hook) {
+  admission->budget.Arm(config_.demod_limits);
+  admission->admitted = true;
+  if (config_.fault_hook) {
+    // The hook runs inside the boundary (it can spin the budget down or
+    // throw); a throw fails the whole interval before any unit starts, so
+    // the boundary is closed here and admitted stays false for the caller.
+    try {
       config_.fault_hook(
-          p, stream_offset_.load(std::memory_order_relaxed) + start, budget);
+          p, stream_offset_.load(std::memory_order_relaxed) + start,
+          admission->budget);
+    } catch (const std::exception& e) {
+      admission->admitted = false;
+      Finish(*admission, Outcome::kException, e.what(), interval);
+    } catch (...) {
+      admission->admitted = false;
+      Finish(*admission, Outcome::kException, "non-std exception", interval);
     }
-    fn(budget);
-    if (budget.expired()) outcome = Outcome::kDeadline;
-  } catch (const std::exception& e) {
-    outcome = Outcome::kException;
-    error = e.what();
-  } catch (...) {
-    outcome = Outcome::kException;
-    error = "non-std exception";
   }
+  return admission;
+}
 
+Outcome Supervisor::Finish(Admission& admission, Outcome outcome,
+                           std::string error,
+                           dsp::const_sample_span interval) {
+  auto& metrics = SupervisorMetrics::Get();
   const bool failure = outcome != Outcome::kOk;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    counts_.budget_checks += budget.checks();
-    counts_.budget_charged += budget.charged();
+    counts_.budget_checks += admission.budget.checks();
+    counts_.budget_charged += admission.budget.charged();
     switch (outcome) {
       case Outcome::kOk: ++counts_.ok; break;
       case Outcome::kDeadline: ++counts_.deadline; break;
       case Outcome::kException: ++counts_.exception; break;
-      case Outcome::kSkipped: break;  // unreachable here
+      case Outcome::kSkipped: break;  // skips never reach Finish
     }
-    NoteResultLocked(breakers_[idx], p, failure, is_probe);
+    NoteResultLocked(breakers_[static_cast<std::size_t>(admission.protocol)],
+                     admission.protocol, failure, admission.is_probe);
   }
   switch (outcome) {
     case Outcome::kOk: metrics.ok.Inc(); break;
@@ -142,9 +150,32 @@ Outcome Supervisor::Supervise(
     case Outcome::kSkipped: break;
   }
   if (failure) {
-    RecordFailure(p, outcome, start, end, interval, std::move(error));
+    RecordFailure(admission.protocol, outcome, admission.start, admission.end,
+                  interval, std::move(error));
   }
+  admission.outcome = outcome;
   return outcome;
+}
+
+Outcome Supervisor::Supervise(
+    Protocol p, std::int64_t start, std::int64_t end,
+    dsp::const_sample_span interval,
+    const std::function<void(util::WorkBudget&)>& fn) {
+  auto admission = Admit(p, start, end, interval);
+  if (!admission->admitted) return admission->outcome;
+  Outcome outcome = Outcome::kOk;
+  std::string error;
+  try {
+    fn(admission->budget);
+    if (admission->budget.expired()) outcome = Outcome::kDeadline;
+  } catch (const std::exception& e) {
+    outcome = Outcome::kException;
+    error = e.what();
+  } catch (...) {
+    outcome = Outcome::kException;
+    error = "non-std exception";
+  }
+  return Finish(*admission, outcome, std::move(error), interval);
 }
 
 void Supervisor::NoteResultLocked(Breaker& b, Protocol p, bool failure,

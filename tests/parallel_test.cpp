@@ -1,0 +1,474 @@
+// Parallel analysis executor tests (DESIGN.md §10): whatever the executor
+// width, a monitoring run must produce *identical* results — parallelism may
+// only move wall time. The sweep covers the batch pipeline and the streaming
+// monitor (clean and impaired input), the supervisor's no-poisoning
+// guarantee under a crashing demodulator, the unified ResultSink, and
+// Config::Validate.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rfdump/core/executor.hpp"
+#include "rfdump/core/pipeline.hpp"
+#include "rfdump/core/result_sink.hpp"
+#include "rfdump/core/streaming.hpp"
+#include "rfdump/emu/ether.hpp"
+#include "rfdump/emu/frontend.hpp"
+#include "rfdump/traffic/traffic.hpp"
+
+namespace core = rfdump::core;
+namespace dsp = rfdump::dsp;
+namespace emu = rfdump::emu;
+
+namespace {
+
+constexpr int kWidths[] = {1, 2, 8};
+
+/// Busy 2.4 GHz band: Wi-Fi pings, a Bluetooth ACL session and a ZigBee
+/// burst interleaved — enough dispatched intervals that the parallel path
+/// actually fans out across protocols and Bluetooth channels.
+dsp::SampleVec MixedEther(std::uint64_t seed) {
+  emu::Ether ether(emu::Ether::Config{}, seed);
+  rfdump::traffic::WifiPingConfig wifi;
+  wifi.count = 6;
+  wifi.interval_us = 25000.0;
+  wifi.snr_db = 25.0;
+  rfdump::traffic::L2PingConfig bt;
+  bt.count = 24;
+  rfdump::traffic::ZigbeeConfig zb;
+  zb.count = 10;
+  zb.snr_db = 20.0;
+  zb.interval_us = 0.0;  // LIFS-spaced, so the ZigBee timing detector fires
+  const auto ws = rfdump::traffic::GenerateUnicastPing(ether, wifi, 8000);
+  const auto bs = rfdump::traffic::GenerateL2Ping(ether, bt, 16000);
+  const auto zs = rfdump::traffic::GenerateZigbee(ether, zb, 24000);
+  const auto end = std::max(ws.end_sample, std::max(bs.end_sample,
+                                                    zs.end_sample));
+  return ether.Render(end + 8000);
+}
+
+// ------------------------------------------------------------- fingerprints
+// Every result-bearing field, serialized. cpu_seconds / block_load style
+// timing fields are the only report contents allowed to differ across
+// widths, so they are the only ones left out.
+
+std::string Fp(const rfdump::phy80211::DecodedFrame& f) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "wifi %lld %lld %d %d %d %zu ",
+                static_cast<long long>(f.start_sample),
+                static_cast<long long>(f.end_sample),
+                static_cast<int>(f.header.rate), f.payload_decoded ? 1 : 0,
+                f.fcs_ok ? 1 : 0, f.mpdu.size());
+  std::string out = buf;
+  for (const auto b : f.mpdu) out += std::to_string(b) + ",";
+  return out;
+}
+
+std::string Fp(const rfdump::phybt::DecodedBtPacket& p) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "bt %06x ch%d %lld %lld %d %zu ", p.lap,
+                p.channel_index, static_cast<long long>(p.start_sample),
+                static_cast<long long>(p.end_sample), p.packet.crc_ok ? 1 : 0,
+                p.packet.payload.size());
+  std::string out = buf;
+  for (const auto b : p.packet.payload) out += std::to_string(b) + ",";
+  return out;
+}
+
+std::string Fp(const rfdump::phyzigbee::DecodedZbFrame& z) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "zb %lld %lld %d %zu ",
+                static_cast<long long>(z.start_sample),
+                static_cast<long long>(z.end_sample), z.crc_ok ? 1 : 0,
+                z.psdu.size());
+  std::string out = buf;
+  for (const auto b : z.psdu) out += std::to_string(b) + ",";
+  return out;
+}
+
+std::string Fp(const core::Detection& d) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "det %s %lld %lld %.6f %s",
+                core::ProtocolName(d.protocol),
+                static_cast<long long>(d.start_sample),
+                static_cast<long long>(d.end_sample),
+                static_cast<double>(d.confidence), d.detector);
+  return buf;
+}
+
+template <typename T>
+std::vector<std::string> Fps(const std::vector<T>& xs) {
+  std::vector<std::string> out;
+  out.reserve(xs.size());
+  for (const auto& x : xs) out.push_back(Fp(x));
+  return out;
+}
+
+/// Result-bearing content of a MonitorReport (everything except timing).
+std::vector<std::string> Fingerprint(const core::MonitorReport& r) {
+  std::vector<std::string> out;
+  out.push_back("samples " + std::to_string(r.samples_total));
+  out.push_back("counts " + std::to_string(r.detections.size()) + " " +
+                std::to_string(r.dispatched.size()) + " " +
+                std::to_string(r.wifi_frames.size()) + " " +
+                std::to_string(r.bt_packets.size()) + " " +
+                std::to_string(r.zb_frames.size()));
+  for (const auto& d : r.detections) out.push_back(Fp(d));
+  for (const auto& d : r.dispatched) out.push_back(Fp(d));
+  for (const auto& f : r.wifi_frames) out.push_back(Fp(f));
+  for (const auto& p : r.bt_packets) out.push_back(Fp(p));
+  for (const auto& z : r.zb_frames) out.push_back(Fp(z));
+  return out;
+}
+
+std::vector<std::string> Fingerprint(const core::CollectingSink& s) {
+  std::vector<std::string> out;
+  for (const auto& d : s.detections) out.push_back(Fp(d));
+  for (const auto& f : s.wifi_frames) out.push_back(Fp(f));
+  for (const auto& p : s.bt_packets) out.push_back(Fp(p));
+  for (const auto& z : s.zb_frames) out.push_back(Fp(z));
+  return out;
+}
+
+// ------------------------------------------------------------ batch pipeline
+
+TEST(Parallel, PipelineReportIdenticalAcrossWidths) {
+  const auto x = MixedEther(/*seed=*/11);
+
+  std::vector<std::string> baseline;
+  std::vector<std::string> sink_baseline;
+  for (const int width : kWidths) {
+    core::Executor executor(width);
+    EXPECT_EQ(executor.serial(), width == 1);
+    core::CollectingSink sink;
+    core::RFDumpPipeline::Config cfg;
+    cfg.zigbee_detector = true;
+    cfg.analysis.zigbee_demod = true;
+    cfg.executor = &executor;
+    cfg.sink = &sink;
+    const auto report = core::RFDumpPipeline(cfg).Process(x);
+    const auto fp = Fingerprint(report);
+    const auto sink_fp = Fingerprint(sink);
+    if (width == 1) {
+      // The serial run must actually exercise every protocol, or identical
+      // empty reports would pass vacuously.
+      EXPECT_FALSE(report.wifi_frames.empty());
+      EXPECT_FALSE(report.bt_packets.empty());
+      EXPECT_FALSE(report.zb_frames.empty());
+      EXPECT_EQ(sink.health.size(), report.health.size());
+      baseline = fp;
+      sink_baseline = sink_fp;
+    } else {
+      EXPECT_EQ(fp, baseline) << "report diverged at --threads " << width;
+      EXPECT_EQ(sink_fp, sink_baseline)
+          << "sink emission diverged at --threads " << width;
+    }
+  }
+}
+
+TEST(Parallel, NaivePipelineIdenticalAcrossWidths) {
+  const auto x = MixedEther(/*seed=*/23);
+  std::vector<std::string> baseline;
+  for (const int width : kWidths) {
+    core::Executor executor(width);
+    core::NaivePipeline::Config cfg;
+    cfg.energy_gate = true;
+    cfg.executor = &executor;
+    const auto report = core::NaivePipeline(cfg).Process(x);
+    const auto fp = Fingerprint(report);
+    if (width == 1) {
+      EXPECT_FALSE(report.wifi_frames.empty());
+      EXPECT_FALSE(report.bt_packets.empty());
+      baseline = fp;
+    } else {
+      EXPECT_EQ(fp, baseline) << "naive report diverged at width " << width;
+    }
+  }
+}
+
+// --------------------------------------------------------- streaming monitor
+
+struct StreamRun {
+  std::vector<std::string> results;  // sink contents, in emission order
+  std::size_t gaps = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t samples = 0;
+};
+
+StreamRun RunStreaming(const dsp::SampleVec& x, int threads, bool impair) {
+  core::StreamingMonitor::Config mcfg;
+  mcfg.block_samples = 400'000;
+  mcfg.overlap_samples = 160'000;
+  mcfg.threads = threads;
+  core::CollectingSink sink;
+  mcfg.sink = &sink;
+  core::StreamingMonitor monitor(mcfg);
+  if (impair) {
+    emu::FrontEnd::Config fcfg;
+    fcfg.drops_per_second = 25.0;
+    fcfg.drop_min_samples = 4'000;
+    fcfg.drop_max_samples = 20'000;
+    fcfg.nonfinite_per_second = 15.0;
+    fcfg.duplicates_per_second = 3.0;
+    fcfg.clip_amplitude = 24.0f;
+    emu::FrontEnd fe(x, fcfg, /*seed=*/17);
+    while (!fe.Done()) {
+      const auto seg = fe.NextSegment();
+      if (!seg.samples.empty()) monitor.PushSegment(seg.start_sample,
+                                                    seg.samples);
+    }
+  } else {
+    // Uneven segment sizes so block boundaries land mid-delivery.
+    const auto all = dsp::const_sample_span(x);
+    std::size_t pos = 0;
+    std::size_t n = 70'001;
+    while (pos < all.size()) {
+      const std::size_t take = std::min(n, all.size() - pos);
+      monitor.Push(all.subspan(pos, take));
+      pos += take;
+      n = (n % 150'000) + 35'000;
+    }
+  }
+  monitor.Flush();
+  StreamRun run;
+  run.results = Fingerprint(sink);
+  run.gaps = monitor.gaps().size();
+  run.blocks = monitor.summary().blocks;
+  run.samples = monitor.summary().samples;
+  return run;
+}
+
+TEST(Parallel, StreamingIdenticalAcrossWidthsCleanTrace) {
+  const auto x = MixedEther(/*seed=*/31);
+  const auto base = RunStreaming(x, 1, /*impair=*/false);
+  ASSERT_FALSE(base.results.empty());
+  EXPECT_GT(base.blocks, 2u);
+  for (const int width : {2, 8}) {
+    const auto run = RunStreaming(x, width, /*impair=*/false);
+    EXPECT_EQ(run.results, base.results) << "diverged at threads=" << width;
+    EXPECT_EQ(run.blocks, base.blocks);
+    EXPECT_EQ(run.samples, base.samples);
+  }
+}
+
+TEST(Parallel, StreamingIdenticalAcrossWidthsImpairedTrace) {
+  // The full fault-tolerant path — gaps, duplicate buffers, NaN bursts,
+  // clipping — pipelined across ingest and analysis threads must emit the
+  // same frames as the serial monitor.
+  const auto x = MixedEther(/*seed=*/47);
+  const auto base = RunStreaming(x, 1, /*impair=*/true);
+  ASSERT_FALSE(base.results.empty());
+  EXPECT_GT(base.gaps, 0u);
+  for (const int width : {2, 8}) {
+    const auto run = RunStreaming(x, width, /*impair=*/true);
+    EXPECT_EQ(run.results, base.results) << "diverged at threads=" << width;
+    EXPECT_EQ(run.gaps, base.gaps);
+    EXPECT_EQ(run.blocks, base.blocks);
+    EXPECT_EQ(run.samples, base.samples);
+  }
+}
+
+// -------------------------------------------------- supervised parallel run
+
+TEST(Parallel, ThrowingUnitDoesNotPoisonSiblings) {
+  // A demodulator crashing on one worker must not take down the sibling
+  // tasks of the same batch: Wi-Fi (and the other Bluetooth channel units)
+  // still produce their results, and the supervisor records the crash as a
+  // contained exception — identically at every width.
+  const auto x = MixedEther(/*seed=*/53);
+
+  std::vector<std::string> baseline;
+  std::uint64_t baseline_exceptions = 0;
+  for (const int width : kWidths) {
+    core::Supervisor::Config scfg;
+    scfg.breaker_window = 1'000'000;  // keep the breaker out of this test
+    scfg.breaker_trip_failures = 1'000'000;
+    scfg.fault_hook = [](core::Protocol p, std::int64_t,
+                         rfdump::util::WorkBudget&) {
+      if (p == core::Protocol::kBluetooth) {
+        throw std::runtime_error("injected demodulator crash");
+      }
+    };
+    core::Supervisor supervisor(scfg);
+    core::Executor executor(width);
+    core::RFDumpPipeline::Config cfg;
+    cfg.supervisor = &supervisor;
+    cfg.executor = &executor;
+    const auto report = core::RFDumpPipeline(cfg).Process(x);
+
+    const auto counts = supervisor.counts();
+    EXPECT_GT(counts.exception, 0u) << "fault hook never fired";
+    EXPECT_TRUE(report.bt_packets.empty());  // the crashed units' output
+    EXPECT_FALSE(report.wifi_frames.empty())
+        << "sibling Wi-Fi analysis was poisoned at width " << width;
+    const auto fp = Fingerprint(report);
+    if (width == 1) {
+      baseline = fp;
+      baseline_exceptions = counts.exception;
+    } else {
+      EXPECT_EQ(fp, baseline) << "supervised report diverged at " << width;
+      EXPECT_EQ(counts.exception, baseline_exceptions);
+    }
+  }
+}
+
+TEST(Parallel, UnsupervisedThrowPropagatesFromWait) {
+  // Without a supervisor there is no containment: the first failing unit's
+  // exception surfaces from Process() — from the merge point, not from a
+  // worker thread.
+  core::Executor executor(4);
+  core::Executor::Batch batch(&executor);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    batch.Run([&ran, i] {
+      if (i == 5) throw std::runtime_error("boom");
+      ran.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(batch.Wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 15);  // siblings all ran to completion
+}
+
+TEST(Parallel, ExecutorSerialRunsInline) {
+  core::Executor executor(1);
+  EXPECT_TRUE(executor.serial());
+  EXPECT_EQ(executor.threads(), 1);
+  core::Executor::Batch batch(&executor);
+  int order = 0;
+  int first = -1, second = -1;
+  batch.Run([&] { first = order++; });
+  batch.Run([&] { second = order++; });
+  batch.Wait();
+  EXPECT_EQ(first, 0);  // inline mode: submission order, immediate
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Parallel, ExecutorRunsEveryTaskOnce) {
+  core::Executor executor(8);
+  std::vector<std::atomic<int>> hits(500);
+  core::Executor::Batch batch(&executor);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    batch.Run([&hits, i] { hits[i].fetch_add(1); });
+  }
+  batch.Wait();
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+// ------------------------------------------------------- config validation
+
+TEST(Parallel, StreamingConfigValidateRejectsBadConfigs) {
+  const auto bad = [](auto mutate) {
+    core::StreamingMonitor::Config cfg;
+    mutate(cfg);
+    EXPECT_THROW(core::StreamingMonitor m(cfg), std::invalid_argument);
+  };
+  bad([](auto& c) { c.overlap_samples = c.block_samples; });
+  bad([](auto& c) { c.overlap_samples = c.block_samples + 1; });
+  bad([](auto& c) { c.block_samples = 0; });
+  bad([](auto& c) { c.threads = 0; });
+  bad([](auto& c) { c.threads = -3; });
+  bad([](auto& c) { c.max_queue_blocks = 0; });
+  bad([](auto& c) { c.cpu_budget = -0.5; });
+  bad([](auto& c) { c.supervisor.demod_limits.max_cpu_seconds = -1.0; });
+  // The defaults and a widened config are valid.
+  core::StreamingMonitor::Config ok;
+  EXPECT_NO_THROW(ok.Validate());
+  ok.threads = 4;
+  ok.max_queue_blocks = 3;
+  EXPECT_NO_THROW(ok.Validate());
+}
+
+// ------------------------------------------------------------- result sink
+
+TEST(Parallel, PushIsPushSegmentWithAutoTimestamp) {
+  const auto x = MixedEther(/*seed=*/7);
+  const auto all = dsp::const_sample_span(x);
+  const std::size_t half = x.size() / 2;
+
+  core::StreamingMonitor::Config mcfg;
+  mcfg.block_samples = 400'000;
+  mcfg.overlap_samples = 160'000;
+
+  core::CollectingSink a;
+  {
+    auto cfg = mcfg;
+    cfg.sink = &a;
+    core::StreamingMonitor m(cfg);
+    m.Push(all.first(half));
+    m.Push(all.subspan(half));
+    m.Flush();
+  }
+  core::CollectingSink b;
+  {
+    auto cfg = mcfg;
+    cfg.sink = &b;
+    core::StreamingMonitor m(cfg);
+    m.PushSegment(0, all.first(half));
+    m.PushSegment(static_cast<std::int64_t>(half), all.subspan(half));
+    m.Flush();
+  }
+  ASSERT_FALSE(Fingerprint(a).empty());
+  EXPECT_EQ(Fingerprint(a), Fingerprint(b));
+}
+
+TEST(Parallel, SinkAndLegacyCallbacksSeeTheSameResults) {
+  // Back-compat contract: the deprecated callback quartet keeps firing, in
+  // the same order, alongside a configured sink (ZigBee excepted — the
+  // quartet never had a ZigBee slot).
+  const auto x = MixedEther(/*seed=*/19);
+  core::StreamingMonitor::Config mcfg;
+  mcfg.block_samples = 400'000;
+  mcfg.overlap_samples = 160'000;
+  core::CollectingSink sink;
+  mcfg.sink = &sink;
+  core::StreamingMonitor monitor(mcfg);
+  core::CollectingSink legacy;
+  monitor.on_wifi_frame = [&](const rfdump::phy80211::DecodedFrame& f) {
+    legacy.OnWifiFrame(f);
+  };
+  monitor.on_bt_packet = [&](const rfdump::phybt::DecodedBtPacket& p) {
+    legacy.OnBtPacket(p);
+  };
+  monitor.on_detection = [&](const core::Detection& d) {
+    legacy.OnDetection(d);
+  };
+  monitor.on_health = [&](const core::HealthReport& h) { legacy.OnHealth(h); };
+  monitor.Push(x);
+  monitor.Flush();
+
+  ASSERT_FALSE(sink.wifi_frames.empty());
+  EXPECT_EQ(Fps(sink.wifi_frames), Fps(legacy.wifi_frames));
+  EXPECT_EQ(Fps(sink.bt_packets), Fps(legacy.bt_packets));
+  EXPECT_EQ(Fps(sink.detections), Fps(legacy.detections));
+  EXPECT_EQ(sink.health.size(), legacy.health.size());
+}
+
+TEST(Parallel, FunctionSinkRoutesEachSlot) {
+  core::FunctionSink sink;
+  int wifi = 0, bt = 0, zb = 0, det = 0, health = 0;
+  sink.on_wifi_frame = [&](const rfdump::phy80211::DecodedFrame&) { ++wifi; };
+  sink.on_bt_packet = [&](const rfdump::phybt::DecodedBtPacket&) { ++bt; };
+  sink.on_zb_frame = [&](const rfdump::phyzigbee::DecodedZbFrame&) { ++zb; };
+  sink.on_detection = [&](const core::Detection&) { ++det; };
+  sink.on_health = [&](const core::HealthReport&) { ++health; };
+  core::ResultSink& as_sink = sink;
+  as_sink.OnWifiFrame({});
+  as_sink.OnBtPacket({});
+  as_sink.OnZbFrame({});
+  as_sink.OnDetection({});
+  as_sink.OnHealth({});
+  EXPECT_EQ(wifi, 1);
+  EXPECT_EQ(bt, 1);
+  EXPECT_EQ(zb, 1);
+  EXPECT_EQ(det, 1);
+  EXPECT_EQ(health, 1);
+}
+
+}  // namespace
