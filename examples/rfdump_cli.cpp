@@ -27,6 +27,9 @@
 #include "rfdump/emu/frontend.hpp"
 #include "rfdump/trace/pcap.hpp"
 #include "rfdump/mac80211/frames.hpp"
+#include "rfdump/testing/differential.hpp"
+#include "rfdump/testing/fuzz.hpp"
+#include "rfdump/testing/replay.hpp"
 #include "rfdump/trace/trace.hpp"
 #include "rfdump/traffic/traffic.hpp"
 
@@ -69,7 +72,13 @@ void PrintUsage(const char* argv0) {
       "                     --impair and a file DEST, the file is also\n"
       "                     rewritten periodically while blocks stream\n"
       "  --trace FILE       record spans and write Trace Event Format JSON\n"
-      "                     to FILE (load in chrome://tracing or Perfetto)\n",
+      "                     to FILE (load in chrome://tracing or Perfetto)\n"
+      "  --selftest         run the conformance harness: a naive-vs-rfdump\n"
+      "                     differential sweep over canned scenarios plus\n"
+      "                     the checked-in fuzz corpus; exit nonzero on any\n"
+      "                     mismatch, crash, or hang\n"
+      "  --corpus DIR       corpus root for --selftest (default\n"
+      "                     tests/corpus)\n",
       argv0);
 }
 
@@ -172,51 +181,48 @@ bool DumpMetrics(const std::string& dest) {
   return true;
 }
 
-// Minimal JSON string escaping for exception messages in sidecar files.
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+// Runs the conformance harness in-process: a naive-vs-rfdump differential
+// sweep over canned mixed scenarios, then (when the checked-in corpus is
+// reachable) the deterministic fuzz-corpus replay for every decoder target.
+// Returns the process exit code: 0 only if every architecture agrees on
+// every seed and no corpus input crashes or hangs a decoder.
+int RunSelfTest(const std::string& corpus_root) {
+  namespace rft = rfdump::testing;
+  std::printf("[selftest] differential sweep: naive vs naive+energy vs "
+              "rfdump@1 vs rfdump@N\n");
+  rft::DifferentialPolicy policy;
+  const std::uint64_t seeds[] = {11, 12, 13, 14};
+  const auto results = rft::RunDifferentialSweep(seeds, policy);
+  bool ok = true;
+  for (const auto& r : results) {
+    std::printf("%s", r.Summary().c_str());
+    ok = ok && r.ok();
+  }
+  const rft::FuzzTarget targets[] = {rft::FuzzTarget::kPhy80211Plcp,
+                                     rft::FuzzTarget::kPhyBtPacket,
+                                     rft::FuzzTarget::kPhyZigbee};
+  for (const auto target : targets) {
+    const std::string dir =
+        corpus_root + "/" + rft::FuzzCorpusDirName(target);
+    if (!std::filesystem::is_directory(dir)) {
+      std::printf("[selftest] corpus dir %s not found; skipping %s\n",
+                  dir.c_str(), rft::FuzzTargetName(target));
+      continue;
     }
+    rft::CorpusRunner::Config cfg;
+    cfg.repro_dir = "selftest_repro";
+    cfg.mutation_rounds = 1;
+    rft::CorpusRunner runner(cfg);
+    const auto result = runner.RunDirectory(target, dir);
+    std::printf("%s", result.Summary(target).c_str());
+    if (result.inputs_run == 0) {
+      std::printf("[selftest] %s: corpus empty\n", rft::FuzzTargetName(target));
+      ok = false;
+    }
+    ok = ok && result.ok();
   }
-  return out;
-}
-
-// Dumps the supervisor's quarantine ring: one .iq snippet (replayable with
-// `-r`) plus a one-line JSON sidecar per failed interval.
-std::size_t WriteQuarantine(const std::string& dir,
-                            const core::Supervisor& supervisor) {
-  std::filesystem::create_directories(dir);
-  const auto records = supervisor.quarantine();
-  int idx = 0;
-  for (const auto& rec : records) {
-    char stem[96];
-    std::snprintf(stem, sizeof(stem), "%s/q%03d_%s_%lld", dir.c_str(), idx++,
-                  core::ProtocolName(rec.protocol),
-                  static_cast<long long>(rec.start_sample));
-    rfdump::trace::WriteIqTrace(std::string(stem) + ".iq", rec.snapshot);
-    std::ofstream meta(std::string(stem) + ".json", std::ios::trunc);
-    meta << "{\"stream_start\":" << rec.start_sample
-         << ",\"stream_end\":" << rec.end_sample << ",\"protocol\":\""
-         << core::ProtocolName(rec.protocol) << "\",\"outcome\":\""
-         << core::OutcomeName(rec.outcome) << "\",\"error\":\""
-         << JsonEscape(rec.error)
-         << "\",\"snapshot_samples\":" << rec.snapshot.size() << "}\n";
-  }
-  return records.size();
+  std::printf("[selftest] %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
 }
 
 // Replays `x` through an emulated hostile front end and monitors it with the
@@ -312,7 +318,9 @@ core::MonitorReport MonitorImpaired(const dsp::SampleVec& x,
         monitor.supervisor().open_breakers());
   }
   if (!quarantine_dir.empty()) {
-    const std::size_t n = WriteQuarantine(quarantine_dir, monitor.supervisor());
+    const std::size_t n =
+        rfdump::testing::WriteQuarantineDir(quarantine_dir,
+                                            monitor.supervisor());
     std::printf("wrote %zu quarantined intervals to %s\n", n,
                 quarantine_dir.c_str());
   }
@@ -329,7 +337,8 @@ int main(int argc, char** argv) {
   std::string arch = "rfdump";
   std::string detectors = "both";
   bool demo = false, no_demod = false, stats = false, collisions = false;
-  bool waterfall = false, impair = false;
+  bool waterfall = false, impair = false, selftest = false;
+  std::string corpus_root = "tests/corpus";
   std::string pcap_path;
   std::string metrics_path;
   std::string trace_path_out;
@@ -375,11 +384,16 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_path_out = argv[++i];
+    } else if (arg == "--selftest") {
+      selftest = true;
+    } else if (arg == "--corpus" && i + 1 < argc) {
+      corpus_root = argv[++i];
     } else {
       PrintUsage(argv[0]);
       return arg == "--help" ? 0 : 2;
     }
   }
+  if (selftest) return RunSelfTest(corpus_root);
   if (trace_path.empty() && !demo) {
     PrintUsage(argv[0]);
     return 2;

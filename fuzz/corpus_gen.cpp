@@ -1,0 +1,40 @@
+// Regenerates the deterministic seed corpus under tests/corpus/.
+//
+// Usage: corpus_gen OUT_ROOT [COUNT] [SEED]
+//
+// Writes COUNT (default 100) inputs per decoder target into
+// OUT_ROOT/{phy80211_plcp,phybt_packet,phyzigbee}/. Same COUNT + SEED =>
+// bit-identical files, so the checked-in corpus is always reconstructible
+// (README "Self-test & fuzzing").
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "rfdump/testing/fuzz.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 4) {
+    std::fprintf(stderr, "usage: %s OUT_ROOT [COUNT] [SEED]\n", argv[0]);
+    return 2;
+  }
+  const std::string root = argv[1];
+  const std::size_t count =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 100;
+  const std::uint64_t seed =
+      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 1;
+
+  using rfdump::testing::FuzzTarget;
+  static constexpr FuzzTarget kTargets[] = {FuzzTarget::kPhy80211Plcp,
+                                            FuzzTarget::kPhyBtPacket,
+                                            FuzzTarget::kPhyZigbee};
+  for (const auto target : kTargets) {
+    const std::string dir =
+        root + "/" + rfdump::testing::FuzzCorpusDirName(target);
+    const std::size_t n =
+        rfdump::testing::WriteSeedCorpus(target, dir, count, seed);
+    std::printf("%-14s %4zu inputs -> %s\n",
+                rfdump::testing::FuzzTargetName(target), n, dir.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+#pragma once
+// Deterministic decoder fuzzing (DESIGN.md §11).
+//
+// The decoders are the part of the pipeline that parses attacker-controlled
+// bits (the paper's monitor watches *other people's* transmissions), so they
+// get a dedicated mutation-based fuzz harness. Three entry points are
+// exposed, one per decoder family:
+//
+//   * kPhy80211Plcp — phy80211::ParsePlcpHeader on raw header bits, and the
+//     full phy80211::Demodulator on byte-derived IQ samples
+//   * kPhyBtPacket  — phybt::VerifySyncWord + phybt::ParsePacketBits on raw
+//     bits, and the full phybt::Demodulator on byte-derived IQ samples
+//   * kPhyZigbee    — phyzigbee::DecodeFrame on byte-derived IQ samples
+//
+// `RunFuzzInput` is the single dispatch function; the fuzz/ executables wrap
+// it in `LLVMFuzzerTestOneInput` for libFuzzer (clang builds only), and the
+// in-tree `CorpusRunner` drives it over the checked-in corpus plus
+// deterministic mutations with no external dependency. Everything is seeded:
+// a failing corpus run names the input file (or the master seed + round that
+// mutated it), and re-running reproduces the failure bit-for-bit.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rfdump/util/rng.hpp"
+#include "rfdump/util/work_budget.hpp"
+
+namespace rfdump::testing {
+
+enum class FuzzTarget : std::uint8_t {
+  kPhy80211Plcp = 0,
+  kPhyBtPacket,
+  kPhyZigbee,
+};
+inline constexpr std::size_t kFuzzTargetCount = 3;
+
+[[nodiscard]] const char* FuzzTargetName(FuzzTarget t);
+
+/// Corpus subdirectory name for a target (e.g. "phy80211_plcp").
+[[nodiscard]] const char* FuzzCorpusDirName(FuzzTarget t);
+
+/// Runs one fuzz input through the target decoder(s). The first byte of
+/// `data` selects the sub-mode (bit-level parser vs full sample-level
+/// demodulator); the rest is the payload, interpreted as descrambled bits or
+/// as interleaved signed I/Q bytes. Returns the number of successful decodes
+/// (corpus health statistic). Decoder exceptions propagate to the caller —
+/// the corpus runner records them as findings; under libFuzzer they abort.
+///
+/// `budget`, when non-null, is armed by the *caller*; the decoders charge
+/// against it exactly as they do under the supervisor, so fuzzing exercises
+/// the cooperative-deadline paths too.
+int RunFuzzInput(FuzzTarget target, std::span<const std::uint8_t> data,
+                 util::WorkBudget* budget = nullptr);
+
+/// Applies one seeded mutation (bit flip, byte splat, truncate, duplicate,
+/// insert, chunk swap) in place. Deterministic given the RNG state.
+void MutateInput(std::vector<std::uint8_t>& data, util::Xoshiro256& rng);
+
+/// Writes the deterministic seed corpus for `target` into `dir` (created if
+/// missing): structurally valid inputs (real PLCP headers, real Bluetooth
+/// packet bits, real modulated frames) plus seeded mutations and boundary
+/// cases. Returns the number of files written (>= `count`). Regeneration
+/// with the same seed is bit-identical, so the checked-in corpus under
+/// tests/corpus/ can always be rebuilt (see README).
+std::size_t WriteSeedCorpus(FuzzTarget target, const std::string& dir,
+                            std::size_t count = 100, std::uint64_t seed = 1);
+
+/// In-tree corpus runner: executes every file in a corpus directory (plus
+/// optional mutation rounds) under a WorkBudget and a wall-clock hang check.
+class CorpusRunner {
+ public:
+  struct Config {
+    /// Per-input cooperative budget; keeps adversarial inputs from running
+    /// unbounded inside the decoders (the same mechanism the supervisor
+    /// uses in production).
+    util::WorkBudget::Limits limits{.max_samples = 64u << 20,
+                                    .max_cpu_seconds = 2.0};
+    /// Wall-clock ceiling per input; an input that exceeds it *despite* the
+    /// budget is recorded as a hang finding.
+    double hang_wall_seconds = 5.0;
+    /// Where crash/hang repro inputs are written (created on first finding).
+    /// Empty = don't write repro files.
+    std::string repro_dir;
+    /// Extra seeded mutation rounds per corpus input (0 = corpus only).
+    int mutation_rounds = 0;
+    /// Master seed for the mutation rounds.
+    std::uint64_t seed = 1;
+  };
+
+  /// One crash or hang, with enough context to reproduce it.
+  struct Finding {
+    FuzzTarget target = FuzzTarget::kPhy80211Plcp;
+    std::string kind;        // "crash" | "hang"
+    std::string input_name;  // corpus file, or "<file>+round<k>" for mutants
+    std::string detail;      // exception what() or elapsed wall time
+    std::string repro_path;  // written repro file ("" if repro_dir unset)
+  };
+
+  struct Result {
+    std::size_t inputs_run = 0;
+    std::size_t decodes = 0;          // successful decodes across all inputs
+    std::size_t budget_expiries = 0;  // inputs contained by the WorkBudget
+    std::vector<Finding> findings;
+
+    [[nodiscard]] bool ok() const { return findings.empty(); }
+    [[nodiscard]] std::string Summary(FuzzTarget target) const;
+  };
+
+  explicit CorpusRunner(Config config) : config_(std::move(config)) {}
+
+  /// Runs every regular file in `corpus_dir` (sorted by name, so runs are
+  /// order-deterministic), then `config.mutation_rounds` mutants of each.
+  [[nodiscard]] Result RunDirectory(FuzzTarget target,
+                                    const std::string& corpus_dir);
+
+  /// Runs a single in-memory input (used by RunDirectory and by tests).
+  void RunOne(FuzzTarget target, std::span<const std::uint8_t> data,
+              const std::string& input_name, Result& result);
+
+ private:
+  Config config_;
+};
+
+}  // namespace rfdump::testing

@@ -1,0 +1,85 @@
+#pragma once
+// Truth oracle for the conformance harness (DESIGN.md §11).
+//
+// core::ScoreDetections scores the cheap *detectors* (the paper's §5.1
+// metrics). The oracle here scores the end of the pipe instead: decoded
+// frames / packets / ZigBee frames in a MonitorReport are matched against
+// emulator TruthRecords, producing per-protocol precision / recall /
+// miss-rate — the numbers every future perf or refactor PR is judged
+// against.
+//
+// Matching rule: a decode matches a truth record of its protocol when their
+// sample intervals overlap by at least `min_overlap_fraction` of the truth
+// record's length (decoded preambles start a little before the truth burst's
+// payload and end a little after; exact boundaries are not required). One
+// decode may match at most one truth record (best overlap wins); a truth
+// record is `matched` if any decode matched it; a decode that matches no
+// truth record is `spurious`.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rfdump/core/pipeline.hpp"
+#include "rfdump/emu/ether.hpp"
+#include "rfdump/testing/scenario.hpp"
+
+namespace rfdump::testing {
+
+struct MatchPolicy {
+  /// Minimum overlap, as a fraction of the truth record's length, for a
+  /// decode to match it.
+  double min_overlap_fraction = 0.25;
+  /// Count only CRC-valid decodes (FCS for Wi-Fi, CRC for Bluetooth/ZigBee).
+  /// Default off: the oracle scores "monitored at all", the paper's notion
+  /// of a miss — a decode with a corrupted body was still detected.
+  bool require_crc_ok = false;
+};
+
+/// Per-protocol conformance between a report and ground truth.
+struct ProtocolConformance {
+  core::Protocol protocol = core::Protocol::kUnknown;
+  std::size_t truth_packets = 0;  // visible truth records within the trace
+  std::size_t matched = 0;        // truth records covered by >= 1 decode
+  std::size_t missed = 0;         // truth_packets - matched
+  std::size_t decoded = 0;        // decodes attributed to this protocol
+  std::size_t spurious = 0;       // decodes matching no truth record
+
+  [[nodiscard]] double Recall() const {
+    return truth_packets == 0 ? 1.0
+                              : static_cast<double>(matched) /
+                                    static_cast<double>(truth_packets);
+  }
+  [[nodiscard]] double MissRate() const { return 1.0 - Recall(); }
+  [[nodiscard]] double Precision() const {
+    return decoded == 0 ? 1.0
+                        : static_cast<double>(decoded - spurious) /
+                              static_cast<double>(decoded);
+  }
+};
+
+/// Whole-report conformance, tagged with the reproducing scenario seed.
+struct ConformanceReport {
+  std::uint64_t seed = 0;
+  std::string scenario;
+  std::vector<ProtocolConformance> protocols;  // only protocols with traffic
+                                               // or decodes
+
+  [[nodiscard]] const ProtocolConformance& Of(core::Protocol p) const;
+  /// One line per protocol, prefixed with "seed=<seed>" so any failing
+  /// assertion on the report carries its repro.
+  [[nodiscard]] std::string Summary() const;
+};
+
+/// Scores a pipeline report against a scenario's ground truth.
+[[nodiscard]] ConformanceReport ScoreReport(const RenderedScenario& scenario,
+                                            const core::MonitorReport& report,
+                                            const MatchPolicy& policy = {});
+
+/// Same scoring against an explicit truth vector (for callers that rendered
+/// outside the builder). `total_samples` bounds which truth records count.
+[[nodiscard]] ConformanceReport ScoreReport(
+    const std::vector<emu::TruthRecord>& truth, std::int64_t total_samples,
+    const core::MonitorReport& report, const MatchPolicy& policy = {});
+
+}  // namespace rfdump::testing

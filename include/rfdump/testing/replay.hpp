@@ -1,0 +1,55 @@
+#pragma once
+// Quarantine replay (DESIGN.md §11).
+//
+// The supervisor quarantines failed analysis intervals; the CLI's
+// `--quarantine DIR` dumps each one as an .iq snippet plus a one-line JSON
+// sidecar. This module owns that format — the writer (shared with the CLI)
+// and the loader the conformance tests use to replay a quarantined interval
+// and assert the recorded outcome reproduces.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rfdump/core/supervisor.hpp"
+#include "rfdump/dsp/types.hpp"
+
+namespace rfdump::testing {
+
+/// One quarantined interval loaded back from disk.
+struct ReplayFile {
+  std::string iq_path;
+  dsp::SampleVec samples;       // the .iq snapshot
+  double sample_rate_hz = 0.0;
+
+  // Sidecar fields (defaults if the .json is missing).
+  bool has_sidecar = false;
+  std::int64_t stream_start = 0;  // absolute stream position of the interval
+  std::int64_t stream_end = 0;
+  core::Protocol protocol = core::Protocol::kUnknown;
+  core::Outcome outcome = core::Outcome::kOk;
+  std::string error;              // exception what() (empty for deadlines)
+  std::size_t snapshot_samples = 0;
+};
+
+/// Minimal JSON string escaping for sidecar fields.
+[[nodiscard]] std::string JsonEscape(const std::string& s);
+
+/// Dumps the supervisor's quarantine ring into `dir` (created if missing):
+/// one `qNNN_<protocol>_<start>.iq` snippet (replayable with the CLI's `-r`)
+/// plus a matching `.json` sidecar per record. Returns the record count.
+std::size_t WriteQuarantineDir(const std::string& dir,
+                               const core::Supervisor& supervisor);
+
+/// Loads one quarantined interval: the .iq snapshot plus its sidecar (found
+/// by swapping the extension). Throws std::runtime_error if the .iq file is
+/// unreadable; a missing or malformed sidecar just leaves `has_sidecar`
+/// false.
+[[nodiscard]] ReplayFile LoadReplay(const std::string& iq_path);
+
+/// Loads every quarantined interval in a directory, sorted by file name
+/// (i.e. quarantine order).
+[[nodiscard]] std::vector<ReplayFile> LoadQuarantineDir(
+    const std::string& dir);
+
+}  // namespace rfdump::testing

@@ -1,0 +1,162 @@
+#include "rfdump/testing/replay.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "rfdump/trace/trace.hpp"
+
+namespace fs = std::filesystem;
+
+namespace rfdump::testing {
+namespace {
+
+/// Extracts `"key":<number>` from the one-line sidecar JSON.
+bool FindNumber(const std::string& json, const std::string& key,
+                long long& out) {
+  const auto pos = json.find("\"" + key + "\":");
+  if (pos == std::string::npos) return false;
+  out = std::atoll(json.c_str() + pos + key.size() + 3);
+  return true;
+}
+
+/// Extracts `"key":"value"` (value unescaped for the subset JsonEscape
+/// emits).
+bool FindString(const std::string& json, const std::string& key,
+                std::string& out) {
+  const auto pos = json.find("\"" + key + "\":\"");
+  if (pos == std::string::npos) return false;
+  out.clear();
+  for (std::size_t i = pos + key.size() + 4; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"') return true;
+    if (c == '\\' && i + 1 < json.size()) {
+      const char n = json[++i];
+      switch (n) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          if (i + 4 < json.size()) {
+            out += static_cast<char>(
+                std::strtol(json.substr(i + 1, 4).c_str(), nullptr, 16));
+            i += 4;
+          }
+          break;
+        default: out += n;
+      }
+    } else {
+      out += c;
+    }
+  }
+  return false;
+}
+
+core::Protocol ProtocolFromName(const std::string& name) {
+  for (std::size_t i = 0; i < core::kProtocolCount; ++i) {
+    const auto p = static_cast<core::Protocol>(i);
+    if (name == core::ProtocolName(p)) return p;
+  }
+  return core::Protocol::kUnknown;
+}
+
+core::Outcome OutcomeFromName(const std::string& name) {
+  static constexpr core::Outcome kAll[] = {
+      core::Outcome::kOk, core::Outcome::kDeadline, core::Outcome::kException,
+      core::Outcome::kSkipped};
+  for (const auto o : kAll) {
+    if (name == core::OutcomeName(o)) return o;
+  }
+  return core::Outcome::kOk;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::size_t WriteQuarantineDir(const std::string& dir,
+                               const core::Supervisor& supervisor) {
+  fs::create_directories(dir);
+  const auto records = supervisor.quarantine();
+  int idx = 0;
+  for (const auto& rec : records) {
+    char stem[96];
+    std::snprintf(stem, sizeof(stem), "%s/q%03d_%s_%lld", dir.c_str(), idx++,
+                  core::ProtocolName(rec.protocol),
+                  static_cast<long long>(rec.start_sample));
+    trace::WriteIqTrace(std::string(stem) + ".iq", rec.snapshot);
+    std::ofstream meta(std::string(stem) + ".json", std::ios::trunc);
+    meta << "{\"stream_start\":" << rec.start_sample
+         << ",\"stream_end\":" << rec.end_sample << ",\"protocol\":\""
+         << core::ProtocolName(rec.protocol) << "\",\"outcome\":\""
+         << core::OutcomeName(rec.outcome) << "\",\"error\":\""
+         << JsonEscape(rec.error)
+         << "\",\"snapshot_samples\":" << rec.snapshot.size() << "}\n";
+  }
+  return records.size();
+}
+
+ReplayFile LoadReplay(const std::string& iq_path) {
+  ReplayFile out;
+  out.iq_path = iq_path;
+  out.samples = trace::ReadIqTrace(iq_path, &out.sample_rate_hz);
+
+  const fs::path sidecar = fs::path(iq_path).replace_extension(".json");
+  std::ifstream in(sidecar);
+  if (!in) return out;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+
+  long long num = 0;
+  if (FindNumber(json, "stream_start", num)) out.stream_start = num;
+  if (FindNumber(json, "stream_end", num)) out.stream_end = num;
+  if (FindNumber(json, "snapshot_samples", num)) {
+    out.snapshot_samples = static_cast<std::size_t>(num);
+  }
+  std::string str;
+  if (FindString(json, "protocol", str)) out.protocol = ProtocolFromName(str);
+  if (FindString(json, "outcome", str)) out.outcome = OutcomeFromName(str);
+  FindString(json, "error", out.error);
+  out.has_sidecar = true;
+  return out;
+}
+
+std::vector<ReplayFile> LoadQuarantineDir(const std::string& dir) {
+  std::vector<fs::path> files;
+  if (fs::exists(dir)) {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".iq") {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<ReplayFile> out;
+  out.reserve(files.size());
+  for (const auto& path : files) out.push_back(LoadReplay(path.string()));
+  return out;
+}
+
+}  // namespace rfdump::testing
