@@ -4,9 +4,11 @@
 // reports; absolute numbers depend on this machine, the paper-vs-measured
 // comparison lives in EXPERIMENTS.md.
 
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "rfdump/core/pipeline.hpp"
 #include "rfdump/core/scoring.hpp"
@@ -45,6 +47,70 @@ inline std::string FmtRate(double rate) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.4f", rate);
   return buf;
+}
+
+// ------------------------------------------------------------ JSON output
+// Machine-readable bench results (BENCH_<name>.json). Values are
+// pre-rendered strings so nesting is plain composition; the schema each
+// bench emits is documented in README.md ("Benchmark JSON output").
+
+inline std::string JsonNum(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+inline std::string JsonInt(long long v) { return std::to_string(v); }
+
+inline std::string JsonStr(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+struct JsonKV {
+  std::string key;
+  std::string val;  // pre-rendered JSON
+};
+
+inline std::string JsonObj(const std::vector<JsonKV>& fields) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out += ", ";
+    out += JsonStr(fields[i].key) + ": " + fields[i].val;
+  }
+  out += "}";
+  return out;
+}
+
+inline std::string JsonArr(const std::vector<std::string>& elems) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    if (i) out += ", ";
+    out += elems[i];
+  }
+  out += "]";
+  return out;
+}
+
+/// Writes BENCH_<name>.json into $RFDUMP_BENCH_OUT (or the current
+/// directory). Run benches from the repo root to land the files there.
+inline void WriteBenchJson(const std::string& name, const std::string& body) {
+  const char* dir = std::getenv("RFDUMP_BENCH_OUT");
+  const std::string path =
+      std::string(dir ? dir : ".") + "/BENCH_" + name + ".json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fputs(body.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+  }
 }
 
 }  // namespace bench

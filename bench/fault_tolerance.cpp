@@ -101,6 +101,7 @@ int main() {
       {"moderate (+clip)", 4.0, 10.0, 22.0f},
       {"hostile (8 drop/s)", 8.0, 40.0, 18.0f},
   };
+  std::vector<std::string> impairment_rows;
   for (const auto& lvl : levels) {
     emu::FrontEnd::Config fcfg;
     fcfg.drops_per_second = lvl.drops;
@@ -112,12 +113,22 @@ int main() {
                 r.decoded, w.truth_frames, r.gaps,
                 static_cast<long long>(r.lost),
                 static_cast<unsigned long long>(r.sanitized), r.load);
+    impairment_rows.push_back(bench::JsonObj({
+        {"front_end", bench::JsonStr(lvl.name)},
+        {"decoded", bench::JsonInt(static_cast<long long>(r.decoded))},
+        {"gaps", bench::JsonInt(static_cast<long long>(r.gaps))},
+        {"lost_samples", bench::JsonInt(r.lost)},
+        {"sanitized_samples",
+         bench::JsonInt(static_cast<long long>(r.sanitized))},
+        {"load", bench::JsonNum(r.load)},
+    }));
   }
 
   std::printf("\n-- load shedding sweep (ideal front end) --\n");
   std::printf("%-22s %8s %10s %8s\n", "budget (cpu/real)", "decoded",
               "max-stage", "load");
   const double budgets[] = {0.0, 1.5, 0.75, 0.30, 0.10, 0.02};
+  std::vector<std::string> shedding_rows;
   for (const double b : budgets) {
     const auto r = Run(w, emu::FrontEnd::Config{}, b);
     char name[32];
@@ -128,6 +139,23 @@ int main() {
     }
     std::printf("%-22s %4zu/%-3zu %10d %8.3f\n", name, r.decoded,
                 w.truth_frames, r.max_stage, r.load);
+    shedding_rows.push_back(bench::JsonObj({
+        {"budget", bench::JsonNum(b)},
+        {"decoded", bench::JsonInt(static_cast<long long>(r.decoded))},
+        {"max_shed_stage", bench::JsonInt(r.max_stage)},
+        {"load", bench::JsonNum(r.load)},
+    }));
   }
+
+  bench::WriteBenchJson(
+      "fault_tolerance",
+      bench::JsonObj({
+          {"bench", bench::JsonStr("fault_tolerance")},
+          {"scale", bench::JsonNum(bench::Scale())},
+          {"truth_frames",
+           bench::JsonInt(static_cast<long long>(w.truth_frames))},
+          {"impairment_sweep", bench::JsonArr(impairment_rows)},
+          {"shedding_sweep", bench::JsonArr(shedding_rows)},
+      }));
   return 0;
 }

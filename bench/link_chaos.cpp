@@ -1,0 +1,230 @@
+// Link chaos recovery: the transport counterpart to fault_tolerance. A
+// 3-sensor fleet (skewed clocks, shared synthetic truth) runs through the
+// same seeded fault profiles the chaos test sweeps (drop / duplicate /
+// reorder / corrupt / partition), and for each profile we measure how much
+// the reliability layer had to work (retransmits, gap reports) and how much
+// of the published truth the fused view recovered.
+//
+// Reads like: recovery stays at 1.000 except for frames the sensors
+// *explicitly* declared lost (ring overflow under sustained loss); nothing
+// corrupt is ever accepted, and duplicates never fuse twice.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "rfdump/net/fleet.hpp"
+
+namespace {
+
+namespace core = rfdump::core;
+namespace net = rfdump::net;
+
+constexpr std::int64_t kSamplesPerTick = 8000;
+constexpr std::int64_t kEventSpacing = 10'000;  // >> dedup slack (64)
+constexpr std::size_t kSensors = 3;
+
+struct Profile {
+  const char* name;
+  std::uint64_t seed;
+  net::FaultyLink::Config link;
+  std::vector<net::FaultyLink::Config::Window> partitions0;  // sensor 0 only
+};
+
+std::vector<Profile> Profiles() {
+  std::vector<Profile> out;
+  auto add = [&](const char* name, std::uint64_t seed, double drop, double dup,
+                 double reorder, double corrupt) {
+    Profile p;
+    p.name = name;
+    p.seed = seed;
+    p.link.drop_rate = drop;
+    p.link.duplicate_rate = dup;
+    p.link.reorder_rate = reorder;
+    p.link.corrupt_rate = corrupt;
+    p.link.reorder_max_ticks = 6;
+    out.push_back(p);
+  };
+  add("clean", 200, 0.0, 0.0, 0.0, 0.0);
+  add("light-drop", 201, 0.10, 0.0, 0.0, 0.0);
+  add("heavy-drop", 202, 0.30, 0.0, 0.0, 0.0);
+  add("brutal-drop", 203, 0.50, 0.0, 0.0, 0.0);
+  add("duplicates", 204, 0.0, 0.30, 0.0, 0.0);
+  add("reorder", 205, 0.0, 0.0, 0.40, 0.0);
+  add("corrupt", 206, 0.0, 0.0, 0.0, 0.20);
+  add("kitchen-sink", 207, 0.25, 0.25, 0.25, 0.25);
+  add("partition", 208, 0.0, 0.0, 0.0, 0.0);
+  out.back().partitions0 = {{10, 30}};
+  return out;
+}
+
+net::EventRecord TrueEvent(std::size_t index, std::int64_t clock_offset) {
+  net::EventRecord e;
+  e.protocol = core::Protocol::kWifi80211b;
+  e.channel = -1;
+  const std::int64_t true_start =
+      100'000 + static_cast<std::int64_t>(index) * kEventSpacing;
+  e.start_sample = true_start + clock_offset;
+  e.end_sample = e.start_sample + 2'000;
+  e.payload_bytes = 100;
+  e.crc_ok = true;
+  e.payload_digest = 0xE000000 + index;
+  return e;
+}
+
+bool InRanges(const std::vector<net::SeqRange>& ranges, std::uint32_t seq) {
+  for (const auto& r : ranges) {
+    if (seq >= r.first && seq <= r.last) return true;
+  }
+  return false;
+}
+
+struct ProfileResult {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t lost_frames = 0;  // explicitly declared + applied
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t corrupt_dropped = 0;
+  std::size_t events_expected = 0;  // published minus declared-lost frames
+  std::size_t events_fused = 0;
+  bool exact = false;  // fused set == expected set
+};
+
+ProfileResult RunProfile(const Profile& profile, int publish_ticks) {
+  const std::int64_t offsets[kSensors] = {900, -1'300, 4'000};
+  net::Fleet::Config cfg;
+  cfg.samples_per_tick = kSamplesPerTick;
+  cfg.aggregator.trust_floor = 0.0;  // measure transport, not trust policy
+  cfg.sensors.resize(kSensors);
+  for (std::size_t i = 0; i < kSensors; ++i) {
+    auto& s = cfg.sensors[i];
+    s.id = static_cast<std::uint16_t>(i);
+    s.clock_offset_samples = offsets[i];
+    s.seed = profile.seed * 10 + i;
+    s.uplink = profile.link;
+    s.downlink = profile.link;
+    s.session.retransmit_ring = 32;
+    if (i == 0) {
+      s.uplink.partitions = profile.partitions0;
+      s.downlink.partitions = profile.partitions0;
+    }
+  }
+  net::Fleet fleet(cfg);
+
+  // Calibrate clocks before chaos (same discipline as the chaos test).
+  fleet.SetLossless(true);
+  fleet.Run(8);
+  fleet.SetLossless(false);
+
+  // seq -> digests per sensor (gap reports consume seqs too, so the batch's
+  // actual sequence number comes from Publish).
+  std::map<std::uint32_t, std::vector<std::uint64_t>> published[kSensors];
+  std::size_t next_event = 0;
+  for (int t = 0; t < publish_ticks; ++t) {
+    std::vector<net::EventRecord> heard[kSensors];
+    for (int k = 0; k < 2; ++k) {
+      for (std::size_t i = 0; i < kSensors; ++i) {
+        heard[i].push_back(TrueEvent(next_event, offsets[i]));
+      }
+      ++next_event;
+    }
+    for (std::size_t i = 0; i < kSensors; ++i) {
+      std::vector<std::uint64_t> digests;
+      for (const auto& e : heard[i]) digests.push_back(e.payload_digest);
+      const auto seq =
+          fleet.Publish(i, heard[i].front().start_sample, heard[i]);
+      published[i][seq] = digests;
+    }
+    fleet.Tick();
+  }
+  fleet.SetLossless(true);
+  fleet.Run(200);
+
+  ProfileResult r;
+  auto& agg = fleet.aggregator();
+  std::set<std::uint64_t> expected;
+  for (std::size_t i = 0; i < kSensors; ++i) {
+    const auto st = fleet.session(i).stats();
+    r.frames_sent += st.frames_sent;
+    r.retransmits += st.retransmits;
+    const auto& as = agg.status(fleet.sensor_id(i));
+    r.frames_delivered += as.frames_delivered;
+    r.duplicates_dropped += as.duplicates_dropped;
+    r.corrupt_dropped += as.corrupt_dropped;
+    for (const auto& range : as.lost_applied) {
+      r.lost_frames += range.last - range.first + 1;
+    }
+    for (const auto& [seq, digests] : published[i]) {
+      if (InRanges(as.lost_applied, seq)) continue;
+      expected.insert(digests.begin(), digests.end());
+    }
+  }
+  std::set<std::uint64_t> fused;
+  for (const auto& f : agg.fused()) fused.insert(f.payload_digest);
+  r.events_expected = expected.size();
+  r.events_fused = fused.size();
+  r.exact = fused == expected;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Link chaos recovery (multi-sensor fleet robustness)");
+  const int publish_ticks = static_cast<int>(bench::Scaled(80));
+  std::printf("fleet: %zu sensors, %d publish ticks x 2 events/sensor\n\n",
+              kSensors, publish_ticks);
+  std::printf("%-14s %7s %7s %7s %6s %6s %6s %11s %6s\n", "profile", "sent",
+              "retx", "deliv", "lost", "dup", "crpt", "fused/exp", "exact");
+
+  std::vector<std::string> rows;
+  for (const auto& profile : Profiles()) {
+    const auto r = RunProfile(profile, publish_ticks);
+    std::printf("%-14s %7llu %7llu %7llu %6llu %6llu %6llu %5zu/%-5zu %6s\n",
+                profile.name, static_cast<unsigned long long>(r.frames_sent),
+                static_cast<unsigned long long>(r.retransmits),
+                static_cast<unsigned long long>(r.frames_delivered),
+                static_cast<unsigned long long>(r.lost_frames),
+                static_cast<unsigned long long>(r.duplicates_dropped),
+                static_cast<unsigned long long>(r.corrupt_dropped),
+                r.events_fused, r.events_expected, r.exact ? "yes" : "NO");
+    rows.push_back(bench::JsonObj({
+        {"profile", bench::JsonStr(profile.name)},
+        {"seed", bench::JsonInt(static_cast<long long>(profile.seed))},
+        {"drop_rate", bench::JsonNum(profile.link.drop_rate)},
+        {"duplicate_rate", bench::JsonNum(profile.link.duplicate_rate)},
+        {"reorder_rate", bench::JsonNum(profile.link.reorder_rate)},
+        {"corrupt_rate", bench::JsonNum(profile.link.corrupt_rate)},
+        {"partitioned", profile.partitions0.empty() ? "false" : "true"},
+        {"frames_sent", bench::JsonInt(static_cast<long long>(r.frames_sent))},
+        {"retransmits", bench::JsonInt(static_cast<long long>(r.retransmits))},
+        {"frames_delivered",
+         bench::JsonInt(static_cast<long long>(r.frames_delivered))},
+        {"lost_frames", bench::JsonInt(static_cast<long long>(r.lost_frames))},
+        {"duplicates_dropped",
+         bench::JsonInt(static_cast<long long>(r.duplicates_dropped))},
+        {"corrupt_dropped",
+         bench::JsonInt(static_cast<long long>(r.corrupt_dropped))},
+        {"events_fused",
+         bench::JsonInt(static_cast<long long>(r.events_fused))},
+        {"events_expected",
+         bench::JsonInt(static_cast<long long>(r.events_expected))},
+        {"exact_recovery", r.exact ? "true" : "false"},
+    }));
+  }
+
+  bench::WriteBenchJson(
+      "link_chaos",
+      bench::JsonObj({
+          {"bench", bench::JsonStr("link_chaos")},
+          {"scale", bench::JsonNum(bench::Scale())},
+          {"sensors", bench::JsonInt(static_cast<long long>(kSensors))},
+          {"publish_ticks", bench::JsonInt(publish_ticks)},
+          {"profiles", bench::JsonArr(rows)},
+      }));
+  return 0;
+}

@@ -13,7 +13,9 @@
 //   example_rfdump_cli -r trace.iq --stats             # per-stage CPU costs
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -80,6 +82,39 @@ void PrintUsage(const char* argv0) {
       "  --corpus DIR       corpus root for --selftest (default\n"
       "                     tests/corpus)\n",
       argv0);
+}
+
+// Strict numeric flag parsing. atoi/atof silently turn garbage into 0 —
+// which for --threads used to mean "one worker per hardware thread" — so the
+// whole token must parse and land in range, or the run stops with exit 2.
+bool ParseIntFlag(const char* flag, const char* text, long min_value,
+                  long* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || v < min_value) {
+    std::fprintf(stderr, "error: %s expects an integer >= %ld, got '%s'\n",
+                 flag, min_value, text);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseDoubleFlag(const char* flag, const char* text, double min_value,
+                     double* out) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text, &end);
+  // !(v >= min) also rejects NaN; infinity is no more meaningful a budget.
+  if (errno != 0 || end == text || *end != '\0' || !(v >= min_value) ||
+      v > 1e12) {
+    std::fprintf(stderr, "error: %s expects a finite number >= %g, got '%s'\n",
+                 flag, min_value, text);
+    return false;
+  }
+  *out = v;
+  return true;
 }
 
 dsp::SampleVec DemoEther() {
@@ -361,7 +396,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-demod") {
       no_demod = true;
     } else if (arg == "--threads" && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
+      long v = 0;
+      if (!ParseIntFlag("--threads", argv[++i], 0, &v)) return 2;
+      threads = static_cast<int>(std::min(v, 1024L));
     } else if (arg == "--collisions") {
       collisions = true;
     } else if (arg == "--stats") {
@@ -371,13 +408,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--pcap" && i + 1 < argc) {
       pcap_path = argv[++i];
     } else if (arg == "--noise-floor" && i + 1 < argc) {
-      noise_floor = std::atof(argv[++i]);
+      if (!ParseDoubleFlag("--noise-floor", argv[++i], 1e-9, &noise_floor)) {
+        return 2;
+      }
     } else if (arg == "--impair") {
       impair = true;
     } else if (arg == "--budget" && i + 1 < argc) {
-      budget = std::atof(argv[++i]);
+      if (!ParseDoubleFlag("--budget", argv[++i], 0.0, &budget)) return 2;
     } else if (arg == "--deadline" && i + 1 < argc) {
-      deadline = std::atof(argv[++i]);
+      if (!ParseDoubleFlag("--deadline", argv[++i], 0.0, &deadline)) return 2;
     } else if (arg == "--quarantine" && i + 1 < argc) {
       quarantine_dir = argv[++i];
     } else if (arg == "--metrics" && i + 1 < argc) {
@@ -418,12 +457,9 @@ int main(int argc, char** argv) {
               static_cast<double>(x.size()) / dsp::kSampleRateHz, x.size());
 
   if (threads == 0) {
+    // Negative/garbage values were rejected at parse time; 0 means "auto".
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads < 1) threads = 1;
-  }
-  if (threads < 1) {
-    std::fprintf(stderr, "--threads must be >= 0\n");
-    return 2;
   }
   // One executor for the whole run: Executor(1) is serial inline (no pool),
   // wider widths fan the analysis stage out per interval x protocol.

@@ -94,6 +94,13 @@ class FrontEnd {
     /// warm-up): instantaneous offset is cfo_hz + cfo_drift_hz_per_sec * t.
     double cfo_hz = 0.0;
     double cfo_drift_hz_per_sec = 0.0;
+
+    /// Sample-clock skew: segment timestamps are reported in the sensor's
+    /// *own* clock, `local = true + clock_offset_samples`. A fleet of
+    /// front ends over one ether each misreport time differently; the
+    /// aggregator (net/aggregator.hpp) re-aligns them. The fault log stays
+    /// in the true (pre-offset) timeline.
+    std::int64_t clock_offset_samples = 0;
   };
 
   /// Takes a copy of `stream` so the caller's buffer may be released.

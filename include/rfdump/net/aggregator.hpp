@@ -1,0 +1,159 @@
+#pragma once
+// Central aggregator: fuses N sensor streams into one ether-wide view
+// (DESIGN.md §12; the Electrosense+ direction from ROADMAP item 2).
+//
+// Per sensor, the aggregator maintains:
+//
+//   * a FrameParser (CRC rejection; corrupt frames are counted and dropped,
+//     never decoded — the sensor's retransmit timer recovers them);
+//   * cumulative-ack reassembly: in-order delivery through a bounded
+//     reorder buffer, duplicate discard by sequence number, and explicit
+//     gap application — a sequence range the sensor declared lost is
+//     skipped *and recorded*, mirroring the PR 1 rule that the monitor
+//     never silently decodes across missing input;
+//   * a clock-offset estimator: sensors timestamp events in their own
+//     sample clock, hellos/heartbeats carry that clock, and the estimator
+//     min-filters (arrival_time - sensor_time) so local timelines map onto
+//     the aggregator's global one (min-filtering converges to true offset
+//     plus minimum link delay — constant across sensors on symmetric
+//     links, so *relative* alignment is exact);
+//   * liveness + trust: a sensor that goes quiet past the timeout is marked
+//     degraded and excluded from fusion totals without stalling anyone
+//     else; gaps and reconnect churn drain a trust score, clean batches
+//     slowly restore it, and a sensor under the trust floor keeps streaming
+//     but its events are held out of the fused view.
+//
+// Fusion dedups cross-sensor decodes by the same clustering rule the
+// differential oracle uses (testing/differential.hpp): events of one
+// (protocol, channel) whose aligned starts land within a slack window are
+// one over-the-air transmission heard by several sensors. The fused view
+// keeps one FusedEvent per cluster with a witness mask.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "rfdump/net/messages.hpp"
+#include "rfdump/net/wire.hpp"
+
+namespace rfdump::net {
+
+/// One over-the-air transmission in the fused view (global timeline).
+struct FusedEvent {
+  core::Protocol protocol = core::Protocol::kUnknown;
+  std::int16_t channel = -1;
+  std::int64_t start = 0;  // aligned, global sample timeline
+  std::int64_t end = 0;
+  std::uint32_t payload_bytes = 0;
+  bool crc_ok = false;
+  std::uint64_t payload_digest = 0;
+  std::uint32_t sensor_mask = 0;  // bit per sensor_id (ids < 32)
+  int witnesses = 0;
+};
+
+class Aggregator {
+ public:
+  struct Config {
+    /// Maps the fleet's tick clock to the global sample timeline (1 ms of
+    /// 8 Msps ether per tick by default).
+    std::int64_t samples_per_tick = 8000;
+    /// No valid frame from a sensor for this long => degraded.
+    int liveness_timeout_ticks = 24;
+    /// Cross-sensor cluster window, generalizing the differential oracle's
+    /// 16-sample slack: wider because independent front ends disagree by a
+    /// few samples *and* clock alignment carries bounded error.
+    std::int64_t dedup_slack_samples = 64;
+    /// Out-of-order frames buffered per sensor while waiting for a
+    /// retransmit to fill the sequence hole.
+    std::size_t reorder_buffer = 256;
+    /// Trust: [0, 1]; events from sensors below the floor are tracked but
+    /// not fused.
+    double trust_floor = 0.2;
+    double trust_gap_penalty = 0.10;        // per applied gap range
+    double trust_reconnect_penalty = 0.05;  // per epoch bump
+    double trust_recovery = 0.01;           // per clean in-order data frame
+  };
+
+  enum class SensorState { kLive, kDegraded };
+
+  /// Everything the aggregator knows about one sensor.
+  struct SensorStatus {
+    SensorState state = SensorState::kLive;
+    std::uint32_t epoch = 0;
+    std::uint32_t cum_seq = 0;        // delivered-or-declared-lost watermark
+    std::int64_t last_heard_tick = 0;
+    std::int64_t clock_offset = 0;    // current min-filter estimate
+    bool offset_known = false;
+    double trust = 1.0;
+    std::uint64_t frames_delivered = 0;
+    std::uint64_t duplicates_dropped = 0;
+    std::uint64_t corrupt_dropped = 0;     // parser CRC rejections
+    std::uint64_t reorder_overflow = 0;    // buffered frames evicted
+    std::uint64_t events_received = 0;
+    std::uint64_t events_held_untrusted = 0;
+    std::uint64_t degraded_transitions = 0;
+    /// Sequence ranges skipped without delivery (the sensor declared them
+    /// lost and nothing ever arrived) — the fleet's explicit loss record.
+    std::vector<SeqRange> lost_applied;
+    std::vector<core::HealthReport> health;
+  };
+
+  Aggregator();
+  explicit Aggregator(Config config);
+
+  /// Feeds bytes arriving from one sensor's uplink. `sensor_id` names the
+  /// link (frames also carry it; a frame whose header disagrees with its
+  /// link is dropped as misrouted).
+  void HandleBytes(std::uint16_t sensor_id,
+                   std::span<const std::uint8_t> bytes);
+
+  /// Advances the aggregator clock: liveness scan, per-sensor ack emission.
+  void Tick(std::int64_t tick);
+
+  /// Drains frames queued for `sensor_id`'s downlink.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> TakeOutbound(
+      std::uint16_t sensor_id);
+
+  /// The fused ether-wide view, insertion order.
+  const std::vector<FusedEvent>& fused() const { return fused_; }
+  /// Fused events a new witness merged into (vs appended) — the
+  /// cross-sensor dedup counter.
+  [[nodiscard]] std::uint64_t merges() const { return merges_; }
+
+  [[nodiscard]] bool Known(std::uint16_t sensor_id) const;
+  [[nodiscard]] const SensorStatus& status(std::uint16_t sensor_id) const;
+  [[nodiscard]] std::vector<std::uint16_t> sensor_ids() const;
+  [[nodiscard]] std::size_t live_sensors() const;
+
+ private:
+  struct Sensor {
+    SensorStatus st;
+    FrameParser parser;
+    std::uint64_t parser_crc_seen = 0;  // last-seen bad_crc + bad_header_checksum
+    std::map<std::uint32_t, Frame> reorder;    // seq -> buffered frame
+    std::vector<SeqRange> declared_lost;       // cumulative, from GapReports
+    std::vector<EventBatchMsg> pending_align;  // delivered before a clock fix
+    std::vector<std::vector<std::uint8_t>> outbound;
+    bool ack_due = false;
+  };
+
+  Sensor& Get(std::uint16_t sensor_id);
+  void DeliverLocked(std::uint16_t sensor_id, Sensor& s, const Frame& frame);
+  void DrainLocked(std::uint16_t sensor_id, Sensor& s);
+  void ObserveClock(std::uint16_t sensor_id, Sensor& s,
+                    std::int64_t local_time);
+  void FuseBatch(std::uint16_t sensor_id, Sensor& s,
+                 const EventBatchMsg& batch);
+  void FuseEvent(std::uint16_t sensor_id, const EventRecord& e,
+                 std::int64_t offset);
+  void MarkLive(std::uint16_t sensor_id, Sensor& s);
+  [[nodiscard]] bool DeclaredLost(const Sensor& s, std::uint32_t seq) const;
+
+  Config config_;
+  std::int64_t now_ = 0;
+  std::map<std::uint16_t, Sensor> sensors_;
+  std::vector<FusedEvent> fused_;
+  std::uint64_t merges_ = 0;
+};
+
+}  // namespace rfdump::net

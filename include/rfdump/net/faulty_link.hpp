@@ -1,0 +1,118 @@
+#pragma once
+// In-process lossy-link emulator (DESIGN.md §12).
+//
+// The transport counterpart of emu::FrontEnd: where the front end replays a
+// sample stream the way a cheap USB capture actually delivers it, FaultyLink
+// replays a *frame* stream the way a hostile network actually delivers it —
+// seeded drop / duplicate / reorder / corrupt / delay injection plus
+// scheduled partitions — and records every injected fault in a ground-truth
+// log so the chaos tests can score the session/aggregator layer exactly:
+// which frames the receiver had an honest chance to see, which losses the
+// sensor must eventually report as gaps, and which corruptions the CRC must
+// have rejected.
+//
+// Time is integer ticks (the fleet's virtual clock; net/fleet.hpp maps ticks
+// to samples). All randomness comes from one seeded Xoshiro256, so a fault
+// schedule is reproducible bit-for-bit from (config, seed, send sequence).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rfdump/util/rng.hpp"
+
+namespace rfdump::net {
+
+enum class LinkFaultKind {
+  kDrop,       // frame silently discarded
+  kDuplicate,  // frame delivered twice
+  kReorder,    // frame held back so later sends overtake it
+  kCorrupt,    // random bytes flipped (the CRC must catch this)
+  kPartition,  // frame sent or due during a partition window: discarded
+};
+
+[[nodiscard]] const char* LinkFaultKindName(LinkFaultKind kind);
+
+/// Ground-truth record for one injected fault. `send_index` is the 0-based
+/// ordinal of the Send() call the fault applied to — the caller's handle for
+/// mapping faults back to frames (the link is payload-agnostic).
+struct LinkFaultRecord {
+  LinkFaultKind kind = LinkFaultKind::kDrop;
+  std::int64_t tick = 0;        // when the fault was injected
+  std::uint64_t send_index = 0;
+  std::size_t bytes = 0;        // size of the affected frame
+};
+
+/// Unidirectional frame conduit with fault injection. Send() enqueues at the
+/// current tick; Advance() moves the clock and returns everything due, in
+/// delivery order.
+class FaultyLink {
+ public:
+  struct Config {
+    double drop_rate = 0.0;       // per-frame P(silently discarded)
+    double duplicate_rate = 0.0;  // per-frame P(delivered twice)
+    double corrupt_rate = 0.0;    // per-frame P(bytes flipped in transit)
+    double reorder_rate = 0.0;    // per-frame P(held back extra ticks)
+    int corrupt_max_bytes = 4;    // byte flips per corruption, uniform [1, N]
+    int reorder_max_ticks = 8;    // extra hold, uniform [1, N]
+    int base_delay_ticks = 0;     // propagation delay applied to every frame
+    int jitter_ticks = 0;         // extra delay, uniform [0, N]
+    /// Half-open [begin, end) tick windows during which the link is down:
+    /// frames sent or coming due inside a window are discarded (and logged
+    /// as kPartition). Windows must be disjoint and ascending.
+    struct Window {
+      std::int64_t begin = 0;
+      std::int64_t end = 0;
+    };
+    std::vector<Window> partitions;
+  };
+
+  explicit FaultyLink(Config config, std::uint64_t seed = 1);
+
+  /// Enqueues one frame at the current tick, applying the fault schedule.
+  void Send(std::vector<std::uint8_t> frame);
+
+  /// Advances the link clock to `tick` (monotonic; lagging calls are
+  /// clamped) and returns every frame due by then, in delivery order.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> Advance(
+      std::int64_t tick);
+
+  /// Stops injecting *new* faults (drain mode for tests that must converge
+  /// deterministically); already-scheduled deliveries are unaffected, and
+  /// partitions still apply.
+  void set_lossless(bool lossless) { lossless_ = lossless; }
+
+  /// True while `tick` falls inside a configured partition window.
+  [[nodiscard]] bool Partitioned(std::int64_t tick) const;
+
+  /// Ground-truth fault log, in injection order.
+  const std::vector<LinkFaultRecord>& faults() const { return faults_; }
+  [[nodiscard]] std::uint64_t frames_sent() const { return sends_; }
+  [[nodiscard]] std::uint64_t frames_delivered() const { return delivered_; }
+
+  /// One JSON line per fault record — the artifact the chaos suite dumps on
+  /// failure so a red CI run carries its own repro data.
+  [[nodiscard]] std::string FaultLogJson() const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct InFlight {
+    std::int64_t due = 0;
+    std::uint64_t order = 0;  // tie-break: preserves send order at equal due
+    std::uint64_t send_index = 0;
+    std::vector<std::uint8_t> frame;
+  };
+
+  Config config_;
+  util::Xoshiro256 rng_;
+  std::vector<InFlight> queue_;  // kept sorted by (due, order)
+  std::int64_t now_ = 0;
+  std::uint64_t sends_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t order_ = 0;
+  bool lossless_ = false;
+  std::vector<LinkFaultRecord> faults_;
+};
+
+}  // namespace rfdump::net

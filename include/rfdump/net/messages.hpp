@@ -1,0 +1,109 @@
+#pragma once
+// Message payloads carried inside net frames (DESIGN.md §12).
+//
+// The fleet ships three things from sensor to aggregator: decoded
+// transmissions (compact EventRecords, not whole DecodedFrames — the
+// aggregator fuses and dedups, it does not re-demodulate), per-block
+// health, and liveness/clock samples. The aggregator ships back cumulative
+// acks. All timestamps in sensor->aggregator messages are in the *sensor's
+// local sample timeline* (its front-end clock, which is offset from true
+// ether time); the aggregator aligns them (net/aggregator.hpp).
+//
+// Every message has an Encode() producing the frame payload bytes and a
+// Decode() returning false on truncated/garbage input (the frame CRC
+// catches corruption; Decode guards against a hostile or version-skewed
+// peer). Encode/decode round-trip identity is asserted per message type in
+// tests/net_test.cpp.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rfdump/core/pipeline.hpp"
+#include "rfdump/net/wire.hpp"
+
+namespace rfdump::net {
+
+/// One decoded transmission, compacted for the wire. `payload_digest` is a
+/// FNV-1a hash of the decoded payload bytes so the aggregator can
+/// distinguish "same packet heard twice" from "different packet, same
+/// position" without shipping payloads.
+struct EventRecord {
+  core::Protocol protocol = core::Protocol::kUnknown;
+  std::int16_t channel = -1;  // Bluetooth visible channel index, -1 otherwise
+  std::int64_t start_sample = 0;  // sensor-local timeline
+  std::int64_t end_sample = 0;
+  std::uint32_t payload_bytes = 0;
+  bool crc_ok = false;
+  std::uint64_t payload_digest = 0;
+
+  bool operator==(const EventRecord&) const = default;
+};
+
+[[nodiscard]] std::uint64_t Fnv1a64(std::span<const std::uint8_t> bytes);
+
+/// Builds EventRecords from a monitor's decoded outputs.
+[[nodiscard]] EventRecord ToEventRecord(const phy80211::DecodedFrame& f);
+[[nodiscard]] EventRecord ToEventRecord(const phybt::DecodedBtPacket& p);
+[[nodiscard]] EventRecord ToEventRecord(const phyzigbee::DecodedZbFrame& z);
+
+/// Session (re)establishment. `epoch` increments on every sensor-side
+/// reconnect so the aggregator can tell a fresh session from a delayed
+/// duplicate of an old one.
+struct HelloMsg {
+  std::uint32_t epoch = 0;
+  std::int64_t local_time = 0;  // sensor sample clock at send
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static std::optional<HelloMsg> Decode(std::span<const std::uint8_t> p);
+};
+
+/// Liveness + clock sample. The aggregator's offset estimator min-filters
+/// (arrival_time - local_time) over these (see net/aggregator.hpp).
+struct HeartbeatMsg {
+  std::int64_t local_time = 0;
+  std::uint32_t frames_sent = 0;  // session lifetime total, for loss stats
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static std::optional<HeartbeatMsg> Decode(std::span<const std::uint8_t> p);
+};
+
+/// Aggregator -> sensor: everything up to and including `cum_seq` has been
+/// delivered (or declared lost by a GapReport); the sensor may drop those
+/// frames from its retransmit ring.
+struct AckMsg {
+  std::uint32_t cum_seq = 0;
+  std::uint32_t epoch = 0;  // echo of the sensor epoch being acked
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static std::optional<AckMsg> Decode(std::span<const std::uint8_t> p);
+};
+
+/// A batch of decoded transmissions (one monitor block's worth).
+struct EventBatchMsg {
+  std::int64_t block_start = 0;  // sensor-local block position
+  std::vector<EventRecord> events;
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static std::optional<EventBatchMsg> Decode(std::span<const std::uint8_t> p);
+};
+
+/// One core::HealthReport, shipped verbatim (all fields).
+struct HealthMsg {
+  core::HealthReport report;
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static std::optional<HealthMsg> Decode(std::span<const std::uint8_t> p);
+};
+
+/// Inclusive range of sequence numbers the sensor gave up on (retransmit
+/// ring overflow). GapReports are *cumulative*: each one carries the full
+/// merged list for the session, so losing all but the last is harmless.
+struct SeqRange {
+  std::uint32_t first = 0;
+  std::uint32_t last = 0;
+  bool operator==(const SeqRange&) const = default;
+};
+
+struct GapReportMsg {
+  std::vector<SeqRange> lost;
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static std::optional<GapReportMsg> Decode(std::span<const std::uint8_t> p);
+};
+
+}  // namespace rfdump::net

@@ -1,0 +1,135 @@
+#pragma once
+// Sensor-side reliable session over a lossy link (DESIGN.md §12).
+//
+// SensorSession turns "fire a frame into a FaultyLink" into a connection
+// with delivery guarantees the aggregator can reason about:
+//
+//   * data frames (event batches, health, gap reports) get per-sensor
+//     monotonic sequence numbers and sit in a bounded retransmit ring until
+//     the aggregator's cumulative ack covers them;
+//   * unacked frames are resent on a per-frame timeout with exponential
+//     backoff (capped), so a dropped or corrupted frame is recovered rather
+//     than lost;
+//   * when the ring overflows (a long partition, a slow link), the oldest
+//     unacked frames are discarded and their sequence numbers recorded in a
+//     *cumulative* GapReport — the transport-layer analogue of the PR 1
+//     sample-gap invariant: loss is always explicit, never silent;
+//   * heartbeats carry the sensor's local sample clock for the aggregator's
+//     offset estimator and keep the session observable when idle;
+//   * liveness is watched from this side too: no ack within the timeout
+//     puts the session into exponential-backoff reconnect (with seeded
+//     jitter so a fleet doesn't thundering-herd), bumping the session epoch
+//     so stale acks from before the outage are ignored.
+//
+// Threading: Publish* may be called from a StreamingMonitor's analyzer
+// thread while the fleet thread runs Tick/HandleBytes/TakeOutbound — all
+// public methods are serialized on an internal mutex.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "rfdump/net/messages.hpp"
+#include "rfdump/net/wire.hpp"
+#include "rfdump/util/rng.hpp"
+
+namespace rfdump::net {
+
+class SensorSession {
+ public:
+  struct Config {
+    std::uint16_t sensor_id = 0;
+    int heartbeat_interval_ticks = 2;
+    int rto_ticks = 4;          // initial per-frame retransmit timeout
+    int rto_max_ticks = 32;     // cap for the per-frame exponential backoff
+    int ack_timeout_ticks = 16; // no ack for this long => reconnect
+    int backoff_base_ticks = 2; // reconnect backoff: base * 2^attempt ...
+    int backoff_max_ticks = 64; // ... capped here, plus jitter
+    double backoff_jitter = 0.5;  // uniform extra delay, fraction of delay
+    std::size_t retransmit_ring = 64;  // max unacked data frames held
+    std::size_t max_gap_ranges = 64;   // cumulative gap list cap (merged)
+  };
+
+  enum class State {
+    kConnecting,  // hello sent, waiting for the first ack of this epoch
+    kConnected,
+    kBackoff,     // liveness lost; waiting out the reconnect delay
+  };
+
+  struct Stats {
+    std::uint64_t frames_sent = 0;         // unique frames handed to the link
+    std::uint64_t retransmits = 0;
+    std::uint64_t heartbeats = 0;
+    std::uint64_t reconnects = 0;          // transitions into kBackoff
+    std::uint64_t ring_overflow_drops = 0; // data frames given up on
+    std::uint64_t stale_acks = 0;          // acks for an older epoch
+  };
+
+  explicit SensorSession(Config config, std::uint64_t seed = 1);
+
+  /// Queues a sequenced data frame. Returns the assigned sequence number.
+  std::uint32_t PublishEvents(const EventBatchMsg& batch);
+  std::uint32_t PublishHealth(const core::HealthReport& report);
+
+  /// Feeds bytes arriving on the downlink (acks). Tolerates corruption.
+  void HandleBytes(std::span<const std::uint8_t> bytes);
+
+  /// Advances the session clock: heartbeats, retransmit timeouts, liveness
+  /// check, reconnect state machine. `local_time` is the sensor's sample
+  /// clock (shipped in hellos/heartbeats for the offset estimator).
+  void Tick(std::int64_t tick, std::int64_t local_time);
+
+  /// Drains the frames queued since the last call (encode order preserved).
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> TakeOutbound();
+
+  [[nodiscard]] State state() const;
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::uint32_t epoch() const;
+  /// Highest sequence number covered by a cumulative ack.
+  [[nodiscard]] std::uint32_t acked_seq() const;
+  /// Data frames currently waiting for an ack.
+  [[nodiscard]] std::size_t unacked() const;
+  /// Cumulative merged list of sequence ranges this session gave up on.
+  [[nodiscard]] std::vector<SeqRange> lost_ranges() const;
+
+ private:
+  struct PendingFrame {
+    std::uint32_t seq = 0;
+    FrameType type = FrameType::kEventBatch;
+    std::vector<std::uint8_t> wire;  // encoded frame, resent verbatim
+    std::int64_t last_sent = 0;
+    int rto = 0;
+  };
+
+  std::uint32_t EnqueueDataLocked(FrameType type,
+                                  std::span<const std::uint8_t> payload);
+  void SendControlLocked(FrameType type,
+                         std::span<const std::uint8_t> payload);
+  void AddLostLocked(std::uint32_t seq);
+  void PublishGapReportLocked();
+  void BeginBackoffLocked(std::int64_t tick);
+
+  mutable std::mutex mu_;
+  Config config_;
+  util::Xoshiro256 rng_;
+  FrameParser parser_;
+  State state_ = State::kConnecting;
+  std::uint32_t epoch_ = 0;
+  std::uint32_t next_seq_ = 1;
+  std::uint32_t acked_ = 0;
+  std::deque<PendingFrame> ring_;
+  std::vector<std::vector<std::uint8_t>> outbound_;
+  std::vector<SeqRange> lost_;  // merged, ascending
+  bool gap_dirty_ = false;      // lost_ changed since the last GapReport
+  bool hello_sent_ = false;
+  std::int64_t now_ = 0;
+  std::int64_t local_time_ = 0;
+  std::int64_t last_ack_tick_ = 0;
+  std::int64_t last_heartbeat_tick_ = -1;
+  std::int64_t reconnect_at_ = 0;
+  int backoff_attempts_ = 0;
+  Stats stats_;
+};
+
+}  // namespace rfdump::net

@@ -152,7 +152,7 @@ Segment FrontEnd::NextSegment() {
       cursor_ = d.end_sample;
     }
   }
-  if (cursor_ >= n) return Segment{n, {}};
+  if (cursor_ >= n) return Segment{n + config_.clock_offset_samples, {}};
 
   std::int64_t len = static_cast<std::int64_t>(rng_.UniformInt(
       config_.segment_min_samples, config_.segment_max_samples));
@@ -167,23 +167,26 @@ Segment FrontEnd::NextSegment() {
   }
 
   Segment seg;
-  seg.start_sample = cursor_;
+  // Timestamps are reported in the sensor's own clock; impairment positions
+  // and the fault log stay in the true timeline (matching Ether truth).
+  const std::int64_t true_start = cursor_;
+  seg.start_sample = true_start + config_.clock_offset_samples;
   seg.samples.assign(stream_.begin() + cursor_,
                      stream_.begin() + cursor_ + len);
-  Impair(seg.samples, seg.start_sample);
+  Impair(seg.samples, true_start);
   cursor_ += len;
 
   // Duplicate delivery: if an event point fell inside this buffer, the next
   // call re-delivers the same buffer at the same (stale) timestamp.
   while (next_dup_ < dup_points_.size() &&
-         dup_points_[next_dup_] < seg.start_sample) {
+         dup_points_[next_dup_] < true_start) {
     ++next_dup_;  // event landed in a dropped region
   }
   if (next_dup_ < dup_points_.size() && dup_points_[next_dup_] < cursor_) {
     ++next_dup_;
     pending_dup_ = seg;  // copy, original timestamp
     have_pending_dup_ = true;
-    faults_.push_back({FaultKind::kDuplicate, seg.start_sample, cursor_,
+    faults_.push_back({FaultKind::kDuplicate, true_start, cursor_,
                        static_cast<double>(len)});
   }
   return seg;

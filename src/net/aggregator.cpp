@@ -1,0 +1,338 @@
+#include "rfdump/net/aggregator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "rfdump/obs/obs.hpp"
+
+namespace rfdump::net {
+
+namespace {
+
+struct AggMetrics {
+  obs::Counter& frames_received;
+  obs::Counter& corrupt_dropped;
+  obs::Counter& duplicates_dropped;
+  obs::Counter& events_fused;
+  obs::Counter& events_merged;
+  obs::Counter& gaps_applied;
+
+  static AggMetrics& Get() {
+    auto& reg = obs::Registry::Default();
+    static AggMetrics m{
+        reg.GetCounter("rfdump_net_frames_received_total"),
+        reg.GetCounter("rfdump_net_frames_corrupt_dropped_total"),
+        reg.GetCounter("rfdump_net_frames_duplicate_dropped_total"),
+        reg.GetCounter("rfdump_net_events_fused_total"),
+        reg.GetCounter("rfdump_net_events_merged_total"),
+        reg.GetCounter("rfdump_net_gap_ranges_applied_total"),
+    };
+    return m;
+  }
+};
+
+obs::Gauge& LivenessGauge(std::uint16_t sensor_id) {
+  return obs::Registry::Default().GetGauge(
+      "rfdump_net_sensor_live{sensor=\"" + std::to_string(sensor_id) + "\"}");
+}
+
+}  // namespace
+
+Aggregator::Aggregator() : Aggregator(Config()) {}
+
+Aggregator::Aggregator(Config config) : config_(config) {}
+
+Aggregator::Sensor& Aggregator::Get(std::uint16_t sensor_id) {
+  auto [it, inserted] = sensors_.try_emplace(sensor_id);
+  if (inserted) {
+    it->second.st.last_heard_tick = now_;
+    LivenessGauge(sensor_id).Set(1.0);
+  }
+  return it->second;
+}
+
+bool Aggregator::Known(std::uint16_t sensor_id) const {
+  return sensors_.count(sensor_id) != 0;
+}
+
+const Aggregator::SensorStatus& Aggregator::status(
+    std::uint16_t sensor_id) const {
+  const auto it = sensors_.find(sensor_id);
+  if (it == sensors_.end()) {
+    throw std::out_of_range("unknown sensor id");
+  }
+  return it->second.st;
+}
+
+std::vector<std::uint16_t> Aggregator::sensor_ids() const {
+  std::vector<std::uint16_t> out;
+  out.reserve(sensors_.size());
+  for (const auto& [id, s] : sensors_) out.push_back(id);
+  return out;
+}
+
+std::size_t Aggregator::live_sensors() const {
+  std::size_t n = 0;
+  for (const auto& [id, s] : sensors_) {
+    n += s.st.state == SensorState::kLive ? 1 : 0;
+  }
+  return n;
+}
+
+void Aggregator::MarkLive(std::uint16_t sensor_id, Sensor& s) {
+  s.st.last_heard_tick = now_;
+  if (s.st.state != SensorState::kLive) {
+    s.st.state = SensorState::kLive;
+    LivenessGauge(sensor_id).Set(1.0);
+  }
+}
+
+void Aggregator::ObserveClock(std::uint16_t sensor_id, Sensor& s,
+                              std::int64_t local_time) {
+  // arrival_global - sensor_local = true_offset + link_delay; min over
+  // many heartbeats converges onto true_offset + min_delay.
+  const std::int64_t candidate = now_ * config_.samples_per_tick - local_time;
+  if (!s.st.offset_known || candidate < s.st.clock_offset) {
+    s.st.clock_offset = candidate;
+    s.st.offset_known = true;
+    if (!s.pending_align.empty()) {
+      // Events that arrived before the first clock sample can align now.
+      auto pending = std::move(s.pending_align);
+      s.pending_align.clear();
+      for (const auto& batch : pending) {
+        for (const auto& e : batch.events) {
+          FuseEvent(sensor_id, e, s.st.clock_offset);
+        }
+      }
+    }
+  }
+}
+
+bool Aggregator::DeclaredLost(const Sensor& s, std::uint32_t seq) const {
+  for (const auto& r : s.declared_lost) {
+    if (seq >= r.first && seq <= r.last) return true;
+  }
+  return false;
+}
+
+void Aggregator::HandleBytes(std::uint16_t sensor_id,
+                             std::span<const std::uint8_t> bytes) {
+  Sensor& s = Get(sensor_id);
+  s.parser.Feed(bytes, [&](Frame&& frame) {
+    if (frame.header.sensor_id != sensor_id) return;  // misrouted
+    AggMetrics::Get().frames_received.Inc();
+    MarkLive(sensor_id, s);
+    s.ack_due = true;
+
+    if (!IsDataFrame(frame.header.type)) {
+      switch (frame.header.type) {
+        case FrameType::kHello: {
+          if (const auto hello = HelloMsg::Decode(frame.payload)) {
+            if (hello->epoch > s.st.epoch) {
+              if (s.st.epoch != 0) {
+                // Reconnect churn drains trust a little.
+                s.st.trust = std::max(
+                    0.0, s.st.trust - config_.trust_reconnect_penalty);
+              }
+              s.st.epoch = hello->epoch;
+            }
+            ObserveClock(sensor_id, s, hello->local_time);
+          }
+          break;
+        }
+        case FrameType::kHeartbeat: {
+          if (const auto hb = HeartbeatMsg::Decode(frame.payload)) {
+            ObserveClock(sensor_id, s, hb->local_time);
+          }
+          break;
+        }
+        default:
+          break;  // acks never arrive on the uplink
+      }
+      return;
+    }
+
+    // Sequenced data path: duplicate discard, reorder buffer, in-order
+    // delivery with explicit gap application.
+    const std::uint32_t seq = frame.header.seq;
+    if (seq == 0 || seq <= s.st.cum_seq) {
+      ++s.st.duplicates_dropped;
+      AggMetrics::Get().duplicates_dropped.Inc();
+      return;
+    }
+    // Cumulative gap lists are processed on receipt, not in order: the
+    // ranges a gap report describes are exactly the holes that would keep
+    // it stuck in the reorder buffer forever.
+    if (frame.header.type == FrameType::kGapReport) {
+      if (const auto gap = GapReportMsg::Decode(frame.payload)) {
+        s.declared_lost = gap->lost;
+      }
+    }
+    if (s.reorder.size() >= config_.reorder_buffer &&
+        s.reorder.find(seq) == s.reorder.end()) {
+      // Full: drop the newest (largest) buffered seq — the sensor's RTO
+      // will offer it again; dropping the oldest would stall the drain.
+      auto last = std::prev(s.reorder.end());
+      if (last->first > seq) {
+        s.reorder.erase(last);
+        ++s.st.reorder_overflow;
+      } else {
+        ++s.st.reorder_overflow;
+        return;
+      }
+    }
+    s.reorder.emplace(seq, std::move(frame));
+    DrainLocked(sensor_id, s);
+  });
+
+  // Parser rejections since the last call belong to this sensor's link. A
+  // corrupt frame is caught by the trailer CRC when the damage hit the
+  // payload and by the header checksum when it hit the header — both are
+  // the same event from the aggregator's point of view: a frame the link
+  // damaged and the parser refused.
+  const std::uint64_t crc_now =
+      s.parser.stats().bad_crc + s.parser.stats().bad_header_checksum;
+  if (crc_now > s.parser_crc_seen) {
+    const std::uint64_t delta = crc_now - s.parser_crc_seen;
+    s.st.corrupt_dropped += delta;
+    AggMetrics::Get().corrupt_dropped.Inc(delta);
+    s.parser_crc_seen = crc_now;
+  }
+}
+
+void Aggregator::DrainLocked(std::uint16_t sensor_id, Sensor& s) {
+  while (true) {
+    const std::uint32_t next = s.st.cum_seq + 1;
+    const auto it = s.reorder.find(next);
+    if (it != s.reorder.end()) {
+      DeliverLocked(sensor_id, s, it->second);
+      s.reorder.erase(it);
+      s.st.cum_seq = next;
+      continue;
+    }
+    if (DeclaredLost(s, next)) {
+      // The sensor gave up on this frame: advance past it and record the
+      // loss. Never silently — lost_applied is the fleet's gap ledger.
+      if (!s.st.lost_applied.empty() &&
+          s.st.lost_applied.back().last + 1 == next) {
+        s.st.lost_applied.back().last = next;
+      } else {
+        s.st.lost_applied.push_back({next, next});
+        s.st.trust =
+            std::max(0.0, s.st.trust - config_.trust_gap_penalty);
+      }
+      AggMetrics::Get().gaps_applied.Inc();
+      s.st.cum_seq = next;
+      continue;
+    }
+    break;
+  }
+}
+
+void Aggregator::DeliverLocked(std::uint16_t sensor_id, Sensor& s,
+                               const Frame& frame) {
+  ++s.st.frames_delivered;
+  s.st.trust = std::min(1.0, s.st.trust + config_.trust_recovery);
+  switch (frame.header.type) {
+    case FrameType::kEventBatch: {
+      const auto batch = EventBatchMsg::Decode(frame.payload);
+      if (!batch) return;
+      FuseBatch(sensor_id, s, *batch);
+      break;
+    }
+    case FrameType::kHealth: {
+      if (const auto health = HealthMsg::Decode(frame.payload)) {
+        s.st.health.push_back(health->report);
+      }
+      break;
+    }
+    case FrameType::kGapReport:
+      break;  // already applied on receipt
+    default:
+      break;
+  }
+}
+
+void Aggregator::FuseBatch(std::uint16_t sensor_id, Sensor& s,
+                           const EventBatchMsg& batch) {
+  s.st.events_received += batch.events.size();
+  if (s.st.trust < config_.trust_floor) {
+    s.st.events_held_untrusted += batch.events.size();
+    return;
+  }
+  if (!s.st.offset_known) {
+    s.pending_align.push_back(batch);
+    return;
+  }
+  for (const auto& e : batch.events) {
+    FuseEvent(sensor_id, e, s.st.clock_offset);
+  }
+}
+
+void Aggregator::FuseEvent(std::uint16_t sensor_id, const EventRecord& e,
+                           std::int64_t offset) {
+  FusedEvent f;
+  f.protocol = e.protocol;
+  f.channel = e.channel;
+  f.start = e.start_sample + offset;
+  f.end = e.end_sample + offset;
+  f.payload_bytes = e.payload_bytes;
+  f.crc_ok = e.crc_ok;
+  f.payload_digest = e.payload_digest;
+  if (sensor_id < 32) f.sensor_mask = 1u << sensor_id;
+  f.witnesses = 1;
+  // The differential oracle's clustering rule, cross-sensor: same protocol
+  // and channel, aligned starts within the slack window => one over-the-air
+  // transmission.
+  for (auto it = fused_.rbegin(); it != fused_.rend(); ++it) {
+    if (it->protocol != f.protocol || it->channel != f.channel) continue;
+    if (std::llabs(it->start - f.start) > config_.dedup_slack_samples) {
+      continue;
+    }
+    it->sensor_mask |= f.sensor_mask;
+    ++it->witnesses;
+    it->end = std::max(it->end, f.end);
+    // Prefer the CRC-clean witness's metadata.
+    if (!it->crc_ok && f.crc_ok) {
+      it->crc_ok = true;
+      it->payload_bytes = f.payload_bytes;
+      it->payload_digest = f.payload_digest;
+    }
+    ++merges_;
+    AggMetrics::Get().events_merged.Inc();
+    return;
+  }
+  fused_.push_back(f);
+  AggMetrics::Get().events_fused.Inc();
+}
+
+void Aggregator::Tick(std::int64_t tick) {
+  now_ = std::max(now_, tick);
+  for (auto& [id, s] : sensors_) {
+    if (s.st.state == SensorState::kLive &&
+        now_ - s.st.last_heard_tick > config_.liveness_timeout_ticks) {
+      s.st.state = SensorState::kDegraded;
+      ++s.st.degraded_transitions;
+      LivenessGauge(id).Set(0.0);
+    }
+    if (s.ack_due) {
+      s.ack_due = false;
+      AckMsg ack{s.st.cum_seq, s.st.epoch};
+      FrameHeader h;
+      h.type = FrameType::kAck;
+      h.sensor_id = id;
+      const auto payload = ack.Encode();
+      s.outbound.push_back(EncodeFrame(h, payload));
+    }
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> Aggregator::TakeOutbound(
+    std::uint16_t sensor_id) {
+  const auto it = sensors_.find(sensor_id);
+  if (it == sensors_.end()) return {};
+  return std::exchange(it->second.outbound, {});
+}
+
+}  // namespace rfdump::net

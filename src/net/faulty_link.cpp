@@ -1,0 +1,116 @@
+#include "rfdump/net/faulty_link.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rfdump::net {
+
+const char* LinkFaultKindName(LinkFaultKind kind) {
+  switch (kind) {
+    case LinkFaultKind::kDrop: return "drop";
+    case LinkFaultKind::kDuplicate: return "duplicate";
+    case LinkFaultKind::kReorder: return "reorder";
+    case LinkFaultKind::kCorrupt: return "corrupt";
+    case LinkFaultKind::kPartition: return "partition";
+  }
+  return "?";
+}
+
+FaultyLink::FaultyLink(Config config, std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {}
+
+bool FaultyLink::Partitioned(std::int64_t tick) const {
+  for (const auto& w : config_.partitions) {
+    if (tick >= w.begin && tick < w.end) return true;
+  }
+  return false;
+}
+
+void FaultyLink::Send(std::vector<std::uint8_t> frame) {
+  const std::uint64_t send_index = sends_++;
+  if (Partitioned(now_)) {
+    faults_.push_back(
+        {LinkFaultKind::kPartition, now_, send_index, frame.size()});
+    return;
+  }
+  std::int64_t delay = config_.base_delay_ticks;
+  if (config_.jitter_ticks > 0 && !lossless_) {
+    delay += static_cast<std::int64_t>(
+        rng_.UniformInt(0, static_cast<std::uint64_t>(config_.jitter_ticks)));
+  }
+  if (!lossless_) {
+    if (rng_.UniformDouble() < config_.drop_rate) {
+      faults_.push_back(
+          {LinkFaultKind::kDrop, now_, send_index, frame.size()});
+      return;
+    }
+    if (rng_.UniformDouble() < config_.corrupt_rate && !frame.empty()) {
+      const auto flips = rng_.UniformInt(
+          1, static_cast<std::uint64_t>(std::max(config_.corrupt_max_bytes, 1)));
+      for (std::uint64_t i = 0; i < flips; ++i) {
+        const auto at = rng_.UniformInt(0, frame.size() - 1);
+        frame[at] ^= static_cast<std::uint8_t>(rng_.UniformInt(1, 255));
+      }
+      faults_.push_back(
+          {LinkFaultKind::kCorrupt, now_, send_index, frame.size()});
+    }
+    if (rng_.UniformDouble() < config_.reorder_rate) {
+      delay += static_cast<std::int64_t>(rng_.UniformInt(
+          1, static_cast<std::uint64_t>(std::max(config_.reorder_max_ticks, 1))));
+      faults_.push_back(
+          {LinkFaultKind::kReorder, now_, send_index, frame.size()});
+    }
+    if (rng_.UniformDouble() < config_.duplicate_rate) {
+      faults_.push_back(
+          {LinkFaultKind::kDuplicate, now_, send_index, frame.size()});
+      queue_.push_back({now_ + delay + 1, order_++, send_index, frame});
+    }
+  }
+  queue_.push_back({now_ + delay, order_++, send_index, std::move(frame)});
+}
+
+std::vector<std::vector<std::uint8_t>> FaultyLink::Advance(std::int64_t tick) {
+  now_ = std::max(now_, tick);
+  std::sort(queue_.begin(), queue_.end(),
+            [](const InFlight& a, const InFlight& b) {
+              return a.due != b.due ? a.due < b.due : a.order < b.order;
+            });
+  std::vector<std::vector<std::uint8_t>> out;
+  std::size_t kept = 0;
+  for (auto& f : queue_) {
+    if (f.due > now_) {
+      queue_[kept++] = std::move(f);
+      continue;
+    }
+    if (Partitioned(f.due)) {
+      // Came due while the link was down: lost, not delayed — a partition
+      // is a cable pull, not a buffer.
+      faults_.push_back(
+          {LinkFaultKind::kPartition, f.due, f.send_index, f.frame.size()});
+      continue;
+    }
+    ++delivered_;
+    out.push_back(std::move(f.frame));
+  }
+  queue_.resize(kept);
+  return out;
+}
+
+std::string FaultyLink::FaultLogJson() const {
+  std::string out = "[\n";
+  char buf[160];
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    const auto& f = faults_[i];
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"kind\": \"%s\", \"tick\": %lld, \"send_index\": %llu, "
+                  "\"bytes\": %zu}%s\n",
+                  LinkFaultKindName(f.kind), static_cast<long long>(f.tick),
+                  static_cast<unsigned long long>(f.send_index), f.bytes,
+                  i + 1 < faults_.size() ? "," : "");
+    out += buf;
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace rfdump::net

@@ -1,0 +1,114 @@
+#include "rfdump/net/fleet.hpp"
+
+namespace rfdump::net {
+
+void MonitorSensorSink::Buffer(EventRecord record) {
+  if (pending_.empty()) {
+    // First event of the block anchors the batch position if no health
+    // report preceded it (batch-mode pipelines emit health last).
+    if (block_start_ == 0) block_start_ = record.start_sample;
+  }
+  pending_.push_back(record);
+}
+
+void MonitorSensorSink::OnWifiFrame(const phy80211::DecodedFrame& frame) {
+  Buffer(ToEventRecord(frame));
+}
+
+void MonitorSensorSink::OnBtPacket(const phybt::DecodedBtPacket& packet) {
+  Buffer(ToEventRecord(packet));
+}
+
+void MonitorSensorSink::OnZbFrame(const phyzigbee::DecodedZbFrame& frame) {
+  Buffer(ToEventRecord(frame));
+}
+
+void MonitorSensorSink::OnHealth(const core::HealthReport& report) {
+  // Health leads each block (sink contract), so everything buffered belongs
+  // to the *previous* block: ship it before starting the new one.
+  Flush();
+  block_start_ = report.block_start;
+  session_.PublishHealth(report);
+}
+
+void MonitorSensorSink::Flush() {
+  if (pending_.empty()) return;
+  EventBatchMsg batch;
+  batch.block_start = block_start_;
+  batch.events = std::move(pending_);
+  pending_.clear();
+  events_published_ += batch.events.size();
+  session_.PublishEvents(batch);
+}
+
+Fleet::Fleet(Config config)
+    : config_(std::move(config)),
+      aggregator_([&] {
+        auto agg = config_.aggregator;
+        agg.samples_per_tick = config_.samples_per_tick;
+        return agg;
+      }()) {
+  nodes_.reserve(config_.sensors.size());
+  for (auto spec : config_.sensors) {
+    spec.session.sensor_id = spec.id;
+    nodes_.push_back(std::make_unique<Node>(spec));
+  }
+}
+
+std::int64_t Fleet::LocalTime(std::size_t i) const {
+  return now_ * config_.samples_per_tick +
+         nodes_[i]->spec.clock_offset_samples;
+}
+
+std::uint32_t Fleet::Publish(std::size_t i, std::int64_t block_start,
+                             std::vector<EventRecord> events) {
+  EventBatchMsg batch;
+  batch.block_start = block_start;
+  batch.events = std::move(events);
+  return nodes_[i]->session.PublishEvents(batch);
+}
+
+void Fleet::Tick() {
+  ++now_;
+  // Advance the aggregator clock before ingest: the offset estimator stamps
+  // arrivals with the aggregator's current tick, and a min-filter never
+  // recovers from an arrival stamped one tick early.
+  aggregator_.Tick(now_);
+  // Sensor side: advance sessions, push their output into the uplinks, and
+  // deliver whatever the links release this tick to the aggregator.
+  for (auto& node : nodes_) {
+    node->session.Tick(now_, now_ * config_.samples_per_tick +
+                                 node->spec.clock_offset_samples);
+    for (auto& frame : node->session.TakeOutbound()) {
+      node->uplink.Send(std::move(frame));
+    }
+    for (const auto& bytes : node->uplink.Advance(now_)) {
+      aggregator_.HandleBytes(node->spec.id, bytes);
+    }
+  }
+  // Aggregator side again: ack emission for frames that just arrived (the
+  // second Tick at the same tick value only drains ack_due), then the
+  // return path.
+  aggregator_.Tick(now_);
+  for (auto& node : nodes_) {
+    for (auto& frame : aggregator_.TakeOutbound(node->spec.id)) {
+      node->downlink.Send(std::move(frame));
+    }
+    for (const auto& bytes : node->downlink.Advance(now_)) {
+      node->session.HandleBytes(bytes);
+    }
+  }
+}
+
+void Fleet::Run(int ticks) {
+  for (int i = 0; i < ticks; ++i) Tick();
+}
+
+void Fleet::SetLossless(bool lossless) {
+  for (auto& node : nodes_) {
+    node->uplink.set_lossless(lossless);
+    node->downlink.set_lossless(lossless);
+  }
+}
+
+}  // namespace rfdump::net

@@ -1,0 +1,287 @@
+#include "rfdump/net/session.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "rfdump/obs/obs.hpp"
+
+namespace rfdump::net {
+
+namespace {
+
+struct SessionMetrics {
+  obs::Counter& frames_sent;
+  obs::Counter& retransmits;
+  obs::Counter& reconnects;
+  obs::Counter& overflow_drops;
+
+  static SessionMetrics& Get() {
+    static SessionMetrics m{
+        obs::Registry::Default().GetCounter("rfdump_net_frames_sent_total"),
+        obs::Registry::Default().GetCounter(
+            "rfdump_net_frames_retransmitted_total"),
+        obs::Registry::Default().GetCounter("rfdump_net_reconnects_total"),
+        obs::Registry::Default().GetCounter(
+            "rfdump_net_ring_overflow_drops_total"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+SensorSession::SensorSession(Config config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+std::uint32_t SensorSession::EnqueueDataLocked(
+    FrameType type, std::span<const std::uint8_t> payload) {
+  // Make room first. Overflow drops the oldest unacked frame and records
+  // the loss; a GapReport's ranges are already folded into lost_, so even
+  // dropping a gap frame loses no information (the next one is cumulative).
+  while (ring_.size() >= config_.retransmit_ring && !ring_.empty()) {
+    AddLostLocked(ring_.front().seq);
+    ring_.pop_front();
+    ++stats_.ring_overflow_drops;
+    SessionMetrics::Get().overflow_drops.Inc();
+    gap_dirty_ = true;
+  }
+  FrameHeader h;
+  h.type = type;
+  h.sensor_id = config_.sensor_id;
+  h.seq = next_seq_++;
+  PendingFrame pf;
+  pf.seq = h.seq;
+  pf.type = type;
+  pf.wire = EncodeFrame(h, payload);
+  pf.last_sent = now_;
+  pf.rto = config_.rto_ticks;
+  outbound_.push_back(pf.wire);
+  ring_.push_back(std::move(pf));
+  ++stats_.frames_sent;
+  SessionMetrics::Get().frames_sent.Inc();
+  return h.seq;
+}
+
+void SensorSession::SendControlLocked(FrameType type,
+                                      std::span<const std::uint8_t> payload) {
+  FrameHeader h;
+  h.type = type;
+  h.sensor_id = config_.sensor_id;
+  h.seq = 0;
+  outbound_.push_back(EncodeFrame(h, payload));
+  ++stats_.frames_sent;
+  SessionMetrics::Get().frames_sent.Inc();
+}
+
+void SensorSession::AddLostLocked(std::uint32_t seq) {
+  // Keep lost_ merged and ascending. Overflow of the range list itself
+  // merges the two closest ranges (over-reporting loss is safe; silent loss
+  // is not).
+  auto it = std::lower_bound(
+      lost_.begin(), lost_.end(), seq,
+      [](const SeqRange& r, std::uint32_t s) { return r.last < s; });
+  if (it != lost_.end() && it->first <= seq) return;  // already covered
+  if (it != lost_.end() && it->first == seq + 1) {
+    it->first = seq;
+  } else if (it != lost_.begin() && std::prev(it)->last + 1 == seq) {
+    std::prev(it)->last = seq;
+  } else {
+    it = lost_.insert(it, {seq, seq});
+  }
+  // Merge neighbours that became adjacent.
+  for (std::size_t i = 1; i < lost_.size();) {
+    if (lost_[i - 1].last + 1 >= lost_[i].first) {
+      lost_[i - 1].last = std::max(lost_[i - 1].last, lost_[i].last);
+      lost_.erase(lost_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  while (lost_.size() > config_.max_gap_ranges) {
+    // Merge the two ranges with the smallest gap between them.
+    std::size_t best = 1;
+    std::uint32_t best_gap = ~0u;
+    for (std::size_t i = 1; i < lost_.size(); ++i) {
+      const std::uint32_t gap = lost_[i].first - lost_[i - 1].last;
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    lost_[best - 1].last = lost_[best].last;
+    lost_.erase(lost_.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+}
+
+void SensorSession::PublishGapReportLocked() {
+  // Clear the flag before enqueueing: if the enqueue itself overflows the
+  // ring, the new loss re-dirties it and the next Tick ships a fresh
+  // cumulative report.
+  gap_dirty_ = false;
+  GapReportMsg msg;
+  msg.lost = lost_;
+  const auto payload = msg.Encode();
+  EnqueueDataLocked(FrameType::kGapReport, payload);
+}
+
+std::uint32_t SensorSession::PublishEvents(const EventBatchMsg& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto payload = batch.Encode();
+  return EnqueueDataLocked(FrameType::kEventBatch, payload);
+}
+
+std::uint32_t SensorSession::PublishHealth(const core::HealthReport& report) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HealthMsg msg;
+  msg.report = report;
+  const auto payload = msg.Encode();
+  return EnqueueDataLocked(FrameType::kHealth, payload);
+}
+
+void SensorSession::HandleBytes(std::span<const std::uint8_t> bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  parser_.Feed(bytes, [&](Frame&& frame) {
+    if (frame.header.type != FrameType::kAck) return;
+    const auto ack = AckMsg::Decode(frame.payload);
+    if (!ack) return;
+    if (ack->epoch != epoch_) {
+      ++stats_.stale_acks;
+      return;
+    }
+    last_ack_tick_ = now_;
+    if (state_ != State::kConnected) {
+      state_ = State::kConnected;
+      backoff_attempts_ = 0;
+    }
+    if (ack->cum_seq > acked_) {
+      acked_ = ack->cum_seq;
+      while (!ring_.empty() && ring_.front().seq <= acked_) {
+        ring_.pop_front();
+      }
+    }
+  });
+}
+
+void SensorSession::Tick(std::int64_t tick, std::int64_t local_time) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_ = tick;
+  local_time_ = local_time;
+
+  if (!hello_sent_) {
+    // First tick: open the session.
+    ++epoch_;
+    HelloMsg hello{epoch_, local_time_};
+    const auto payload = hello.Encode();
+    SendControlLocked(FrameType::kHello, payload);
+    hello_sent_ = true;
+    last_ack_tick_ = tick;
+  }
+
+  switch (state_) {
+    case State::kConnecting:
+    case State::kConnected: {
+      if (tick - last_ack_tick_ > config_.ack_timeout_ticks) {
+        BeginBackoffLocked(tick);
+        break;
+      }
+      if (gap_dirty_) PublishGapReportLocked();
+      // Heartbeat cadence (also the offset estimator's clock samples).
+      if (last_heartbeat_tick_ < 0 ||
+          tick - last_heartbeat_tick_ >= config_.heartbeat_interval_ticks) {
+        HeartbeatMsg hb{local_time_,
+                        static_cast<std::uint32_t>(stats_.frames_sent)};
+        const auto payload = hb.Encode();
+        SendControlLocked(FrameType::kHeartbeat, payload);
+        last_heartbeat_tick_ = tick;
+        ++stats_.heartbeats;
+      }
+      // Retransmit timed-out unacked frames, per-frame exponential backoff.
+      for (auto& pf : ring_) {
+        if (tick - pf.last_sent >= pf.rto) {
+          outbound_.push_back(pf.wire);
+          pf.last_sent = tick;
+          pf.rto = std::min(pf.rto * 2, config_.rto_max_ticks);
+          ++stats_.retransmits;
+          SessionMetrics::Get().retransmits.Inc();
+        }
+      }
+      break;
+    }
+    case State::kBackoff: {
+      if (tick >= reconnect_at_) {
+        // New epoch: acks for the dead incarnation must not revive it.
+        ++epoch_;
+        state_ = State::kConnecting;
+        last_ack_tick_ = tick;
+        HelloMsg hello{epoch_, local_time_};
+        const auto payload = hello.Encode();
+        SendControlLocked(FrameType::kHello, payload);
+        // Re-offer everything unacked right away; per-frame RTO resumes the
+        // retry cadence if the link is still down.
+        for (auto& pf : ring_) {
+          outbound_.push_back(pf.wire);
+          pf.last_sent = tick;
+          pf.rto = config_.rto_ticks;
+          ++stats_.retransmits;
+          SessionMetrics::Get().retransmits.Inc();
+        }
+      }
+      break;
+    }
+  }
+}
+
+void SensorSession::BeginBackoffLocked(std::int64_t tick) {
+  state_ = State::kBackoff;
+  ++stats_.reconnects;
+  SessionMetrics::Get().reconnects.Inc();
+  std::int64_t delay = config_.backoff_base_ticks;
+  for (int i = 0; i < backoff_attempts_ && delay < config_.backoff_max_ticks;
+       ++i) {
+    delay *= 2;
+  }
+  delay = std::min<std::int64_t>(delay, config_.backoff_max_ticks);
+  // Seeded jitter: a fleet of sessions must not reconnect in lockstep.
+  delay += static_cast<std::int64_t>(
+      rng_.UniformDouble() * config_.backoff_jitter *
+      static_cast<double>(delay));
+  ++backoff_attempts_;
+  reconnect_at_ = tick + std::max<std::int64_t>(delay, 1);
+}
+
+std::vector<std::vector<std::uint8_t>> SensorSession::TakeOutbound() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::exchange(outbound_, {});
+}
+
+SensorSession::State SensorSession::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+SensorSession::Stats SensorSession::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::uint32_t SensorSession::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+std::uint32_t SensorSession::acked_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acked_;
+}
+
+std::size_t SensorSession::unacked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::vector<SeqRange> SensorSession::lost_ranges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lost_;
+}
+
+}  // namespace rfdump::net

@@ -450,6 +450,108 @@ TEST(Parallel, SinkAndLegacyCallbacksSeeTheSameResults) {
   EXPECT_EQ(sink.health.size(), legacy.health.size());
 }
 
+// A sink that trips if the monitor ever delivers two results concurrently.
+// The ResultSink threading contract promises emitters serialise all calls —
+// that guarantee is what lets CollectingSink (and any user sink) stay
+// lock-free, so it gets verified directly at every executor width instead
+// of trusted. Violations are counted atomically rather than EXPECTed in the
+// hot path: if the contract *were* broken, gtest's failure machinery would
+// itself be racing.
+class ReentryGuardSink final : public core::ResultSink {
+ public:
+  core::CollectingSink inner;
+  std::atomic<int> overlaps{0};
+
+  void OnWifiFrame(const rfdump::phy80211::DecodedFrame& f) override {
+    const Guard g(this);
+    inner.OnWifiFrame(f);
+  }
+  void OnBtPacket(const rfdump::phybt::DecodedBtPacket& p) override {
+    const Guard g(this);
+    inner.OnBtPacket(p);
+  }
+  void OnZbFrame(const rfdump::phyzigbee::DecodedZbFrame& f) override {
+    const Guard g(this);
+    inner.OnZbFrame(f);
+  }
+  void OnDetection(const core::Detection& d) override {
+    const Guard g(this);
+    inner.OnDetection(d);
+  }
+  void OnHealth(const core::HealthReport& h) override {
+    const Guard g(this);
+    inner.OnHealth(h);
+  }
+
+ private:
+  struct Guard {
+    explicit Guard(ReentryGuardSink* s) : s_(s) {
+      if (s_->busy_.exchange(true, std::memory_order_acquire)) {
+        s_->overlaps.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Widen the race window so a violation cannot slip through unseen
+      // (atomic loads, so the loop survives optimisation).
+      for (int spin = 0; spin < 200; ++spin) {
+        (void)s_->busy_.load(std::memory_order_relaxed);
+      }
+    }
+    ~Guard() { s_->busy_.store(false, std::memory_order_release); }
+    ReentryGuardSink* s_;
+  };
+
+  std::atomic<bool> busy_{false};
+};
+
+TEST(Parallel, CollectingSinkAndLegacyShimsUnderConcurrentDelivery) {
+  // A pipelined monitor (worker threads + queued blocks) must deliver to one
+  // unsynchronised CollectingSink and to the legacy callback shims exactly
+  // what the serial run produces: same results, same order, never two calls
+  // at once.
+  const auto x = MixedEther(/*seed=*/23);
+  std::vector<std::string> baseline;
+  for (const int width : kWidths) {
+    core::StreamingMonitor::Config mcfg;
+    mcfg.block_samples = 400'000;
+    mcfg.overlap_samples = 160'000;
+    mcfg.threads = width;
+    mcfg.max_queue_blocks = 3;  // analysis overlaps ingest across blocks
+    ReentryGuardSink sink;
+    mcfg.sink = &sink;
+    core::StreamingMonitor monitor(mcfg);
+    core::CollectingSink legacy;
+    monitor.on_wifi_frame = [&](const rfdump::phy80211::DecodedFrame& f) {
+      legacy.OnWifiFrame(f);
+    };
+    monitor.on_bt_packet = [&](const rfdump::phybt::DecodedBtPacket& p) {
+      legacy.OnBtPacket(p);
+    };
+    monitor.on_detection = [&](const core::Detection& d) {
+      legacy.OnDetection(d);
+    };
+    monitor.on_health = [&](const core::HealthReport& h) {
+      legacy.OnHealth(h);
+    };
+    monitor.Push(x);
+    monitor.Flush();
+
+    EXPECT_EQ(sink.overlaps.load(), 0)
+        << "concurrent sink delivery at --threads " << width;
+    const auto fp = Fingerprint(sink.inner);
+    ASSERT_FALSE(fp.empty());
+    if (width == kWidths[0]) {
+      baseline = fp;
+    } else {
+      EXPECT_EQ(fp, baseline) << "sink results diverged at width " << width;
+    }
+    // The deprecated quartet mirrors the sink at every width (no ZigBee
+    // slot — the quartet never had one).
+    EXPECT_EQ(Fps(sink.inner.wifi_frames), Fps(legacy.wifi_frames));
+    EXPECT_EQ(Fps(sink.inner.bt_packets), Fps(legacy.bt_packets));
+    EXPECT_EQ(Fps(sink.inner.detections), Fps(legacy.detections));
+    EXPECT_EQ(sink.inner.health.size(), legacy.health.size());
+  }
+}
+
 TEST(Parallel, FunctionSinkRoutesEachSlot) {
   core::FunctionSink sink;
   int wifi = 0, bt = 0, zb = 0, det = 0, health = 0;
