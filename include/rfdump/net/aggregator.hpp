@@ -66,6 +66,10 @@ class Aggregator {
     /// Out-of-order frames buffered per sensor while waiting for a
     /// retransmit to fill the sequence hole.
     std::size_t reorder_buffer = 256;
+    /// Fused-view history cap: once exceeded, the oldest quarter is pruned
+    /// (fused() keeps only the recent tail; fused_pruned() counts the rest)
+    /// so a long-running aggregator stays bounded. 0 = unbounded.
+    std::size_t max_fused_history = 1u << 20;
     /// Trust: [0, 1]; events from sensors below the floor are tracked but
     /// not fused.
     double trust_floor = 0.2;
@@ -114,11 +118,14 @@ class Aggregator {
   [[nodiscard]] std::vector<std::vector<std::uint8_t>> TakeOutbound(
       std::uint16_t sensor_id);
 
-  /// The fused ether-wide view, insertion order.
+  /// The fused ether-wide view, insertion order (the most recent
+  /// `max_fused_history` events; older ones are pruned and counted).
   const std::vector<FusedEvent>& fused() const { return fused_; }
   /// Fused events a new witness merged into (vs appended) — the
   /// cross-sensor dedup counter.
   [[nodiscard]] std::uint64_t merges() const { return merges_; }
+  /// Fused events evicted by the history cap.
+  [[nodiscard]] std::uint64_t fused_pruned() const { return fused_pruned_; }
 
   [[nodiscard]] bool Known(std::uint16_t sensor_id) const;
   [[nodiscard]] const SensorStatus& status(std::uint16_t sensor_id) const;
@@ -146,6 +153,7 @@ class Aggregator {
                  const EventBatchMsg& batch);
   void FuseEvent(std::uint16_t sensor_id, const EventRecord& e,
                  std::int64_t offset);
+  void PruneFused();
   void MarkLive(std::uint16_t sensor_id, Sensor& s);
   [[nodiscard]] bool DeclaredLost(const Sensor& s, std::uint32_t seq) const;
 
@@ -153,7 +161,14 @@ class Aggregator {
   std::int64_t now_ = 0;
   std::map<std::uint16_t, Sensor> sensors_;
   std::vector<FusedEvent> fused_;
+  /// (protocol, channel) -> start -> index into fused_: bounds the dedup
+  /// lookup to the slack window instead of scanning the whole history.
+  /// Starts never change after fusion (merges only extend `end`), so
+  /// entries stay valid until pruning rebuilds the index.
+  std::map<std::uint32_t, std::multimap<std::int64_t, std::size_t>>
+      fuse_index_;
   std::uint64_t merges_ = 0;
+  std::uint64_t fused_pruned_ = 0;
 };
 
 }  // namespace rfdump::net

@@ -61,7 +61,7 @@ struct HelloMsg {
 /// (arrival_time - local_time) over these (see net/aggregator.hpp).
 struct HeartbeatMsg {
   std::int64_t local_time = 0;
-  std::uint32_t frames_sent = 0;  // session lifetime total, for loss stats
+  std::uint64_t frames_sent = 0;  // session lifetime total, for loss stats
   [[nodiscard]] std::vector<std::uint8_t> Encode() const;
   static std::optional<HeartbeatMsg> Decode(std::span<const std::uint8_t> p);
 };

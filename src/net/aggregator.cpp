@@ -37,6 +37,11 @@ obs::Gauge& LivenessGauge(std::uint16_t sensor_id) {
       "rfdump_net_sensor_live{sensor=\"" + std::to_string(sensor_id) + "\"}");
 }
 
+std::uint32_t FuseKey(core::Protocol protocol, std::int16_t channel) {
+  return (static_cast<std::uint32_t>(protocol) << 16) |
+         static_cast<std::uint16_t>(channel);
+}
+
 }  // namespace
 
 Aggregator::Aggregator() : Aggregator(Config()) {}
@@ -182,7 +187,14 @@ void Aggregator::HandleBytes(std::uint16_t sensor_id,
         return;
       }
     }
-    s.reorder.emplace(seq, std::move(frame));
+    // A seq already waiting in the reorder buffer is just as much a
+    // duplicate as one below the cumulative watermark — count it.
+    const auto [rit, inserted] = s.reorder.emplace(seq, std::move(frame));
+    if (!inserted) {
+      ++s.st.duplicates_dropped;
+      AggMetrics::Get().duplicates_dropped.Inc();
+      return;
+    }
     DrainLocked(sensor_id, s);
   });
 
@@ -284,27 +296,58 @@ void Aggregator::FuseEvent(std::uint16_t sensor_id, const EventRecord& e,
   f.witnesses = 1;
   // The differential oracle's clustering rule, cross-sensor: same protocol
   // and channel, aligned starts within the slack window => one over-the-air
-  // transmission.
-  for (auto it = fused_.rbegin(); it != fused_.rend(); ++it) {
-    if (it->protocol != f.protocol || it->channel != f.channel) continue;
-    if (std::llabs(it->start - f.start) > config_.dedup_slack_samples) {
-      continue;
+  // transmission. The index narrows candidates to that window; among them,
+  // merge into the closest-aligned start.
+  auto& starts = fuse_index_[FuseKey(f.protocol, f.channel)];
+  const auto lo = starts.lower_bound(f.start - config_.dedup_slack_samples);
+  const auto hi = starts.upper_bound(f.start + config_.dedup_slack_samples);
+  auto best = hi;
+  std::int64_t best_dist = config_.dedup_slack_samples + 1;
+  for (auto it = lo; it != hi; ++it) {
+    const std::int64_t dist = std::llabs(it->first - f.start);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = it;
     }
-    it->sensor_mask |= f.sensor_mask;
-    ++it->witnesses;
-    it->end = std::max(it->end, f.end);
+  }
+  if (best != hi) {
+    FusedEvent& tgt = fused_[best->second];
+    tgt.sensor_mask |= f.sensor_mask;
+    ++tgt.witnesses;
+    tgt.end = std::max(tgt.end, f.end);
     // Prefer the CRC-clean witness's metadata.
-    if (!it->crc_ok && f.crc_ok) {
-      it->crc_ok = true;
-      it->payload_bytes = f.payload_bytes;
-      it->payload_digest = f.payload_digest;
+    if (!tgt.crc_ok && f.crc_ok) {
+      tgt.crc_ok = true;
+      tgt.payload_bytes = f.payload_bytes;
+      tgt.payload_digest = f.payload_digest;
     }
     ++merges_;
     AggMetrics::Get().events_merged.Inc();
     return;
   }
+  starts.emplace(f.start, fused_.size());
   fused_.push_back(f);
   AggMetrics::Get().events_fused.Inc();
+  if (config_.max_fused_history != 0 &&
+      fused_.size() > config_.max_fused_history) {
+    PruneFused();
+  }
+}
+
+void Aggregator::PruneFused() {
+  // Drop the oldest quarter in one go so the erase + index rebuild
+  // amortizes to O(1) per fused event instead of firing on every append.
+  const std::size_t keep =
+      config_.max_fused_history - config_.max_fused_history / 4;
+  const std::size_t drop = fused_.size() - keep;
+  fused_.erase(fused_.begin(),
+               fused_.begin() + static_cast<std::ptrdiff_t>(drop));
+  fused_pruned_ += drop;
+  fuse_index_.clear();
+  for (std::size_t i = 0; i < fused_.size(); ++i) {
+    fuse_index_[FuseKey(fused_[i].protocol, fused_[i].channel)].emplace(
+        fused_[i].start, i);
+  }
 }
 
 void Aggregator::Tick(std::int64_t tick) {

@@ -77,9 +77,13 @@ std::vector<std::vector<std::uint8_t>> FaultyLink::Advance(std::int64_t tick) {
             });
   std::vector<std::vector<std::uint8_t>> out;
   std::size_t kept = 0;
-  for (auto& f : queue_) {
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    InFlight& f = queue_[i];
     if (f.due > now_) {
-      queue_[kept++] = std::move(f);
+      // Shift only into a slot a delivery freed: kept == i would be a
+      // self-move-assignment, which empties the held frame's bytes.
+      if (kept != i) queue_[kept] = std::move(f);
+      ++kept;
       continue;
     }
     if (Partitioned(f.due)) {

@@ -101,7 +101,7 @@ std::optional<HelloMsg> HelloMsg::Decode(std::span<const std::uint8_t> p) {
 std::vector<std::uint8_t> HeartbeatMsg::Encode() const {
   ByteWriter w;
   w.I64(local_time);
-  w.U32(frames_sent);
+  w.U64(frames_sent);
   return w.Take();
 }
 
@@ -110,7 +110,7 @@ std::optional<HeartbeatMsg> HeartbeatMsg::Decode(
   ByteReader r(p);
   HeartbeatMsg m;
   m.local_time = r.I64();
-  m.frames_sent = r.U32();
+  m.frames_sent = r.U64();
   if (!r.ok()) return std::nullopt;
   return m;
 }

@@ -188,8 +188,7 @@ void SensorSession::Tick(std::int64_t tick, std::int64_t local_time) {
       // Heartbeat cadence (also the offset estimator's clock samples).
       if (last_heartbeat_tick_ < 0 ||
           tick - last_heartbeat_tick_ >= config_.heartbeat_interval_ticks) {
-        HeartbeatMsg hb{local_time_,
-                        static_cast<std::uint32_t>(stats_.frames_sent)};
+        HeartbeatMsg hb{local_time_, stats_.frames_sent};
         const auto payload = hb.Encode();
         SendControlLocked(FrameType::kHeartbeat, payload);
         last_heartbeat_tick_ = tick;
