@@ -12,6 +12,7 @@
 // Walkthrough in README.md ("Multi-sensor fleet"); design in DESIGN.md §12.
 
 #include <cstdio>
+#include <string>
 
 #include "rfdump/core/streaming.hpp"
 #include "rfdump/emu/ether.hpp"
@@ -49,6 +50,10 @@ int main() {
   }
   fcfg.sensors[0].uplink.drop_rate = 0.20;
   fcfg.sensors[0].uplink.corrupt_rate = 0.25;
+  // Fleet observability (DESIGN.md §13): each session ships a MetricsMsg
+  // snapshot with every heartbeat, so the aggregator's federated exposition
+  // below carries both sensors' counters.
+  for (auto& s : fcfg.sensors) s.session.metrics_every_n_heartbeats = 1;
   net::Fleet fleet(fcfg);
   fleet.Run(4);  // hellos + clock samples before any events
 
@@ -129,5 +134,25 @@ int main() {
               "%llu cross-sensor merges (no duplicates)\n",
               fleet.aggregator().fused().size(), truth.size(),
               static_cast<unsigned long long>(fleet.aggregator().merges()));
+
+  // The operator surfaces the CLI exposes as --fleet-status / --metrics:
+  // the one-screen status table and the federated Prometheus exposition
+  // (every sensor's session counters under sensor="<id>" labels).
+  std::printf("\n%s\n", fleet.StatusReport().ToText().c_str());
+  const std::string expo = fleet.aggregator().FederatedExposition();
+  std::size_t lines = 0;
+  for (const char c : expo) lines += (c == '\n');
+  std::printf("federated exposition: %zu lines; sensor 0 excerpt:\n", lines);
+  std::size_t shown = 0;
+  std::size_t pos = 0;
+  while (shown < 4 && pos < expo.size()) {
+    const std::size_t eol = expo.find('\n', pos);
+    const std::string line = expo.substr(pos, eol - pos);
+    pos = (eol == std::string::npos) ? expo.size() : eol + 1;
+    if (line.find("sensor=\"0\"") != std::string::npos) {
+      std::printf("  %s\n", line.c_str());
+      ++shown;
+    }
+  }
   return 0;
 }

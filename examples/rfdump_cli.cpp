@@ -19,7 +19,9 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "rfdump/core/executor.hpp"
 #include "rfdump/core/pipeline.hpp"
@@ -27,6 +29,7 @@
 #include "rfdump/core/spectrogram.hpp"
 #include "rfdump/core/streaming.hpp"
 #include "rfdump/emu/frontend.hpp"
+#include "rfdump/net/fleet.hpp"
 #include "rfdump/trace/pcap.hpp"
 #include "rfdump/mac80211/frames.hpp"
 #include "rfdump/testing/differential.hpp"
@@ -72,9 +75,20 @@ void PrintUsage(const char* argv0) {
       "  --metrics DEST     dump the metrics registry (Prometheus text\n"
       "                     format) to DEST on exit; `-` means stdout. With\n"
       "                     --impair and a file DEST, the file is also\n"
-      "                     rewritten periodically while blocks stream\n"
+      "                     rewritten periodically while blocks stream. In\n"
+      "                     fleet mode DEST gets the aggregator's federated\n"
+      "                     exposition (every sensor under sensor=\"<id>\")\n"
       "  --trace FILE       record spans and write Trace Event Format JSON\n"
-      "                     to FILE (load in chrome://tracing or Perfetto)\n"
+      "                     to FILE (load in chrome://tracing or Perfetto).\n"
+      "                     In fleet mode FILE is the merged fleet trace:\n"
+      "                     one process row per sensor plus the aggregator,\n"
+      "                     with sensor->aggregator span links\n"
+      "  --fleet N          replay the input through N skewed sensors (mild\n"
+      "                     chaos on sensor 0's links) feeding one central\n"
+      "                     aggregator; prints the fused ether-wide view\n"
+      "  --fleet-status     with --fleet: print the one-screen fleet status\n"
+      "                     table after each sensor's replay and at exit\n"
+      "  --fleet-status=json  machine-readable final status instead\n"
       "  --selftest         run the conformance harness: a naive-vs-rfdump\n"
       "                     differential sweep over canned scenarios plus\n"
       "                     the checked-in fuzz corpus; exit nonzero on any\n"
@@ -365,6 +379,133 @@ core::MonitorReport MonitorImpaired(const dsp::SampleVec& x,
   return report;
 }
 
+// N-sensor in-process fleet over one shared ether (DESIGN.md §13): every
+// sensor replays the same input through its own emu::FrontEnd (distinct
+// clock skew per sensor; mild link chaos on sensor 0), monitors it with a
+// StreamingMonitor whose sink feeds a SensorSession, and one Aggregator
+// fuses the results. The fleet observability surfaces hang off this mode:
+// `--fleet-status[=json]` renders Fleet::StatusReport(), `--metrics` gets
+// the aggregator's federated exposition, and `--trace` gets the merged
+// fleet trace (one chrome://tracing process row per node).
+int RunFleet(const dsp::SampleVec& x, int nsensors,
+             core::StreamingMonitor::Config mcfg, bool fleet_status,
+             bool status_json, const std::string& metrics_path,
+             const std::string& trace_path_out) {
+  namespace net = rfdump::net;
+  namespace obs = rfdump::obs;
+  const bool tracing = !trace_path_out.empty();
+
+  // One tracer per node (N sensors + the aggregator) so the merged trace
+  // renders one process row each. The monitors' own pipeline spans go to
+  // the shared default tracer (already enabled by main when tracing) and
+  // are exported as one extra "monitors" row.
+  std::vector<std::unique_ptr<obs::Tracer>> tracers;
+  net::Fleet::Config fcfg;
+  fcfg.aggregator.trust_floor = 0.0;
+  fcfg.sensors.resize(static_cast<std::size_t>(nsensors));
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(nsensors));
+  for (int i = 0; i < nsensors; ++i) {
+    auto& s = fcfg.sensors[static_cast<std::size_t>(i)];
+    // Distinct skews so the aggregator's clock alignment has work to do.
+    offsets[static_cast<std::size_t>(i)] = (i - nsensors / 2) * 1'500;
+    s.id = static_cast<std::uint16_t>(i);
+    s.clock_offset_samples = offsets[static_cast<std::size_t>(i)];
+    s.seed = 40 + static_cast<std::uint64_t>(i);
+    s.session.metrics_every_n_heartbeats = 1;  // federation on
+    tracers.push_back(std::make_unique<obs::Tracer>());
+    if (tracing) tracers.back()->Enable();
+    s.session.tracer = tracers.back().get();
+    if (i == 0) {
+      // Mild chaos on the first sensor's links: the status table and the
+      // federated counters must stay truthful through drops and dups.
+      s.uplink.drop_rate = 0.03;
+      s.uplink.duplicate_rate = 0.02;
+      s.uplink.corrupt_rate = 0.02;
+      s.downlink.drop_rate = 0.03;
+    }
+  }
+  tracers.push_back(std::make_unique<obs::Tracer>());  // aggregator's
+  if (tracing) tracers.back()->Enable();
+  fcfg.aggregator.tracer = tracers.back().get();
+  net::Fleet fleet(fcfg);
+  fleet.Run(4);  // hellos + clock samples before any events
+
+  for (int i = 0; i < nsensors; ++i) {
+    rfdump::emu::FrontEnd::Config fecfg;
+    fecfg.clock_offset_samples = offsets[static_cast<std::size_t>(i)];
+    rfdump::emu::FrontEnd fe(x, fecfg, 70 + static_cast<std::uint64_t>(i));
+    core::StreamingMonitor::Config cfg = mcfg;
+    cfg.sink = &fleet.sink(static_cast<std::size_t>(i));
+    core::StreamingMonitor monitor(cfg);
+    while (!fe.Done()) {
+      const auto seg = fe.NextSegment();
+      if (!seg.samples.empty()) {
+        monitor.PushSegment(seg.start_sample, seg.samples);
+      }
+      fleet.Tick();  // pump frames across the links while the monitor runs
+    }
+    monitor.Flush();
+    fleet.sink(static_cast<std::size_t>(i)).Flush();
+    fleet.Run(4);
+    if (fleet_status && !status_json) {
+      std::printf("%s\n", fleet.StatusReport().ToText().c_str());
+    }
+  }
+  fleet.SetLossless(true);
+  fleet.Run(60);  // drain retransmits so the ledgers converge
+
+  const net::FleetStatus status = fleet.StatusReport();
+  if (fleet_status) {
+    std::printf("%s\n",
+                (status_json ? status.ToJson() : status.ToText()).c_str());
+  }
+  std::printf("[fleet] %zu/%d sensors live, %zu fused events, %llu "
+              "cross-sensor merges\n",
+              status.live_sensors, nsensors, status.fused_events,
+              static_cast<unsigned long long>(status.merges));
+
+  if (!metrics_path.empty()) {
+    const std::string text = fleet.aggregator().FederatedExposition();
+    if (metrics_path == "-") {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      std::ofstream out(metrics_path, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                     metrics_path.c_str());
+        return 1;
+      }
+      out << text;
+      std::printf("wrote federated metrics to %s\n", metrics_path.c_str());
+    }
+  }
+  if (tracing) {
+    std::vector<obs::ProcessTrace> procs;
+    for (int i = 0; i < nsensors; ++i) {
+      procs.push_back({"sensor-" + std::to_string(i),
+                       static_cast<std::uint32_t>(i + 1),
+                       tracers[static_cast<std::size_t>(i)]->Events()});
+    }
+    procs.push_back({"aggregator", static_cast<std::uint32_t>(nsensors + 1),
+                     tracers.back()->Events()});
+    procs.push_back({"monitors", static_cast<std::uint32_t>(nsensors + 2),
+                     rfdump::obs::Tracer::Default().Events()});
+    std::ofstream out(trace_path_out, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   trace_path_out.c_str());
+      return 1;
+    }
+    out << obs::ExportFleetChromeJson(procs);
+    std::size_t spans = 0;
+    for (const auto& p : procs) spans += p.events.size();
+    std::printf("wrote merged fleet trace (%zu process rows, %zu spans) "
+                "to %s\n",
+                procs.size(), spans, trace_path_out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -382,6 +523,8 @@ int main(int argc, char** argv) {
   double budget = 0.0;
   double deadline = 0.0;
   int threads = 1;
+  int fleet_sensors = 0;
+  bool fleet_status = false, fleet_status_json = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -423,6 +566,15 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_path_out = argv[++i];
+    } else if (arg == "--fleet" && i + 1 < argc) {
+      long v = 0;
+      if (!ParseIntFlag("--fleet", argv[++i], 2, &v)) return 2;
+      fleet_sensors = static_cast<int>(std::min(v, 16L));
+    } else if (arg == "--fleet-status") {
+      fleet_status = true;
+    } else if (arg == "--fleet-status=json") {
+      fleet_status = true;
+      fleet_status_json = true;
     } else if (arg == "--selftest") {
       selftest = true;
     } else if (arg == "--corpus" && i + 1 < argc) {
@@ -435,6 +587,14 @@ int main(int argc, char** argv) {
   if (selftest) return RunSelfTest(corpus_root);
   if (trace_path.empty() && !demo) {
     PrintUsage(argv[0]);
+    return 2;
+  }
+  if (fleet_status && fleet_sensors == 0) {
+    std::fprintf(stderr, "error: --fleet-status requires --fleet N\n");
+    return 2;
+  }
+  if (fleet_sensors > 0 && (impair || arch != "rfdump")) {
+    std::fprintf(stderr, "--fleet uses the rfdump streaming monitor\n");
     return 2;
   }
   if (!trace_path_out.empty()) {
@@ -460,6 +620,20 @@ int main(int argc, char** argv) {
     // Negative/garbage values were rejected at parse time; 0 means "auto".
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads < 1) threads = 1;
+  }
+  if (fleet_sensors > 0) {
+    core::StreamingMonitor::Config mcfg;
+    mcfg.pipeline.timing_detectors = (detectors != "phase");
+    mcfg.pipeline.phase_detectors = (detectors != "timing");
+    mcfg.pipeline.collision_detector = collisions;
+    mcfg.pipeline.microwave_detector = true;
+    mcfg.pipeline.noise_floor_power = noise_floor;
+    mcfg.pipeline.analysis.demodulate = !no_demod;
+    mcfg.block_samples = 400'000;
+    mcfg.overlap_samples = 160'000;
+    mcfg.threads = threads;
+    return RunFleet(x, fleet_sensors, mcfg, fleet_status, fleet_status_json,
+                    metrics_path, trace_path_out);
   }
   // One executor for the whole run: Executor(1) is serial inline (no pool),
   // wider widths fan the analysis stage out per interval x protocol.

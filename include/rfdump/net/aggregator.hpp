@@ -31,10 +31,13 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "rfdump/net/messages.hpp"
 #include "rfdump/net/wire.hpp"
+#include "rfdump/obs/metrics.hpp"
+#include "rfdump/obs/trace.hpp"
 
 namespace rfdump::net {
 
@@ -76,6 +79,8 @@ class Aggregator {
     double trust_gap_penalty = 0.10;        // per applied gap range
     double trust_reconnect_penalty = 0.05;  // per epoch bump
     double trust_recovery = 0.01;           // per clean in-order data frame
+    /// Tracer aggregator-side spans record into (null = the default tracer).
+    obs::Tracer* tracer = nullptr;
   };
 
   enum class SensorState { kLive, kDegraded };
@@ -96,6 +101,12 @@ class Aggregator {
     std::uint64_t events_received = 0;
     std::uint64_t events_held_untrusted = 0;
     std::uint64_t degraded_transitions = 0;
+    /// Clock-offset drift: times the min-filter tightened the estimate.
+    std::uint64_t offset_updates = 0;
+    // Metrics federation (DESIGN.md §13).
+    std::uint32_t metrics_snapshot_id = 0;   // highest snapshot applied
+    std::uint64_t metrics_snapshots_applied = 0;
+    std::uint64_t metrics_stale_dropped = 0; // out-of-order/duplicate drops
     /// Sequence ranges skipped without delivery (the sensor declared them
     /// lost and nothing ever arrived) — the fleet's explicit loss record.
     std::vector<SeqRange> lost_applied;
@@ -131,6 +142,18 @@ class Aggregator {
   [[nodiscard]] const SensorStatus& status(std::uint16_t sensor_id) const;
   [[nodiscard]] std::vector<std::uint16_t> sensor_ids() const;
   [[nodiscard]] std::size_t live_sensors() const;
+  /// Parse-layer discard counters for one sensor's uplink.
+  [[nodiscard]] const ParseStats& parse_stats(std::uint16_t sensor_id) const;
+
+  /// The latest federated metric values one sensor shipped (absolute,
+  /// last-write-wins by name), name-sorted. Empty for an unknown sensor.
+  [[nodiscard]] std::vector<MetricEntry> federated(
+      std::uint16_t sensor_id) const;
+
+  /// One Prometheus exposition for the whole fleet: every sensor's shipped
+  /// metrics re-labeled `sensor="<id>"`, aggregator-native per-sensor
+  /// gauges/counters, and fleet-wide fusion totals (DESIGN.md §13).
+  [[nodiscard]] std::string FederatedExposition() const;
 
  private:
   struct Sensor {
@@ -142,17 +165,23 @@ class Aggregator {
     std::vector<EventBatchMsg> pending_align;  // delivered before a clock fix
     std::vector<std::vector<std::uint8_t>> outbound;
     bool ack_due = false;
+    std::map<std::string, MetricEntry> metrics;  // federation, by name
   };
 
   Sensor& Get(std::uint16_t sensor_id);
+  [[nodiscard]] obs::Tracer& Trc() const {
+    return config_.tracer != nullptr ? *config_.tracer
+                                     : obs::Tracer::Default();
+  }
   void DeliverLocked(std::uint16_t sensor_id, Sensor& s, const Frame& frame);
   void DrainLocked(std::uint16_t sensor_id, Sensor& s);
   void ObserveClock(std::uint16_t sensor_id, Sensor& s,
                     std::int64_t local_time);
+  void ApplyMetrics(Sensor& s, const MetricsMsg& msg);
   void FuseBatch(std::uint16_t sensor_id, Sensor& s,
                  const EventBatchMsg& batch);
   void FuseEvent(std::uint16_t sensor_id, const EventRecord& e,
-                 std::int64_t offset);
+                 std::int64_t offset, const obs::TraceContext& parent);
   void PruneFused();
   void MarkLive(std::uint16_t sensor_id, Sensor& s);
   [[nodiscard]] bool DeclaredLost(const Sensor& s, std::uint32_t seq) const;

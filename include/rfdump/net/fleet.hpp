@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "rfdump/core/result_sink.hpp"
@@ -33,6 +34,40 @@
 #include "rfdump/net/session.hpp"
 
 namespace rfdump::net {
+
+/// Point-in-time snapshot of everything the fleet knows about itself:
+/// both sides of every sensor's link (session ledgers, aggregator status,
+/// parse stats) plus the fused-view totals. Rendered by the CLI's
+/// `--fleet-status[=json]` (DESIGN.md §13).
+struct FleetStatus {
+  struct SensorRow {
+    std::uint16_t id = 0;
+    // Sensor side (session).
+    SensorSession::State session_state = SensorSession::State::kConnecting;
+    std::uint32_t epoch = 0;
+    std::uint32_t acked_seq = 0;
+    std::size_t unacked = 0;
+    SensorSession::Stats session;
+    std::vector<SeqRange> lost_ranges;
+    // Central side (aggregator); `known` is false until the aggregator has
+    // heard a first valid frame, in which case `agg`/`parse` are defaulted.
+    bool known = false;
+    Aggregator::SensorStatus agg;
+    ParseStats parse;
+  };
+
+  std::int64_t tick = 0;
+  std::size_t live_sensors = 0;
+  std::size_t fused_events = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t fused_pruned = 0;
+  std::vector<SensorRow> sensors;
+
+  /// Machine-readable rendering (schema-checked in tests/net_test.cpp).
+  [[nodiscard]] std::string ToJson() const;
+  /// One-screen operator rendering.
+  [[nodiscard]] std::string ToText() const;
+};
 
 /// core::ResultSink -> SensorSession bridge. Not thread-safe itself, but the
 /// monitor serialises sink calls and the session serialises publishes, so
@@ -115,6 +150,10 @@ class Fleet {
   /// Drain mode: stop injecting new link faults fleet-wide so retransmits
   /// converge (scheduled partitions still apply).
   void SetLossless(bool lossless);
+
+  /// Snapshots per-sensor liveness, trust, seq/ack/gap ledgers, ParseStats,
+  /// clock offsets and link health — refreshable mid-run.
+  [[nodiscard]] FleetStatus StatusReport() const;
 
  private:
   // SensorSession owns a mutex, so nodes live behind stable pointers.

@@ -17,10 +17,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "rfdump/core/pipeline.hpp"
 #include "rfdump/net/wire.hpp"
+#include "rfdump/obs/context.hpp"
 
 namespace rfdump::net {
 
@@ -76,9 +78,12 @@ struct AckMsg {
   static std::optional<AckMsg> Decode(std::span<const std::uint8_t> p);
 };
 
-/// A batch of decoded transmissions (one monitor block's worth).
+/// A batch of decoded transmissions (one monitor block's worth). `ctx` is
+/// the sensor-side span that published the batch (DESIGN.md §13); all-zero
+/// when tracing is disabled, in which case the aggregator roots locally.
 struct EventBatchMsg {
   std::int64_t block_start = 0;  // sensor-local block position
+  obs::TraceContext ctx;
   std::vector<EventRecord> events;
   [[nodiscard]] std::vector<std::uint8_t> Encode() const;
   static std::optional<EventBatchMsg> Decode(std::span<const std::uint8_t> p);
@@ -87,6 +92,7 @@ struct EventBatchMsg {
 /// One core::HealthReport, shipped verbatim (all fields).
 struct HealthMsg {
   core::HealthReport report;
+  obs::TraceContext ctx;
   [[nodiscard]] std::vector<std::uint8_t> Encode() const;
   static std::optional<HealthMsg> Decode(std::span<const std::uint8_t> p);
 };
@@ -102,8 +108,36 @@ struct SeqRange {
 
 struct GapReportMsg {
   std::vector<SeqRange> lost;
+  obs::TraceContext ctx;
   [[nodiscard]] std::vector<std::uint8_t> Encode() const;
   static std::optional<GapReportMsg> Decode(std::span<const std::uint8_t> p);
+};
+
+/// One scalar metric in a federation snapshot (DESIGN.md §13). Values are
+/// ABSOLUTE (never increments): the aggregator applies last-write-wins per
+/// name, so dropped, duplicated or reordered snapshots can never
+/// double-count — at worst the fused view is briefly stale.
+struct MetricEntry {
+  std::string name;  // registered metric name, <= kMaxMetricNameBytes
+  std::uint8_t kind = 0;  // obs::MetricKind on the wire: 0 counter, 1 gauge
+  double value = 0.0;
+  bool operator==(const MetricEntry&) const = default;
+};
+
+inline constexpr std::size_t kMaxMetricNameBytes = 256;
+
+/// Periodic sensor -> aggregator metrics snapshot, shipped as an
+/// unsequenced kMetrics control frame on the heartbeat cadence. Delta
+/// selection (only changed entries) keeps it small; `full` marks snapshots
+/// carrying every entry (sent periodically so a lost delta heals).
+/// `snapshot_id` increases monotonically per session so the receiver can
+/// discard stale or duplicated snapshots.
+struct MetricsMsg {
+  std::uint32_t snapshot_id = 0;
+  std::uint8_t full = 0;
+  std::vector<MetricEntry> entries;
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
+  static std::optional<MetricsMsg> Decode(std::span<const std::uint8_t> p);
 };
 
 }  // namespace rfdump::net

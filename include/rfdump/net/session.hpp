@@ -27,11 +27,15 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "rfdump/net/messages.hpp"
 #include "rfdump/net/wire.hpp"
+#include "rfdump/obs/metrics.hpp"
+#include "rfdump/obs/trace.hpp"
 #include "rfdump/util/rng.hpp"
 
 namespace rfdump::net {
@@ -49,6 +53,20 @@ class SensorSession {
     double backoff_jitter = 0.5;  // uniform extra delay, fraction of delay
     std::size_t retransmit_ring = 64;  // max unacked data frames held
     std::size_t max_gap_ranges = 64;   // cumulative gap list cap (merged)
+    // Observability (DESIGN.md §13). Null tracer = obs::Tracer::Default().
+    obs::Tracer* tracer = nullptr;
+    /// Ship a MetricsMsg snapshot every Nth heartbeat (0 = federation off,
+    /// the default — callers running a fleet opt in).
+    int metrics_every_n_heartbeats = 0;
+    /// Every Nth snapshot carries all entries, not just changed ones, so a
+    /// dropped delta heals (kMetrics frames are unsequenced and droppable).
+    int metrics_full_every = 8;
+    /// Per-snapshot entry cap; entries over the cap stay unshipped and
+    /// self-heal (still "changed" next snapshot).
+    std::size_t max_metrics_entries = 128;
+    /// Extra registry federated alongside the built-in session stats
+    /// (typically a per-sensor registry; null = session stats only).
+    obs::Registry* metrics_registry = nullptr;
   };
 
   enum class State {
@@ -64,6 +82,10 @@ class SensorSession {
     std::uint64_t reconnects = 0;          // transitions into kBackoff
     std::uint64_t ring_overflow_drops = 0; // data frames given up on
     std::uint64_t stale_acks = 0;          // acks for an older epoch
+    std::uint64_t metrics_snapshots = 0;   // MetricsMsg frames shipped
+    /// Smoothed publish->ack round trip in ticks, Karn-sampled (only frames
+    /// never retransmitted contribute). Negative until the first sample.
+    double rtt_ticks = -1.0;
   };
 
   explicit SensorSession(Config config, std::uint64_t seed = 1);
@@ -93,13 +115,21 @@ class SensorSession {
   /// Cumulative merged list of sequence ranges this session gave up on.
   [[nodiscard]] std::vector<SeqRange> lost_ranges() const;
 
+  /// The tracer session spans record into (config override or the default).
+  [[nodiscard]] obs::Tracer& tracer() const {
+    return config_.tracer != nullptr ? *config_.tracer
+                                     : obs::Tracer::Default();
+  }
+
  private:
   struct PendingFrame {
     std::uint32_t seq = 0;
     FrameType type = FrameType::kEventBatch;
     std::vector<std::uint8_t> wire;  // encoded frame, resent verbatim
+    std::int64_t first_sent = 0;
     std::int64_t last_sent = 0;
     int rto = 0;
+    bool retransmitted = false;  // Karn: retransmitted frames never sample RTT
   };
 
   std::uint32_t EnqueueDataLocked(FrameType type,
@@ -109,6 +139,7 @@ class SensorSession {
   void AddLostLocked(std::uint32_t seq);
   void PublishGapReportLocked();
   void BeginBackoffLocked(std::int64_t tick);
+  void SendMetricsLocked();
 
   mutable std::mutex mu_;
   Config config_;
@@ -130,6 +161,13 @@ class SensorSession {
   std::int64_t reconnect_at_ = 0;
   int backoff_attempts_ = 0;
   Stats stats_;
+  // Metrics federation (DESIGN.md §13): last values shipped per entry name,
+  // for delta selection against the next snapshot.
+  std::uint32_t metrics_snapshot_id_ = 0;
+  std::uint64_t heartbeats_at_last_metrics_ = 0;
+  std::map<std::string, std::pair<std::uint8_t, double>> metrics_shipped_;
 };
+
+[[nodiscard]] const char* SessionStateName(SensorSession::State state);
 
 }  // namespace rfdump::net

@@ -48,6 +48,7 @@ enum class FrameType : std::uint8_t {
   kHello = 1,      // session (re)establishment; carries the sensor epoch
   kHeartbeat = 2,  // liveness + clock sample (sensor local time)
   kAck = 3,        // aggregator -> sensor cumulative ack
+  kMetrics = 4,    // absolute-value metrics snapshot (federation, DESIGN §13)
   // Data frames.
   kEventBatch = 16,  // decoded transmissions from one monitor block
   kHealth = 17,      // one core::HealthReport
@@ -152,6 +153,8 @@ class ByteReader {
     return static_cast<std::int64_t>(U64());
   }
   [[nodiscard]] double F64();
+  /// Next `n` raw bytes (empty + !ok() on under-run).
+  [[nodiscard]] std::vector<std::uint8_t> Bytes(std::size_t n);
 
   [[nodiscard]] bool ok() const { return ok_; }
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }

@@ -98,6 +98,12 @@ class Histogram {
     std::vector<std::uint64_t> counts;  // per-bucket (bounds.size() + 1)
     std::uint64_t count = 0;            // total observations
     double sum = 0.0;                   // sum of observed values
+
+    /// Prometheus-style quantile estimate (q in [0, 1]): find the bucket
+    /// holding the q-th observation and interpolate linearly inside it.
+    /// Returns the highest finite bound when the rank lands in the +Inf
+    /// bucket, and NaN when the histogram is empty.
+    [[nodiscard]] double Quantile(double q) const;
   };
   [[nodiscard]] Snapshot GetSnapshot() const;
 
@@ -108,6 +114,19 @@ class Histogram {
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+};
+
+/// Scalar-metric kind tag, stable on the wire (net/messages.hpp MetricsMsg).
+enum class MetricKind : std::uint8_t { kCounter = 0, kGauge = 1 };
+
+/// One scalar metric value captured by Registry::SnapshotValues() or
+/// received via metrics federation. Counters travel as doubles too — exact
+/// up to 2^53 events, far past any session lifetime here.
+struct MetricValue {
+  std::string name;  // registered name, possibly with embedded labels
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;
+  bool operator==(const MetricValue&) const = default;
 };
 
 /// Process-wide named-metric registry.
@@ -130,6 +149,11 @@ class Registry {
   /// Current value of a registered counter (0 if absent) — test/summary aid.
   [[nodiscard]] std::uint64_t CounterValue(const std::string& name) const;
 
+  /// Name-sorted snapshot of every counter and gauge (histograms are not
+  /// federated in v1 — DESIGN.md §13). Feeds MetricsMsg; naturally empty
+  /// under RFDUMP_OBS=OFF since the disabled registry registers nothing.
+  [[nodiscard]] std::vector<MetricValue> SnapshotValues() const;
+
   /// Zeroes every registered metric's value (registrations persist). Used by
   /// tests and the overhead bench; not meant for the hot path.
   void ResetAll();
@@ -141,14 +165,44 @@ class Registry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double quote and newline become `\\`, `\"` and `\n`.
+[[nodiscard]] std::string EscapeLabelValue(const std::string& value);
+
+/// Merges one `key="value"` label (value escaped) into a metric name:
+/// a bare name gains `{key="value"}`, a name that already carries labels
+/// gets the pair appended inside the existing braces. The federation layer
+/// uses this to stamp `sensor="<id>"` onto shipped sensor metrics.
+[[nodiscard]] std::string WithLabel(const std::string& name,
+                                    const std::string& key,
+                                    const std::string& value);
+
 /// Counter with a single label baked into the registered name:
 /// LabeledCounter("rfdump_detect_tags_total", "detector", "80211-sifs") →
 /// `rfdump_detect_tags_total{detector="80211-sifs"}`. Resolve once (static).
 inline Counter& LabeledCounter(const std::string& family,
                                const std::string& key,
                                const std::string& value) {
-  return Registry::Default().GetCounter(family + "{" + key + "=\"" + value +
-                                        "\"}");
+  return Registry::Default().GetCounter(family + "{" + key + "=\"" +
+                                        EscapeLabelValue(value) + "\"}");
 }
+
+/// Assembles a Prometheus text exposition from loose scalar values — the
+/// aggregator's federation endpoint builds one from many sensors' shipped
+/// snapshots plus its own native metrics. Families are sorted and emit one
+/// `# TYPE` line each; integral counters print without a decimal point.
+/// Plain code (no atomics), so it works identically under RFDUMP_OBS=OFF.
+class ExpositionBuilder {
+ public:
+  void Add(std::string name, MetricKind kind, double value) {
+    values_.push_back(MetricValue{std::move(name), kind, value});
+  }
+  void Add(const MetricValue& v) { values_.push_back(v); }
+
+  [[nodiscard]] std::string Text() const;
+
+ private:
+  std::vector<MetricValue> values_;
+};
 
 }  // namespace rfdump::obs

@@ -16,9 +16,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "rfdump/obs/context.hpp"
 #include "rfdump/obs/stopwatch.hpp"
 
 #ifndef RFDUMP_OBS_ENABLED
@@ -34,6 +36,10 @@ class Tracer {
     double ts_us = 0.0;   // span start, microseconds since Enable()
     double dur_us = 0.0;  // span duration, microseconds
     std::uint32_t tid = 0;
+    // Distributed-trace linkage (DESIGN.md §13); all zero for plain spans.
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_span = 0;
   };
 
   static Tracer& Default();
@@ -60,8 +66,21 @@ class Tracer {
   /// buffer, not a correctness one; events are plain data.)
   void Record(const char* name, double ts_us, double dur_us) noexcept;
 
+  /// Record() with distributed-trace linkage: the span belongs to
+  /// `trace_id` and is parented under `parent_span` (0 = root).
+  void RecordLinked(const char* name, double ts_us, double dur_us,
+                    std::uint64_t trace_id, std::uint64_t span_id,
+                    std::uint64_t parent_span) noexcept;
+
   /// Recorded spans in timestamp order (oldest ring window dropped on wrap).
   [[nodiscard]] std::vector<Event> Events() const;
+
+  /// Spans lost to ring wraparound since Enable() (also counted in the
+  /// `rfdump_tracer_dropped_events_total` metric).
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    const std::uint64_t n = next_.load(std::memory_order_relaxed);
+    return n > ring_.size() ? n - ring_.size() : 0;
+  }
 
   /// Number of spans recorded since Enable() (including overwritten ones).
   [[nodiscard]] std::uint64_t recorded() const noexcept {
@@ -78,6 +97,25 @@ class Tracer {
   std::vector<Event> ring_;
   Stopwatch epoch_;
 };
+
+/// One process's (or in-process node's) contribution to a fleet-wide trace:
+/// a display name, a distinct chrome://tracing pid, and its span events
+/// (normally Tracer::Events()). Node clocks are assumed to share the trace
+/// epoch — true for the in-process fleet, where every tracer is enabled by
+/// the same harness.
+struct ProcessTrace {
+  std::string name;
+  std::uint32_t pid = 1;
+  std::vector<Tracer::Event> events;
+};
+
+/// Cross-process merge tool: one chrome://tracing file for the whole fleet.
+/// Each ProcessTrace renders as its own process row (a "process_name"
+/// metadata event plus its spans); linked spans carry
+/// trace_id/span_id/parent_span_id args so a viewer (or the chaos suite)
+/// can follow one decode from a sensor's pipeline into the aggregator.
+[[nodiscard]] std::string ExportFleetChromeJson(
+    std::span<const ProcessTrace> processes);
 
 /// RAII span. Construction snapshots the clock only if the tracer is
 /// enabled; destruction records the completed span.
@@ -113,6 +151,57 @@ class TraceSpan {
   const char* name_ = "";
   double start_us_ = 0.0;
   bool armed_ = false;
+#endif
+};
+
+/// RAII span that participates in a distributed trace (DESIGN.md §13).
+/// Given the upstream TraceContext (e.g. from a wire message), it continues
+/// that trace — or roots a fresh one when the parent is absent — and
+/// context() yields the context downstream work should carry (this span's
+/// trace_id + span_id). When the tracer is disabled (or RFDUMP_OBS=OFF)
+/// nothing is recorded and context() passes the parent through unchanged,
+/// so an uninstrumented hop is transparent rather than trace-breaking.
+class LinkedSpan {
+ public:
+  LinkedSpan(Tracer& tracer, const char* name, TraceContext parent) noexcept
+      : ctx_(parent) {
+#if RFDUMP_OBS_ENABLED
+    if (tracer.enabled()) {
+      tracer_ = &tracer;
+      name_ = name;
+      parent_span_ = parent.span_id;
+      ctx_.trace_id = parent.valid() ? parent.trace_id : NewSpanId();
+      ctx_.span_id = NewSpanId();
+      start_us_ = tracer.NowUs();
+    }
+#else
+    (void)tracer;
+    (void)name;
+#endif
+  }
+
+  ~LinkedSpan() {
+#if RFDUMP_OBS_ENABLED
+    if (tracer_ != nullptr) {
+      tracer_->RecordLinked(name_, start_us_, tracer_->NowUs() - start_us_,
+                            ctx_.trace_id, ctx_.span_id, parent_span_);
+    }
+#endif
+  }
+
+  LinkedSpan(const LinkedSpan&) = delete;
+  LinkedSpan& operator=(const LinkedSpan&) = delete;
+
+  /// The context downstream work (wire messages, nested spans) should carry.
+  [[nodiscard]] TraceContext context() const noexcept { return ctx_; }
+
+ private:
+  TraceContext ctx_;
+#if RFDUMP_OBS_ENABLED
+  Tracer* tracer_ = nullptr;
+  const char* name_ = "";
+  std::uint64_t parent_span_ = 0;
+  double start_us_ = 0.0;
 #endif
 };
 

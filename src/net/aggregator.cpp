@@ -101,17 +101,32 @@ void Aggregator::ObserveClock(std::uint16_t sensor_id, Sensor& s,
   if (!s.st.offset_known || candidate < s.st.clock_offset) {
     s.st.clock_offset = candidate;
     s.st.offset_known = true;
+    ++s.st.offset_updates;
     if (!s.pending_align.empty()) {
       // Events that arrived before the first clock sample can align now.
       auto pending = std::move(s.pending_align);
       s.pending_align.clear();
       for (const auto& batch : pending) {
+        obs::LinkedSpan align(Trc(), "agg/clock_align", batch.ctx);
         for (const auto& e : batch.events) {
-          FuseEvent(sensor_id, e, s.st.clock_offset);
+          FuseEvent(sensor_id, e, s.st.clock_offset, align.context());
         }
       }
     }
   }
+}
+
+void Aggregator::ApplyMetrics(Sensor& s, const MetricsMsg& msg) {
+  // Snapshots carry absolute values, so last-write-wins by name is immune
+  // to drops and duplicates; the snapshot_id gate rejects reordered stale
+  // snapshots so a delayed old frame can't roll a metric backwards.
+  if (msg.snapshot_id <= s.st.metrics_snapshot_id) {
+    ++s.st.metrics_stale_dropped;
+    return;
+  }
+  s.st.metrics_snapshot_id = msg.snapshot_id;
+  ++s.st.metrics_snapshots_applied;
+  for (const auto& e : msg.entries) s.metrics[e.name] = e;
 }
 
 bool Aggregator::DeclaredLost(const Sensor& s, std::uint32_t seq) const {
@@ -124,6 +139,7 @@ bool Aggregator::DeclaredLost(const Sensor& s, std::uint32_t seq) const {
 void Aggregator::HandleBytes(std::uint16_t sensor_id,
                              std::span<const std::uint8_t> bytes) {
   Sensor& s = Get(sensor_id);
+  obs::LinkedSpan parse_span(Trc(), "agg/parse", {});
   s.parser.Feed(bytes, [&](Frame&& frame) {
     if (frame.header.sensor_id != sensor_id) return;  // misrouted
     AggMetrics::Get().frames_received.Inc();
@@ -152,6 +168,12 @@ void Aggregator::HandleBytes(std::uint16_t sensor_id,
           }
           break;
         }
+        case FrameType::kMetrics: {
+          if (const auto metrics = MetricsMsg::Decode(frame.payload)) {
+            ApplyMetrics(s, *metrics);
+          }
+          break;
+        }
         default:
           break;  // acks never arrive on the uplink
       }
@@ -171,6 +193,7 @@ void Aggregator::HandleBytes(std::uint16_t sensor_id,
     // it stuck in the reorder buffer forever.
     if (frame.header.type == FrameType::kGapReport) {
       if (const auto gap = GapReportMsg::Decode(frame.payload)) {
+        obs::LinkedSpan apply(Trc(), "agg/apply_gap", gap->ctx);
         s.declared_lost = gap->lost;
       }
     }
@@ -189,6 +212,9 @@ void Aggregator::HandleBytes(std::uint16_t sensor_id,
     }
     // A seq already waiting in the reorder buffer is just as much a
     // duplicate as one below the cumulative watermark — count it.
+    if (seq != s.st.cum_seq + 1) {
+      obs::LinkedSpan reorder_span(Trc(), "agg/reorder", {});
+    }
     const auto [rit, inserted] = s.reorder.emplace(seq, std::move(frame));
     if (!inserted) {
       ++s.st.duplicates_dropped;
@@ -255,6 +281,7 @@ void Aggregator::DeliverLocked(std::uint16_t sensor_id, Sensor& s,
     }
     case FrameType::kHealth: {
       if (const auto health = HealthMsg::Decode(frame.payload)) {
+        obs::LinkedSpan span(Trc(), "agg/health", health->ctx);
         s.st.health.push_back(health->report);
       }
       break;
@@ -268,6 +295,9 @@ void Aggregator::DeliverLocked(std::uint16_t sensor_id, Sensor& s,
 
 void Aggregator::FuseBatch(std::uint16_t sensor_id, Sensor& s,
                            const EventBatchMsg& batch) {
+  // The fuse span continues the trace the sensor's publish span started —
+  // this is the sensor->aggregator link the merged fleet trace shows.
+  obs::LinkedSpan span(Trc(), "agg/fuse", batch.ctx);
   s.st.events_received += batch.events.size();
   if (s.st.trust < config_.trust_floor) {
     s.st.events_held_untrusted += batch.events.size();
@@ -278,12 +308,14 @@ void Aggregator::FuseBatch(std::uint16_t sensor_id, Sensor& s,
     return;
   }
   for (const auto& e : batch.events) {
-    FuseEvent(sensor_id, e, s.st.clock_offset);
+    FuseEvent(sensor_id, e, s.st.clock_offset, span.context());
   }
 }
 
 void Aggregator::FuseEvent(std::uint16_t sensor_id, const EventRecord& e,
-                           std::int64_t offset) {
+                           std::int64_t offset,
+                           const obs::TraceContext& parent) {
+  obs::LinkedSpan span(Trc(), "agg/dedup", parent);
   FusedEvent f;
   f.protocol = e.protocol;
   f.channel = e.channel;
@@ -376,6 +408,95 @@ std::vector<std::vector<std::uint8_t>> Aggregator::TakeOutbound(
   const auto it = sensors_.find(sensor_id);
   if (it == sensors_.end()) return {};
   return std::exchange(it->second.outbound, {});
+}
+
+const ParseStats& Aggregator::parse_stats(std::uint16_t sensor_id) const {
+  const auto it = sensors_.find(sensor_id);
+  if (it == sensors_.end()) {
+    throw std::out_of_range("unknown sensor id");
+  }
+  return it->second.parser.stats();
+}
+
+std::vector<MetricEntry> Aggregator::federated(std::uint16_t sensor_id) const {
+  const auto it = sensors_.find(sensor_id);
+  if (it == sensors_.end()) return {};
+  std::vector<MetricEntry> out;
+  out.reserve(it->second.metrics.size());
+  for (const auto& [name, e] : it->second.metrics) out.push_back(e);
+  return out;
+}
+
+std::string Aggregator::FederatedExposition() const {
+  using obs::MetricKind;
+  obs::ExpositionBuilder b;
+  for (const auto& [id, s] : sensors_) {
+    const std::string sid = std::to_string(id);
+    // Sensor-shipped metrics, re-labeled per sensor (DESIGN.md §13).
+    for (const auto& [name, e] : s.metrics) {
+      b.Add(obs::WithLabel(e.name, "sensor", sid),
+            e.kind == 0 ? MetricKind::kCounter : MetricKind::kGauge, e.value);
+    }
+    // Aggregator-native view of the same sensor.
+    const auto gauge = [&](const char* name, double v) {
+      b.Add(obs::WithLabel(name, "sensor", sid), MetricKind::kGauge, v);
+    };
+    const auto counter = [&](const char* name, double v) {
+      b.Add(obs::WithLabel(name, "sensor", sid), MetricKind::kCounter, v);
+    };
+    gauge("rfdump_agg_sensor_live",
+          s.st.state == SensorState::kLive ? 1.0 : 0.0);
+    gauge("rfdump_agg_sensor_trust", s.st.trust);
+    gauge("rfdump_agg_sensor_epoch", static_cast<double>(s.st.epoch));
+    gauge("rfdump_agg_sensor_cum_seq", static_cast<double>(s.st.cum_seq));
+    gauge("rfdump_agg_sensor_reorder_depth",
+          static_cast<double>(s.reorder.size()));
+    gauge("rfdump_agg_sensor_last_heard_age_ticks",
+          static_cast<double>(now_ - s.st.last_heard_tick));
+    if (s.st.offset_known) {
+      gauge("rfdump_agg_sensor_clock_offset_samples",
+            static_cast<double>(s.st.clock_offset));
+    }
+    counter("rfdump_agg_sensor_clock_offset_updates_total",
+            static_cast<double>(s.st.offset_updates));
+    counter("rfdump_agg_sensor_frames_delivered_total",
+            static_cast<double>(s.st.frames_delivered));
+    counter("rfdump_agg_sensor_duplicates_dropped_total",
+            static_cast<double>(s.st.duplicates_dropped));
+    counter("rfdump_agg_sensor_corrupt_dropped_total",
+            static_cast<double>(s.st.corrupt_dropped));
+    counter("rfdump_agg_sensor_reorder_overflow_total",
+            static_cast<double>(s.st.reorder_overflow));
+    counter("rfdump_agg_sensor_events_received_total",
+            static_cast<double>(s.st.events_received));
+    counter("rfdump_agg_sensor_events_held_untrusted_total",
+            static_cast<double>(s.st.events_held_untrusted));
+    counter("rfdump_agg_sensor_degraded_transitions_total",
+            static_cast<double>(s.st.degraded_transitions));
+    counter("rfdump_agg_sensor_gap_ranges_applied_total",
+            static_cast<double>(s.st.lost_applied.size()));
+    counter("rfdump_agg_sensor_metrics_snapshots_total",
+            static_cast<double>(s.st.metrics_snapshots_applied));
+    counter("rfdump_agg_sensor_metrics_stale_dropped_total",
+            static_cast<double>(s.st.metrics_stale_dropped));
+    const ParseStats& p = s.parser.stats();
+    counter("rfdump_agg_sensor_frames_parsed_total",
+            static_cast<double>(p.frames_ok));
+    counter("rfdump_agg_sensor_parse_bad_crc_total",
+            static_cast<double>(p.bad_crc + p.bad_header_checksum));
+    counter("rfdump_agg_sensor_parse_bad_magic_bytes_total",
+            static_cast<double>(p.bad_magic_bytes));
+  }
+  // Fleet-wide fusion totals.
+  b.Add("rfdump_agg_live_sensors", MetricKind::kGauge,
+        static_cast<double>(live_sensors()));
+  b.Add("rfdump_agg_fused_events", MetricKind::kGauge,
+        static_cast<double>(fused_.size()));
+  b.Add("rfdump_agg_fused_merges_total", MetricKind::kCounter,
+        static_cast<double>(merges_));
+  b.Add("rfdump_agg_fused_pruned_total", MetricKind::kCounter,
+        static_cast<double>(fused_pruned_));
+  return b.Text();
 }
 
 }  // namespace rfdump::net

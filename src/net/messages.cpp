@@ -23,6 +23,18 @@ void EncodeEvent(ByteWriter& w, const EventRecord& e) {
 
 constexpr std::size_t kEventBytes = 1 + 2 + 8 + 8 + 4 + 1 + 8;
 
+void EncodeCtx(ByteWriter& w, const obs::TraceContext& ctx) {
+  w.U64(ctx.trace_id);
+  w.U64(ctx.span_id);
+}
+
+obs::TraceContext DecodeCtx(ByteReader& r) {
+  obs::TraceContext ctx;
+  ctx.trace_id = r.U64();
+  ctx.span_id = r.U64();
+  return ctx;
+}
+
 bool DecodeEvent(ByteReader& r, EventRecord& e) {
   const std::uint8_t proto = r.U8();
   if (proto >= core::kProtocolCount) return false;
@@ -134,6 +146,7 @@ std::optional<AckMsg> AckMsg::Decode(std::span<const std::uint8_t> p) {
 std::vector<std::uint8_t> EventBatchMsg::Encode() const {
   ByteWriter w;
   w.I64(block_start);
+  EncodeCtx(w, ctx);
   w.U32(static_cast<std::uint32_t>(events.size()));
   for (const auto& e : events) EncodeEvent(w, e);
   return w.Take();
@@ -144,6 +157,7 @@ std::optional<EventBatchMsg> EventBatchMsg::Decode(
   ByteReader r(p);
   EventBatchMsg m;
   m.block_start = r.I64();
+  m.ctx = DecodeCtx(r);
   const std::uint32_t count = r.U32();
   if (!r.ok() || !PlausibleCount(count, r.remaining(), kEventBytes)) {
     return std::nullopt;
@@ -178,6 +192,7 @@ std::vector<std::uint8_t> HealthMsg::Encode() const {
   w.U64(h.quarantined_intervals);
   w.U32(h.breaker_trips);
   w.U32(static_cast<std::uint32_t>(h.open_breakers));
+  EncodeCtx(w, ctx);
   return w.Take();
 }
 
@@ -205,12 +220,14 @@ std::optional<HealthMsg> HealthMsg::Decode(std::span<const std::uint8_t> p) {
   h.quarantined_intervals = r.U64();
   h.breaker_trips = r.U32();
   h.open_breakers = static_cast<int>(r.U32());
+  m.ctx = DecodeCtx(r);
   if (!r.ok()) return std::nullopt;
   return m;
 }
 
 std::vector<std::uint8_t> GapReportMsg::Encode() const {
   ByteWriter w;
+  EncodeCtx(w, ctx);
   w.U32(static_cast<std::uint32_t>(lost.size()));
   for (const auto& range : lost) {
     w.U32(range.first);
@@ -222,11 +239,12 @@ std::vector<std::uint8_t> GapReportMsg::Encode() const {
 std::optional<GapReportMsg> GapReportMsg::Decode(
     std::span<const std::uint8_t> p) {
   ByteReader r(p);
+  GapReportMsg m;
+  m.ctx = DecodeCtx(r);
   const std::uint32_t count = r.U32();
   if (!r.ok() || !PlausibleCount(count, r.remaining(), 8)) {
     return std::nullopt;
   }
-  GapReportMsg m;
   m.lost.resize(count);
   for (auto& range : m.lost) {
     range.first = r.U32();
@@ -234,6 +252,44 @@ std::optional<GapReportMsg> GapReportMsg::Decode(
     if (!r.ok() || range.first == 0 || range.last < range.first) {
       return std::nullopt;
     }
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> MetricsMsg::Encode() const {
+  ByteWriter w;
+  w.U32(snapshot_id);
+  w.U8(full);
+  w.U32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    w.U16(static_cast<std::uint16_t>(e.name.size()));
+    w.Bytes({reinterpret_cast<const std::uint8_t*>(e.name.data()),
+             e.name.size()});
+    w.U8(e.kind);
+    w.F64(e.value);
+  }
+  return w.Take();
+}
+
+std::optional<MetricsMsg> MetricsMsg::Decode(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  MetricsMsg m;
+  m.snapshot_id = r.U32();
+  m.full = r.U8();
+  const std::uint32_t count = r.U32();
+  // Smallest honest entry: 2-byte length + 1-char name + kind + f64.
+  if (!r.ok() || m.full > 1 || !PlausibleCount(count, r.remaining(), 12)) {
+    return std::nullopt;
+  }
+  m.entries.resize(count);
+  for (auto& e : m.entries) {
+    const std::uint16_t len = r.U16();
+    if (!r.ok() || len == 0 || len > kMaxMetricNameBytes) return std::nullopt;
+    const auto bytes = r.Bytes(len);
+    e.name.assign(bytes.begin(), bytes.end());
+    e.kind = r.U8();
+    e.value = r.F64();
+    if (!r.ok() || e.kind > 1) return std::nullopt;
   }
   return m;
 }

@@ -53,6 +53,7 @@ std::uint32_t SensorSession::EnqueueDataLocked(
   pf.seq = h.seq;
   pf.type = type;
   pf.wire = EncodeFrame(h, payload);
+  pf.first_sent = now_;
   pf.last_sent = now_;
   pf.rto = config_.rto_ticks;
   outbound_.push_back(pf.wire);
@@ -118,22 +119,96 @@ void SensorSession::PublishGapReportLocked() {
   // ring, the new loss re-dirties it and the next Tick ships a fresh
   // cumulative report.
   gap_dirty_ = false;
+  obs::LinkedSpan span(tracer(), "session/publish_gap_report", {});
   GapReportMsg msg;
   msg.lost = lost_;
+  msg.ctx = span.context();
   const auto payload = msg.Encode();
   EnqueueDataLocked(FrameType::kGapReport, payload);
 }
 
+void SensorSession::SendMetricsLocked() {
+  obs::LinkedSpan span(tracer(), "session/send_metrics", {});
+  ++metrics_snapshot_id_;
+  const bool full =
+      config_.metrics_full_every <= 1 || metrics_snapshot_id_ == 1 ||
+      (metrics_snapshot_id_ - 1) %
+              static_cast<std::uint32_t>(config_.metrics_full_every) ==
+          0;
+
+  // Candidates: the session's own functional stats (always available, even
+  // under RFDUMP_OBS=OFF) followed by the optional per-sensor registry.
+  std::vector<MetricEntry> candidates;
+  const auto counter = [&](const char* name, std::uint64_t v) {
+    candidates.push_back({name, 0, static_cast<double>(v)});
+  };
+  const auto gauge = [&](const char* name, double v) {
+    candidates.push_back({name, 1, v});
+  };
+  counter("rfdump_session_frames_sent_total", stats_.frames_sent);
+  counter("rfdump_session_retransmits_total", stats_.retransmits);
+  counter("rfdump_session_heartbeats_total", stats_.heartbeats);
+  counter("rfdump_session_reconnects_total", stats_.reconnects);
+  counter("rfdump_session_ring_overflow_drops_total",
+          stats_.ring_overflow_drops);
+  counter("rfdump_session_stale_acks_total", stats_.stale_acks);
+  gauge("rfdump_session_unacked", static_cast<double>(ring_.size()));
+  gauge("rfdump_session_epoch", static_cast<double>(epoch_));
+  gauge("rfdump_session_acked_seq", static_cast<double>(acked_));
+  if (stats_.rtt_ticks >= 0.0) {
+    gauge("rfdump_session_rtt_ticks", stats_.rtt_ticks);
+  }
+  if (config_.metrics_registry != nullptr) {
+    for (const auto& v : config_.metrics_registry->SnapshotValues()) {
+      candidates.push_back({v.name, static_cast<std::uint8_t>(v.kind),
+                            v.value});
+    }
+  }
+
+  MetricsMsg msg;
+  msg.snapshot_id = metrics_snapshot_id_;
+  msg.full = full ? 1 : 0;
+  for (auto& e : candidates) {
+    if (msg.entries.size() >= config_.max_metrics_entries) {
+      // Over the cap: leave the rest unshipped. They stay different from
+      // metrics_shipped_, so the next snapshot picks them up first-come.
+      msg.full = 0;
+      break;
+    }
+    if (!full) {
+      const auto it = metrics_shipped_.find(e.name);
+      if (it != metrics_shipped_.end() &&
+          it->second == std::make_pair(e.kind, e.value)) {
+        continue;  // unchanged since last shipped
+      }
+    }
+    metrics_shipped_[e.name] = {e.kind, e.value};
+    msg.entries.push_back(std::move(e));
+  }
+  if (msg.entries.empty() && !full) return;  // nothing changed, save a frame
+  const auto payload = msg.Encode();
+  SendControlLocked(FrameType::kMetrics, payload);
+  ++stats_.metrics_snapshots;
+}
+
 std::uint32_t SensorSession::PublishEvents(const EventBatchMsg& batch) {
   std::lock_guard<std::mutex> lock(mu_);
-  const auto payload = batch.Encode();
+  // The publish span continues the caller's trace (batch.ctx, e.g. the
+  // sink's block span) and becomes the context the wire carries, so
+  // aggregator-side spans parent under this hop.
+  obs::LinkedSpan span(tracer(), "session/publish_events", batch.ctx);
+  EventBatchMsg wire_batch = batch;
+  wire_batch.ctx = span.context();
+  const auto payload = wire_batch.Encode();
   return EnqueueDataLocked(FrameType::kEventBatch, payload);
 }
 
 std::uint32_t SensorSession::PublishHealth(const core::HealthReport& report) {
   std::lock_guard<std::mutex> lock(mu_);
+  obs::LinkedSpan span(tracer(), "session/publish_health", {});
   HealthMsg msg;
   msg.report = report;
+  msg.ctx = span.context();
   const auto payload = msg.Encode();
   return EnqueueDataLocked(FrameType::kHealth, payload);
 }
@@ -156,6 +231,15 @@ void SensorSession::HandleBytes(std::span<const std::uint8_t> bytes) {
     if (ack->cum_seq > acked_) {
       acked_ = ack->cum_seq;
       while (!ring_.empty() && ring_.front().seq <= acked_) {
+        // Karn's rule: only frames acked on their first transmission sample
+        // the RTT (a retransmitted frame's ack is ambiguous). EWMA 7/8.
+        const PendingFrame& pf = ring_.front();
+        if (!pf.retransmitted) {
+          const double sample = static_cast<double>(now_ - pf.first_sent);
+          stats_.rtt_ticks = stats_.rtt_ticks < 0.0
+                                 ? sample
+                                 : 0.875 * stats_.rtt_ticks + 0.125 * sample;
+        }
         ring_.pop_front();
       }
     }
@@ -193,6 +277,14 @@ void SensorSession::Tick(std::int64_t tick, std::int64_t local_time) {
         SendControlLocked(FrameType::kHeartbeat, payload);
         last_heartbeat_tick_ = tick;
         ++stats_.heartbeats;
+        // Metrics federation rides the heartbeat cadence (DESIGN.md §13).
+        if (config_.metrics_every_n_heartbeats > 0 &&
+            stats_.heartbeats - heartbeats_at_last_metrics_ >=
+                static_cast<std::uint64_t>(
+                    config_.metrics_every_n_heartbeats)) {
+          heartbeats_at_last_metrics_ = stats_.heartbeats;
+          SendMetricsLocked();
+        }
       }
       // Retransmit timed-out unacked frames, per-frame exponential backoff.
       for (auto& pf : ring_) {
@@ -200,6 +292,7 @@ void SensorSession::Tick(std::int64_t tick, std::int64_t local_time) {
           outbound_.push_back(pf.wire);
           pf.last_sent = tick;
           pf.rto = std::min(pf.rto * 2, config_.rto_max_ticks);
+          pf.retransmitted = true;
           ++stats_.retransmits;
           SessionMetrics::Get().retransmits.Inc();
         }
@@ -221,6 +314,7 @@ void SensorSession::Tick(std::int64_t tick, std::int64_t local_time) {
           outbound_.push_back(pf.wire);
           pf.last_sent = tick;
           pf.rto = config_.rto_ticks;
+          pf.retransmitted = true;
           ++stats_.retransmits;
           SessionMetrics::Get().retransmits.Inc();
         }
@@ -281,6 +375,15 @@ std::size_t SensorSession::unacked() const {
 std::vector<SeqRange> SensorSession::lost_ranges() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lost_;
+}
+
+const char* SessionStateName(SensorSession::State state) {
+  switch (state) {
+    case SensorSession::State::kConnecting: return "connecting";
+    case SensorSession::State::kConnected: return "connected";
+    case SensorSession::State::kBackoff: return "backoff";
+  }
+  return "?";
 }
 
 }  // namespace rfdump::net

@@ -46,6 +46,7 @@ bool KnownType(std::uint8_t t) {
     case FrameType::kHello:
     case FrameType::kHeartbeat:
     case FrameType::kAck:
+    case FrameType::kMetrics:
     case FrameType::kEventBatch:
     case FrameType::kHealth:
     case FrameType::kGapReport:
@@ -61,6 +62,7 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kHello: return "hello";
     case FrameType::kHeartbeat: return "heartbeat";
     case FrameType::kAck: return "ack";
+    case FrameType::kMetrics: return "metrics";
     case FrameType::kEventBatch: return "event-batch";
     case FrameType::kHealth: return "health";
     case FrameType::kGapReport: return "gap-report";
@@ -218,6 +220,15 @@ double ByteReader::F64() {
   double v = 0.0;
   std::memcpy(&v, &bits, sizeof(v));
   return v;
+}
+
+std::vector<std::uint8_t> ByteReader::Bytes(std::size_t n) {
+  if (!Need(n)) return {};
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() +
+                                    static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
 }
 
 }  // namespace rfdump::net

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace rfdump::obs {
 namespace {
@@ -76,6 +78,31 @@ Histogram::Snapshot Histogram::GetSnapshot() const {
   return s;
 }
 
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (static_cast<double>(cum) < rank) continue;
+    if (i >= bounds.size()) {
+      // Rank fell in the +Inf bucket: the best bounded claim we can make.
+      return bounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                            : bounds.back();
+    }
+    const double hi = bounds[i];
+    const double lo = i == 0 ? std::min(0.0, hi) : bounds[i - 1];
+    const std::uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) return hi;
+    const double before = static_cast<double>(cum - in_bucket);
+    const double frac = (rank - before) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return bounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                        : bounds.back();
+}
+
 void Histogram::Reset() noexcept {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
@@ -140,6 +167,25 @@ std::uint64_t Registry::CounterValue(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second->value();
 }
 
+std::vector<MetricValue> Registry::SnapshotValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricValue> out;
+  out.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, MetricKind::kCounter,
+                   static_cast<double>(c->value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, MetricKind::kGauge, g->value()});
+  }
+  // Maps are each sorted; interleave back into one name order.
+  std::sort(out.begin(), out.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
 void Registry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
@@ -193,6 +239,74 @@ std::string Registry::ExpositionText() const {
 #if !RFDUMP_OBS_ENABLED
   out += "# rfdump observability compiled out (RFDUMP_OBS=OFF)\n";
 #endif
+  return out;
+}
+
+// ------------------------------------------------------- label handling
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string WithLabel(const std::string& name, const std::string& key,
+                      const std::string& value) {
+  const std::string pair = key + "=\"" + EscapeLabelValue(value) + "\"";
+  const auto brace = name.find('{');
+  if (brace == std::string::npos) return name + "{" + pair + "}";
+  // Insert before the closing brace, after the existing labels.
+  std::string out = name;
+  const auto close = out.rfind('}');
+  const bool empty_set = close == brace + 1;
+  out.insert(close, (empty_set ? "" : ",") + pair);
+  return out;
+}
+
+std::string ExpositionBuilder::Text() const {
+  std::vector<const MetricValue*> sorted;
+  sorted.reserve(values_.size());
+  for (const auto& v : values_) sorted.push_back(&v);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const MetricValue* a, const MetricValue* b) {
+                     return a->name < b->name;
+                   });
+  std::string out;
+  char line[64];
+  std::string last_family;
+  for (const MetricValue* v : sorted) {
+    const std::string family = FamilyOf(v->name);
+    if (family != last_family) {
+      out += "# TYPE " + family + " " +
+             (v->kind == MetricKind::kCounter ? "counter" : "gauge") + "\n";
+      last_family = family;
+    }
+    const bool integral = v->kind == MetricKind::kCounter &&
+                          std::floor(v->value) == v->value &&
+                          std::abs(v->value) < 9.007199254740992e15;
+    if (integral) {
+      std::snprintf(line, sizeof(line), " %" PRId64 "\n",
+                    static_cast<std::int64_t>(v->value));
+    } else {
+      std::snprintf(line, sizeof(line), " %g\n", v->value);
+    }
+    out += v->name + line;
+  }
   return out;
 }
 

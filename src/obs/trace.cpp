@@ -1,7 +1,10 @@
 #include "rfdump/obs/trace.hpp"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
+
+#include "rfdump/obs/metrics.hpp"
 
 namespace rfdump::obs {
 namespace {
@@ -25,7 +28,51 @@ void AppendJsonEscaped(std::string& out, const char* s) {
   }
 }
 
+void AppendEventJson(std::string& out, const Tracer::Event& e,
+                     std::uint32_t pid) {
+  char buf[192];
+  out += "{\"name\":\"";
+  AppendJsonEscaped(out, e.name);
+  std::snprintf(buf, sizeof(buf),
+                "\",\"cat\":\"rfdump\",\"ph\":\"X\",\"ts\":%.3f,"
+                "\"dur\":%.3f,\"pid\":%u,\"tid\":%u",
+                e.ts_us, e.dur_us, pid, e.tid);
+  out += buf;
+  if (e.trace_id != 0) {
+    // Ids as hex strings: u64 exceeds JSON double precision.
+    std::snprintf(buf, sizeof(buf),
+                  ",\"args\":{\"trace_id\":\"0x%" PRIx64
+                  "\",\"span_id\":\"0x%" PRIx64
+                  "\",\"parent_span_id\":\"0x%" PRIx64 "\"}",
+                  e.trace_id, e.span_id, e.parent_span);
+    out += buf;
+  }
+  out += '}';
+}
+
+#if RFDUMP_OBS_ENABLED
+Counter& DroppedEventsCounter() {
+  static Counter& c =
+      Registry::Default().GetCounter("rfdump_tracer_dropped_events_total");
+  return c;
+}
+#endif
+
 }  // namespace
+
+std::uint64_t NewSpanId() noexcept {
+  static std::atomic<std::uint64_t> next{0x5266447556D50000ull};
+  std::uint64_t x = next.fetch_add(1, std::memory_order_relaxed);
+  // splitmix64 finalizer: bijective, so sequential counter values map to
+  // well-spread unique ids.
+  x += 0x9E3779B97F4A7C15ull;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x != 0 ? x : 1;
+}
 
 Tracer& Tracer::Default() {
   static Tracer tracer;
@@ -47,10 +94,21 @@ void Tracer::Enable(std::size_t capacity) {
 void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
 
 void Tracer::Record(const char* name, double ts_us, double dur_us) noexcept {
+  RecordLinked(name, ts_us, dur_us, 0, 0, 0);
+}
+
+void Tracer::RecordLinked(const char* name, double ts_us, double dur_us,
+                          std::uint64_t trace_id, std::uint64_t span_id,
+                          std::uint64_t parent_span) noexcept {
   if (!enabled() || ring_.empty()) return;
-  const std::uint64_t slot =
-      next_.fetch_add(1, std::memory_order_relaxed) % ring_.size();
-  ring_[slot] = Event{name, ts_us, dur_us, ThisThreadId()};
+  const std::uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+#if RFDUMP_OBS_ENABLED
+  // idx >= capacity means this write recycles a slot: one old span is lost.
+  if (idx >= ring_.size()) DroppedEventsCounter().Inc();
+#endif
+  ring_[idx % ring_.size()] =
+      Event{name, ts_us, dur_us, ThisThreadId(), trace_id, span_id,
+            parent_span};
 }
 
 std::vector<Tracer::Event> Tracer::Events() const {
@@ -67,20 +125,28 @@ std::vector<Tracer::Event> Tracer::Events() const {
 }
 
 std::string Tracer::ExportChromeJson() const {
-  const auto events = Events();
+  const ProcessTrace self{"rfdump", 1, Events()};
+  return ExportFleetChromeJson({&self, 1});
+}
+
+std::string ExportFleetChromeJson(std::span<const ProcessTrace> processes) {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  char buf[128];
+  char buf[64];
   bool first = true;
-  for (const Event& e : events) {
+  for (const ProcessTrace& p : processes) {
+    // Name the process row so the viewer shows "sensor-0", "aggregator", …
     if (!first) out += ',';
     first = false;
-    out += "{\"name\":\"";
-    AppendJsonEscaped(out, e.name);
-    std::snprintf(buf, sizeof(buf),
-                  "\",\"cat\":\"rfdump\",\"ph\":\"X\",\"ts\":%.3f,"
-                  "\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
-                  e.ts_us, e.dur_us, e.tid);
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    std::snprintf(buf, sizeof(buf), "%u", p.pid);
     out += buf;
+    out += ",\"args\":{\"name\":\"";
+    AppendJsonEscaped(out, p.name.c_str());
+    out += "\"}}";
+    for (const Tracer::Event& e : p.events) {
+      out += ',';
+      AppendEventJson(out, e, p.pid);
+    }
   }
   out += "]}";
   return out;

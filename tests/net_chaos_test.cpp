@@ -15,17 +15,21 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "rfdump/core/streaming.hpp"
 #include "rfdump/emu/ether.hpp"
 #include "rfdump/emu/frontend.hpp"
 #include "rfdump/net/fleet.hpp"
+#include "rfdump/obs/obs.hpp"
 #include "rfdump/traffic/traffic.hpp"
 
 namespace core = rfdump::core;
@@ -115,17 +119,54 @@ void DumpFaultLogs(const Profile& profile, net::Fleet& fleet) {
   }
 }
 
+/// A red run also carries its observability state: the merged fleet trace
+/// (chrome://tracing) and the federated Prometheus exposition land next to
+/// the fault logs so CI artifacts hold the full picture.
+void DumpObsArtifacts(
+    const Profile& profile, net::Fleet& fleet,
+    const std::vector<std::unique_ptr<rfdump::obs::Tracer>>& tracers,
+    rfdump::obs::Tracer& agg_tracer) {
+  const char* dir = std::getenv("RFDUMP_FAULT_LOG_DIR");
+  const std::string base = dir ? std::string(dir) + "/" : std::string();
+  std::vector<rfdump::obs::ProcessTrace> procs;
+  for (std::size_t i = 0; i < tracers.size(); ++i) {
+    procs.push_back({"sensor-" + std::to_string(i),
+                     static_cast<std::uint32_t>(i + 1),
+                     tracers[i]->Events()});
+  }
+  procs.push_back({"aggregator", static_cast<std::uint32_t>(tracers.size() + 1),
+                   agg_tracer.Events()});
+  std::ofstream(base + "fleet_trace_" + profile.name + ".json")
+      << rfdump::obs::ExportFleetChromeJson(procs);
+  std::ofstream(base + "fleet_metrics_" + profile.name + ".prom")
+      << fleet.aggregator().FederatedExposition();
+}
+
 /// Runs one profile and checks the exact-recovery invariant.
 void RunProfile(const Profile& profile) {
   SCOPED_TRACE(profile.name);
   constexpr std::size_t kSensors = 3;
   const std::int64_t offsets[kSensors] = {900, -1'300, 4'000};
 
+  // Observability rides along with every profile: per-sensor tracers and
+  // registries plus metrics federation, so the sweep doubles as proof that
+  // traces and counters survive the same chaos the data plane does.
+  std::vector<std::unique_ptr<rfdump::obs::Tracer>> tracers;
+  std::vector<std::unique_ptr<rfdump::obs::Registry>> registries;
+  for (std::size_t i = 0; i < kSensors; ++i) {
+    tracers.push_back(std::make_unique<rfdump::obs::Tracer>());
+    tracers.back()->Enable(1 << 14);
+    registries.push_back(std::make_unique<rfdump::obs::Registry>());
+  }
+  rfdump::obs::Tracer agg_tracer;
+  agg_tracer.Enable(1 << 15);
+
   net::Fleet::Config cfg;
   cfg.samples_per_tick = kSamplesPerTick;
   // Equality profiles must not hold events back on trust: trust is exercised
   // in net_test.cpp, here every delivered event must reach the fused view.
   cfg.aggregator.trust_floor = 0.0;
+  cfg.aggregator.tracer = &agg_tracer;
   cfg.sensors.resize(kSensors);
   for (std::size_t i = 0; i < kSensors; ++i) {
     auto& s = cfg.sensors[i];
@@ -135,6 +176,9 @@ void RunProfile(const Profile& profile) {
     s.uplink = profile.link;
     s.downlink = profile.link;
     s.session.retransmit_ring = 32;  // small enough to overflow when brutal
+    s.session.tracer = tracers[i].get();
+    s.session.metrics_registry = registries[i].get();
+    s.session.metrics_every_n_heartbeats = 1;
     if (i == 0) {
       s.uplink.partitions = profile.partitions0;
       s.downlink.partitions = profile.partitions0;
@@ -156,6 +200,7 @@ void RunProfile(const Profile& profile) {
   // in its own clock. Remember which event went out under which seq.
   std::map<std::uint16_t, std::map<std::uint32_t, std::vector<std::uint64_t>>>
       published;  // sensor -> seq -> digests
+  std::uint64_t events_published[kSensors] = {};
   std::size_t next_event = 0;
   for (int t = 0; t < 40; ++t) {
     std::vector<net::EventRecord> heard[kSensors];
@@ -171,6 +216,11 @@ void RunProfile(const Profile& profile) {
       const auto seq =
           fleet.Publish(i, heard[i].front().start_sample, heard[i]);
       published[fleet.sensor_id(i)][seq] = digests;
+      // Ground truth for the federation check: the test owns this counter,
+      // so its expected final value is exact, not derived from the wire.
+      registries[i]->GetCounter("chaos_events_published_total")
+          .Inc(static_cast<std::uint64_t>(heard[i].size()));
+      events_published[i] += heard[i].size();
     }
     fleet.Tick();
   }
@@ -234,7 +284,62 @@ void RunProfile(const Profile& profile) {
   if (profile.link.corrupt_rate > 0.0) {
     EXPECT_GT(corrupt_injected, 0u);  // the profile actually exercised CRC
   }
-  if (::testing::Test::HasFailure()) DumpFaultLogs(profile, fleet);
+
+  // Metrics federation survives the same chaos: snapshots are unsequenced
+  // and droppable, but absolute values + the periodic full snapshot heal
+  // through the lossless drain, so the aggregator's last-write-wins view
+  // must land on the exact per-sensor truth — never double-counted by the
+  // duplicates and retransmits the profile injected.
+  for (std::size_t i = 0; i < kSensors; ++i) {
+    const auto id = fleet.sensor_id(i);
+    EXPECT_GT(agg.status(id).metrics_snapshots_applied, 0u) << "sensor " << i;
+    bool saw_builtin = false;
+    double chaos_counter = -1.0;
+    for (const auto& e : agg.federated(id)) {
+      if (e.name == "rfdump_session_heartbeats_total") saw_builtin = true;
+      if (e.name == "chaos_events_published_total") chaos_counter = e.value;
+    }
+    EXPECT_TRUE(saw_builtin) << "sensor " << i;
+#if RFDUMP_OBS_ENABLED
+    EXPECT_DOUBLE_EQ(chaos_counter,
+                     static_cast<double>(events_published[i]))
+        << "sensor " << i;
+#else
+    EXPECT_EQ(chaos_counter, -1.0) << "sensor " << i;  // registry is a no-op
+    (void)events_published;
+#endif
+  }
+
+#if RFDUMP_OBS_ENABLED
+  // Trace context survives the wire: at least one publish span recorded on
+  // a sensor must continue into the aggregator — same trace_id, and the
+  // aggregator span parented under the sensor's span_id.
+  std::vector<rfdump::obs::Tracer::Event> agg_events = agg_tracer.Events();
+  bool chain_found = false;
+  for (std::size_t i = 0; i < kSensors && !chain_found; ++i) {
+    for (const auto& pub : tracers[i]->Events()) {
+      if (std::string_view(pub.name) != "session/publish_events" ||
+          pub.trace_id == 0) {
+        continue;
+      }
+      for (const auto& ev : agg_events) {
+        if (ev.trace_id == pub.trace_id && ev.parent_span == pub.span_id) {
+          chain_found = true;
+          break;
+        }
+      }
+      if (chain_found) break;
+    }
+  }
+  EXPECT_TRUE(chain_found)
+      << "no sensor->aggregator span chain survived profile "
+      << profile.name;
+#endif
+
+  if (::testing::Test::HasFailure()) {
+    DumpFaultLogs(profile, fleet);
+    DumpObsArtifacts(profile, fleet, tracers, agg_tracer);
+  }
 }
 
 TEST(NetChaos, SweepRecoversExactlyAcrossFaultProfiles) {

@@ -8,8 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <map>
 #include <set>
+#include <string>
+#include <string_view>
 
 #include "rfdump/net/aggregator.hpp"
 #include "rfdump/net/faulty_link.hpp"
@@ -896,5 +900,591 @@ TEST(Fleet, MonitorSensorSinkBatchesPerBlock) {
   EXPECT_EQ(fleet.aggregator().fused().size(), 1u);
   EXPECT_EQ(fleet.aggregator().status(0).health.size(), 2u);
 }
+
+// ----------------------------------------- trace context on the wire (§13)
+
+TEST(Messages, TraceContextRoundTripsOnAllDataMessages) {
+  const rfdump::obs::TraceContext ctx{0x1122334455667788ull,
+                                      0x99AABBCCDDEEFF00ull};
+
+  net::EventBatchMsg batch;
+  batch.block_start = 42;
+  batch.ctx = ctx;
+  batch.events.push_back(MakeEvent(100));
+  const auto batch2 = net::EventBatchMsg::Decode(batch.Encode());
+  ASSERT_TRUE(batch2);
+  EXPECT_EQ(batch2->ctx, ctx);
+  EXPECT_EQ(batch2->events, batch.events);
+
+  net::HealthMsg health;
+  health.report.block_start = 7;
+  health.ctx = ctx;
+  const auto health2 = net::HealthMsg::Decode(health.Encode());
+  ASSERT_TRUE(health2);
+  EXPECT_EQ(health2->ctx, ctx);
+
+  net::GapReportMsg gap;
+  gap.lost = {{3, 9}};
+  gap.ctx = ctx;
+  const auto gap2 = net::GapReportMsg::Decode(gap.Encode());
+  ASSERT_TRUE(gap2);
+  EXPECT_EQ(gap2->ctx, ctx);
+  EXPECT_EQ(gap2->lost, gap.lost);
+}
+
+// ------------------------------------------------- metrics federation (§13)
+
+TEST(Wire, MetricsFrameIsUnsequencedControlPlane) {
+  EXPECT_FALSE(net::IsDataFrame(net::FrameType::kMetrics));
+  EXPECT_STREQ(net::FrameTypeName(net::FrameType::kMetrics), "metrics");
+  net::FrameHeader h;
+  h.type = net::FrameType::kMetrics;
+  h.sensor_id = 5;
+  net::FrameParser parser;
+  const auto f = RequireOne(parser, net::EncodeFrame(h, Payload(12)));
+  EXPECT_EQ(f.header.type, net::FrameType::kMetrics);
+}
+
+TEST(Messages, MetricsMsgRoundTrip) {
+  net::MetricsMsg m;
+  m.snapshot_id = 17;
+  m.full = 1;
+  m.entries.push_back({"rfdump_session_frames_sent_total", 0, 12345.0});
+  m.entries.push_back({"rfdump_session_unacked", 1, 3.0});
+  m.entries.push_back({"weird\"name\\with\nspecials_total", 0, 0.5});
+  const auto m2 = net::MetricsMsg::Decode(m.Encode());
+  ASSERT_TRUE(m2);
+  EXPECT_EQ(m2->snapshot_id, 17u);
+  EXPECT_EQ(m2->full, 1);
+  EXPECT_EQ(m2->entries, m.entries);
+}
+
+TEST(Messages, MetricsMsgHostileInputsRejected) {
+  net::MetricsMsg m;
+  m.snapshot_id = 1;
+  m.entries.push_back({"ab", 0, 1.0});
+  const auto wire = m.Encode();
+  // Layout: u32 id, u8 full, u32 count, then u16 len + name + u8 kind + f64.
+  ASSERT_TRUE(net::MetricsMsg::Decode(wire));
+
+  // Every truncation fails cleanly rather than reading past the buffer.
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    EXPECT_FALSE(net::MetricsMsg::Decode({wire.data(), n})) << n;
+  }
+  // full must be 0 or 1.
+  auto bad = wire;
+  bad[4] = 2;
+  EXPECT_FALSE(net::MetricsMsg::Decode(bad));
+  // Hostile entry count: implausible against the remaining payload.
+  bad = wire;
+  bad[5] = bad[6] = bad[7] = bad[8] = 0xFF;
+  EXPECT_FALSE(net::MetricsMsg::Decode(bad));
+  // Zero-length names are meaningless and rejected.
+  bad = wire;
+  bad[9] = bad[10] = 0;
+  EXPECT_FALSE(net::MetricsMsg::Decode(bad));
+  // Unknown metric kind (offset: 9 + 2 len bytes + 2 name bytes).
+  bad = wire;
+  bad[13] = 7;
+  EXPECT_FALSE(net::MetricsMsg::Decode(bad));
+}
+
+TEST(Session, MetricsSnapshotsFollowHeartbeatCadence) {
+  net::SensorSession::Config cfg;
+  cfg.heartbeat_interval_ticks = 1;
+  cfg.metrics_every_n_heartbeats = 2;
+  cfg.ack_timeout_ticks = 1000;
+  net::SensorSession session(cfg, 1);
+  std::vector<net::MetricsMsg> shipped;
+  for (int t = 1; t <= 9; ++t) {
+    session.Tick(t, t * 8000);
+    for (const auto& wire : session.TakeOutbound()) {
+      net::FrameParser p;
+      p.Feed(wire, [&](net::Frame&& f) {
+        if (f.header.type != net::FrameType::kMetrics) return;
+        const auto m = net::MetricsMsg::Decode(f.payload);
+        ASSERT_TRUE(m);
+        shipped.push_back(*m);
+      });
+    }
+  }
+  // A heartbeat per tick, a snapshot every 2nd heartbeat: 9 -> 4 snapshots.
+  EXPECT_EQ(session.stats().heartbeats, 9u);
+  ASSERT_EQ(shipped.size(), 4u);
+  EXPECT_EQ(session.stats().metrics_snapshots, 4u);
+  // Snapshot ids are monotonic from 1; the first snapshot is a full one.
+  for (std::size_t i = 0; i < shipped.size(); ++i) {
+    EXPECT_EQ(shipped[i].snapshot_id, i + 1);
+  }
+  EXPECT_EQ(shipped[0].full, 1);
+  // Entries carry ABSOLUTE values (never increments): the heartbeat counter
+  // reads 2 at the first snapshot (shipped after the 2nd heartbeat).
+  bool found = false;
+  for (const auto& e : shipped[0].entries) {
+    if (e.name == "rfdump_session_heartbeats_total") {
+      found = true;
+      EXPECT_EQ(e.kind, 0);
+      EXPECT_DOUBLE_EQ(e.value, 2.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Session, MetricsDeltaSkipsUnchangedEntriesAndFullSnapshotHeals) {
+  net::SensorSession::Config cfg;
+  cfg.heartbeat_interval_ticks = 1;
+  cfg.metrics_every_n_heartbeats = 1;
+  cfg.metrics_full_every = 3;  // snapshots 1, 4, 7... carry everything
+  cfg.ack_timeout_ticks = 1000;
+  net::SensorSession session(cfg, 1);
+  std::vector<net::MetricsMsg> shipped;
+  for (int t = 1; t <= 4; ++t) {
+    session.Tick(t, t * 8000);
+    for (const auto& wire : session.TakeOutbound()) {
+      net::FrameParser p;
+      p.Feed(wire, [&](net::Frame&& f) {
+        if (f.header.type != net::FrameType::kMetrics) return;
+        const auto m = net::MetricsMsg::Decode(f.payload);
+        ASSERT_TRUE(m);
+        shipped.push_back(*m);
+      });
+    }
+  }
+  ASSERT_GE(shipped.size(), 3u);
+  const auto has = [](const net::MetricsMsg& m, std::string_view name) {
+    for (const auto& e : m.entries) {
+      if (e.name == name) return true;
+    }
+    return false;
+  };
+  // The full snapshot ships everything, gauges included.
+  EXPECT_EQ(shipped[0].full, 1);
+  EXPECT_TRUE(has(shipped[0], "rfdump_session_epoch"));
+  EXPECT_TRUE(has(shipped[0], "rfdump_session_heartbeats_total"));
+  // Deltas ship only what changed since the last SHIPPED values: the
+  // heartbeat counter moved, the epoch gauge did not.
+  EXPECT_EQ(shipped[1].full, 0);
+  EXPECT_TRUE(has(shipped[1], "rfdump_session_heartbeats_total"));
+  EXPECT_FALSE(has(shipped[1], "rfdump_session_epoch"));
+  // metrics_full_every = 3: snapshot 4 is full again (self-healing).
+  ASSERT_GE(shipped.size(), 4u);
+  EXPECT_EQ(shipped[3].full, 1);
+  EXPECT_TRUE(has(shipped[3], "rfdump_session_epoch"));
+}
+
+TEST(Session, MetricsFederateExtraRegistry) {
+  rfdump::obs::Registry registry;  // a per-sensor registry, not the default
+  registry.GetCounter("myapp_widgets_total").Inc(5);
+  net::SensorSession::Config cfg;
+  cfg.heartbeat_interval_ticks = 1;
+  cfg.metrics_every_n_heartbeats = 1;
+  cfg.metrics_registry = &registry;
+  cfg.ack_timeout_ticks = 1000;
+  net::SensorSession session(cfg, 1);
+  session.Tick(1, 8000);
+  bool saw_custom = false, saw_builtin = false;
+  for (const auto& wire : session.TakeOutbound()) {
+    net::FrameParser p;
+    p.Feed(wire, [&](net::Frame&& f) {
+      if (f.header.type != net::FrameType::kMetrics) return;
+      const auto m = net::MetricsMsg::Decode(f.payload);
+      ASSERT_TRUE(m);
+      for (const auto& e : m->entries) {
+        if (e.name == "myapp_widgets_total") {
+          saw_custom = true;
+          EXPECT_DOUBLE_EQ(e.value, 5.0);
+        }
+        if (e.name == "rfdump_session_heartbeats_total") saw_builtin = true;
+      }
+    });
+  }
+  // Built-in session stats federate in both compile modes (plain struct
+  // fields); registry contents only exist with RFDUMP_OBS=ON.
+  EXPECT_TRUE(saw_builtin);
+#if RFDUMP_OBS_ENABLED
+  EXPECT_TRUE(saw_custom);
+#else
+  EXPECT_FALSE(saw_custom);
+#endif
+}
+
+TEST(Session, KarnRttSamplesOnlyFirstTransmissions) {
+  net::SensorSession::Config cfg;
+  cfg.rto_ticks = 100;
+  cfg.heartbeat_interval_ticks = 1000;
+  cfg.ack_timeout_ticks = 100000;
+  net::SensorSession session(cfg, 1);
+  session.Tick(1, 0);
+  EXPECT_LT(session.stats().rtt_ticks, 0.0);  // no sample yet
+
+  net::EventBatchMsg batch;
+  batch.events.push_back(MakeEvent(1));
+  session.PublishEvents(batch);  // seq 1, first sent at tick 1
+  session.Tick(4, 0);
+  net::FrameHeader h;
+  h.type = net::FrameType::kAck;
+  session.HandleBytes(net::EncodeFrame(h, net::AckMsg{1, 1}.Encode()));
+  EXPECT_DOUBLE_EQ(session.stats().rtt_ticks, 3.0);  // first sample verbatim
+
+  // A retransmitted frame never samples (Karn's algorithm): its ack can't
+  // tell which transmission it answers.
+  session.PublishEvents(batch);  // seq 2, first sent at tick 4
+  session.Tick(104, 0);          // rto 100 expires -> retransmit
+  EXPECT_GT(session.stats().retransmits, 0u);
+  session.Tick(110, 0);
+  session.HandleBytes(net::EncodeFrame(h, net::AckMsg{2, 1}.Encode()));
+  EXPECT_DOUBLE_EQ(session.stats().rtt_ticks, 3.0);  // unchanged
+
+  // The next clean sample folds in as an EWMA (7/8 old + 1/8 new).
+  session.PublishEvents(batch);  // seq 3, first sent at tick 110
+  session.Tick(115, 0);
+  session.HandleBytes(net::EncodeFrame(h, net::AckMsg{3, 1}.Encode()));
+  EXPECT_DOUBLE_EQ(session.stats().rtt_ticks, 0.875 * 3.0 + 0.125 * 5.0);
+}
+
+TEST(Aggregator, FederatedMetricsLastWriteWinsAndStaleDropped) {
+  net::Aggregator agg;
+  net::FrameHeader h;
+  h.type = net::FrameType::kMetrics;
+  h.sensor_id = 3;
+  const auto snap = [&](std::uint32_t id, double v) {
+    net::MetricsMsg m;
+    m.snapshot_id = id;
+    m.full = 1;
+    m.entries.push_back({"demo_events_total", 0, v});
+    return net::EncodeFrame(h, m.Encode());
+  };
+  const auto value = [&]() -> double {
+    for (const auto& e : agg.federated(3)) {
+      if (e.name == "demo_events_total") return e.value;
+    }
+    return -1.0;
+  };
+
+  agg.HandleBytes(3, snap(1, 5.0));
+  EXPECT_DOUBLE_EQ(value(), 5.0);
+  // Reordered delivery: id 3 lands, then the stale id 2 and a duplicated
+  // id 3 — values are absolute, so neither can double-count.
+  agg.HandleBytes(3, snap(3, 9.0));
+  EXPECT_DOUBLE_EQ(value(), 9.0);
+  agg.HandleBytes(3, snap(2, 7.0));
+  EXPECT_DOUBLE_EQ(value(), 9.0);
+  agg.HandleBytes(3, snap(3, 9.0));
+  EXPECT_DOUBLE_EQ(value(), 9.0);
+
+  const auto& st = agg.status(3);
+  EXPECT_EQ(st.metrics_snapshot_id, 3u);
+  EXPECT_EQ(st.metrics_snapshots_applied, 2u);
+  EXPECT_EQ(st.metrics_stale_dropped, 2u);
+}
+
+TEST(Aggregator, FederatedExpositionLabelsEverySensor) {
+  net::Aggregator agg;
+  for (std::uint16_t id : {1, 2}) {
+    net::FrameHeader h;
+    h.type = net::FrameType::kMetrics;
+    h.sensor_id = id;
+    net::MetricsMsg m;
+    m.snapshot_id = 1;
+    m.full = 1;
+    m.entries.push_back({"demo_events_total", 0, 10.0 * id});
+    m.entries.push_back({"demo_depth", 1, 0.5});
+    agg.HandleBytes(id, net::EncodeFrame(h, m.Encode()));
+  }
+  const std::string expo = agg.FederatedExposition();
+  // Shipped sensor metrics are re-labeled per sensor...
+  EXPECT_NE(expo.find("demo_events_total{sensor=\"1\"} 10"),
+            std::string::npos);
+  EXPECT_NE(expo.find("demo_events_total{sensor=\"2\"} 20"),
+            std::string::npos);
+  EXPECT_NE(expo.find("# TYPE demo_events_total counter"), std::string::npos);
+  EXPECT_NE(expo.find("demo_depth{sensor=\"1\"} 0.5"), std::string::npos);
+  // ...next to aggregator-native per-sensor and fleet-wide series.
+  EXPECT_NE(expo.find("rfdump_agg_sensor_trust{sensor=\"1\"}"),
+            std::string::npos);
+  EXPECT_NE(expo.find("rfdump_agg_sensor_frames_delivered_total{sensor="),
+            std::string::npos);
+  EXPECT_NE(expo.find("rfdump_agg_live_sensors"), std::string::npos);
+}
+
+// ------------------------------------------- fleet status surface (§13)
+
+// Minimal JSON reader: just enough grammar for FleetStatus::ToJson() output
+// (objects, arrays, numbers, strings without exotic escapes, booleans).
+struct Json {
+  enum class Kind { kNull, kBool, kNum, kStr, kArr, kObj };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  [[nodiscard]] const Json& at(const std::string& key) const {
+    static const Json missing;
+    const auto it = obj.find(key);
+    return it == obj.end() ? missing : it->second;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string text) : s_(std::move(text)) {}
+
+  bool Parse(Json* out) {
+    pos_ = 0;
+    return Value(out) && (Skip(), pos_ == s_.size());
+  }
+
+ private:
+  void Skip() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view lit) {
+    if (s_.compare(pos_, lit.size(), lit) != 0) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool Value(Json* out) {
+    Skip();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return Object(out);
+    if (c == '[') return Array(out);
+    if (c == '"') {
+      out->kind = Json::Kind::kStr;
+      return String(&out->str);
+    }
+    if (Literal("true")) {
+      out->kind = Json::Kind::kBool;
+      out->b = true;
+      return true;
+    }
+    if (Literal("false")) {
+      out->kind = Json::Kind::kBool;
+      out->b = false;
+      return true;
+    }
+    if (Literal("null")) return true;
+    char* end = nullptr;
+    out->num = std::strtod(s_.c_str() + pos_, &end);
+    if (end == s_.c_str() + pos_) return false;
+    out->kind = Json::Kind::kNum;
+    pos_ = static_cast<std::size_t>(end - s_.c_str());
+    return true;
+  }
+
+  bool String(std::string* out) {
+    if (s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          default: out->push_back(s_[pos_]); break;
+        }
+      } else {
+        out->push_back(s_[pos_]);
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Object(Json* out) {
+    out->kind = Json::Kind::kObj;
+    ++pos_;  // '{'
+    Skip();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (pos_ < s_.size()) {
+      Skip();
+      std::string key;
+      if (!String(&key)) return false;
+      Skip();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      Json v;
+      if (!Value(&v)) return false;
+      out->obj.emplace(std::move(key), std::move(v));
+      Skip();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+    return false;
+  }
+
+  bool Array(Json* out) {
+    out->kind = Json::Kind::kArr;
+    ++pos_;  // '['
+    Skip();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (pos_ < s_.size()) {
+      Json v;
+      if (!Value(&v)) return false;
+      out->arr.push_back(std::move(v));
+      Skip();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+    return false;
+  }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(Fleet, StatusReportJsonRoundTripsSchema) {
+  net::Fleet::Config cfg;
+  cfg.sensors.resize(2);
+  cfg.sensors[0].id = 0;
+  cfg.sensors[0].session.metrics_every_n_heartbeats = 1;
+  cfg.sensors[1].id = 1;
+  net::Fleet fleet(cfg);
+  fleet.Run(4);
+  fleet.Publish(0, 100, {MakeEvent(100)});
+  fleet.Run(4);
+
+  const net::FleetStatus status = fleet.StatusReport();
+  const std::string json = status.ToJson();
+  // Deterministic rendering: the same snapshot serializes identically.
+  EXPECT_EQ(json, status.ToJson());
+
+  Json root;
+  ASSERT_TRUE(JsonReader(json).Parse(&root)) << json;
+  ASSERT_EQ(root.kind, Json::Kind::kObj);
+  EXPECT_DOUBLE_EQ(root.at("tick").num, static_cast<double>(status.tick));
+  EXPECT_DOUBLE_EQ(root.at("live_sensors").num,
+                   static_cast<double>(status.live_sensors));
+  EXPECT_DOUBLE_EQ(root.at("fused_events").num,
+                   static_cast<double>(status.fused_events));
+  EXPECT_EQ(root.at("merges").kind, Json::Kind::kNum);
+  EXPECT_EQ(root.at("fused_pruned").kind, Json::Kind::kNum);
+  ASSERT_EQ(root.at("sensors").arr.size(), 2u);
+
+  const Json& s0 = root.at("sensors").arr[0];
+  EXPECT_DOUBLE_EQ(s0.at("id").num, 0.0);
+  const Json& sess = s0.at("session");
+  ASSERT_EQ(sess.kind, Json::Kind::kObj);
+  EXPECT_EQ(sess.at("state").str, "connected");
+  for (const char* key :
+       {"epoch", "acked_seq", "unacked", "frames_sent", "retransmits",
+        "heartbeats", "reconnects", "ring_overflow_drops", "stale_acks",
+        "metrics_snapshots", "rtt_ticks"}) {
+    EXPECT_EQ(sess.at(key).kind, Json::Kind::kNum) << key;
+  }
+  EXPECT_EQ(sess.at("lost_ranges").kind, Json::Kind::kArr);
+  EXPECT_DOUBLE_EQ(sess.at("frames_sent").num,
+                   static_cast<double>(status.sensors[0].session.frames_sent));
+  EXPECT_DOUBLE_EQ(
+      sess.at("metrics_snapshots").num,
+      static_cast<double>(status.sensors[0].session.metrics_snapshots));
+
+  const Json& agg = s0.at("aggregator");
+  ASSERT_EQ(agg.kind, Json::Kind::kObj);
+  EXPECT_EQ(agg.at("known").kind, Json::Kind::kBool);
+  EXPECT_TRUE(agg.at("known").b);
+  EXPECT_TRUE(agg.at("live").b);
+  EXPECT_EQ(agg.at("offset_known").kind, Json::Kind::kBool);
+  for (const char* key :
+       {"trust", "epoch", "cum_seq", "last_heard_tick", "clock_offset",
+        "offset_updates", "frames_delivered", "duplicates_dropped",
+        "corrupt_dropped", "reorder_overflow", "events_received",
+        "events_held_untrusted", "degraded_transitions",
+        "metrics_snapshots_applied", "health_reports"}) {
+    EXPECT_EQ(agg.at(key).kind, Json::Kind::kNum) << key;
+  }
+  EXPECT_EQ(agg.at("lost_applied").kind, Json::Kind::kArr);
+  EXPECT_DOUBLE_EQ(
+      agg.at("events_received").num,
+      static_cast<double>(status.sensors[0].agg.events_received));
+
+  const Json& parse = s0.at("parse");
+  ASSERT_EQ(parse.kind, Json::Kind::kObj);
+  for (const char* key :
+       {"frames_ok", "bad_magic_bytes", "bad_version", "bad_type",
+        "bad_length", "bad_header_checksum", "bad_crc"}) {
+    EXPECT_EQ(parse.at(key).kind, Json::Kind::kNum) << key;
+  }
+  EXPECT_DOUBLE_EQ(parse.at("frames_ok").num,
+                   static_cast<double>(status.sensors[0].parse.frames_ok));
+}
+
+TEST(Fleet, StatusReportTextIsOneScreen) {
+  net::Fleet::Config cfg;
+  cfg.sensors.resize(1);
+  net::Fleet fleet(cfg);
+  fleet.Run(4);
+  const std::string text = fleet.StatusReport().ToText();
+  EXPECT_NE(text.find("fleet @ tick"), std::string::npos);
+  EXPECT_NE(text.find("connected"), std::string::npos);
+  EXPECT_NE(text.find("trust"), std::string::npos);
+  EXPECT_LT(std::count(text.begin(), text.end(), '\n'), 8);
+}
+
+#if RFDUMP_OBS_ENABLED
+TEST(Fleet, LinkedSpanChainCrossesSensorToAggregator) {
+  namespace obs = rfdump::obs;
+  obs::Tracer sensor_tracer, agg_tracer;
+  sensor_tracer.Enable(1 << 12);
+  agg_tracer.Enable(1 << 12);
+  net::Fleet::Config cfg;
+  cfg.sensors.resize(1);
+  cfg.sensors[0].session.tracer = &sensor_tracer;
+  cfg.aggregator.tracer = &agg_tracer;
+  net::Fleet fleet(cfg);
+  fleet.Run(2);
+  fleet.Publish(0, 500, {MakeEvent(500)});
+  fleet.Run(4);
+  ASSERT_EQ(fleet.aggregator().fused().size(), 1u);
+
+  // The publish span's context rode the EventBatchMsg across the wire, so
+  // some aggregator span must continue its trace with the publish span as
+  // parent — the cross-process link the merged fleet trace renders.
+  bool linked = false;
+  for (const auto& s : sensor_tracer.Events()) {
+    if (std::string_view(s.name) != "session/publish_events") continue;
+    ASSERT_NE(s.trace_id, 0u);
+    for (const auto& a : agg_tracer.Events()) {
+      if (a.trace_id == s.trace_id && a.parent_span == s.span_id &&
+          std::string_view(a.name).substr(0, 4) == "agg/") {
+        linked = true;
+      }
+    }
+  }
+  EXPECT_TRUE(linked);
+}
+#endif
 
 }  // namespace

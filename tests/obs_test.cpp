@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 #include <thread>
 #include <vector>
@@ -210,6 +212,255 @@ TEST(ObsStopwatch, MonotonicAndResettable) {
   w.Reset();
   EXPECT_LE(w.Seconds(), b + 1.0);
   EXPECT_GE(w.Microseconds(), 0.0);
+}
+
+// ------------------------------------------------ histogram quantiles
+
+TEST(ObsHistogram, QuantileInterpolatesWithinBuckets) {
+  obs::Histogram h({10.0, 20.0});
+  for (int i = 0; i < 10; ++i) h.Observe(5.0);   // bucket (0, 10]
+  for (int i = 0; i < 10; ++i) h.Observe(15.0);  // bucket (10, 20]
+  const auto snap = h.GetSnapshot();
+#if RFDUMP_OBS_ENABLED
+  ASSERT_EQ(snap.count, 20u);
+  ASSERT_EQ(snap.counts.size(), 3u);  // two finite buckets + the +Inf one
+  EXPECT_EQ(snap.counts[0], 10u);
+  EXPECT_EQ(snap.counts[1], 10u);
+  EXPECT_EQ(snap.counts[2], 0u);
+  EXPECT_DOUBLE_EQ(snap.sum, 10 * 5.0 + 10 * 15.0);
+  // Rank 5 of 20 lands halfway through the first bucket [0, 10].
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.25), 5.0);
+  // Rank 15 lands halfway through the second bucket [10, 20].
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 20.0);
+  // Out-of-range q is clamped, not rejected.
+  EXPECT_DOUBLE_EQ(snap.Quantile(7.0), 20.0);
+#else
+  EXPECT_EQ(snap.count, 0u);  // Observe compiles to a no-op
+  EXPECT_TRUE(std::isnan(snap.Quantile(0.5)));
+#endif
+}
+
+TEST(ObsHistogram, QuantileEdgeCases) {
+  obs::Histogram empty({1.0, 2.0});
+  EXPECT_TRUE(std::isnan(empty.GetSnapshot().Quantile(0.5)));
+
+#if RFDUMP_OBS_ENABLED
+  // Every observation beyond the last edge: the rank falls in the +Inf
+  // bucket and the best bounded claim is the highest finite edge.
+  obs::Histogram overflow({1.0});
+  for (int i = 0; i < 3; ++i) overflow.Observe(50.0);
+  EXPECT_DOUBLE_EQ(overflow.GetSnapshot().Quantile(0.5), 1.0);
+#endif
+}
+
+// ------------------------------------------- tracer ring + dropped spans
+
+TEST(ObsTrace, WraparoundExportsOldestSurvivorFirst) {
+  obs::Tracer tracer;
+  tracer.Enable(/*capacity=*/4);
+  for (int i = 0; i < 6; ++i) {
+    tracer.Record("wrap-span", /*ts_us=*/static_cast<double>(i),
+                  /*dur_us=*/0.5);
+  }
+  const auto events = tracer.Events();
+  tracer.Disable();
+#if RFDUMP_OBS_ENABLED
+  // Spans 0 and 1 were overwritten; the surviving window exports in
+  // timestamp order, oldest first.
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_DOUBLE_EQ(events[0].ts_us, 2.0);
+  EXPECT_DOUBLE_EQ(events[1].ts_us, 3.0);
+  EXPECT_DOUBLE_EQ(events[2].ts_us, 4.0);
+  EXPECT_DOUBLE_EQ(events[3].ts_us, 5.0);
+  EXPECT_EQ(tracer.recorded(), 6u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+#else
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+#endif
+}
+
+#if RFDUMP_OBS_ENABLED
+TEST(ObsTrace, RingOverwritesFeedDroppedEventsCounter) {
+  const std::string kCounter = "rfdump_tracer_dropped_events_total";
+  const std::uint64_t before = obs::Registry::Default().CounterValue(kCounter);
+  obs::Tracer tracer;
+  tracer.Enable(/*capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    tracer.Record("drop-span", static_cast<double>(i), 1.0);
+  }
+  tracer.Disable();
+  EXPECT_EQ(obs::Registry::Default().CounterValue(kCounter) - before, 3u);
+}
+#endif
+
+// --------------------------------------------------- linked spans
+
+TEST(ObsTrace, LinkedSpanPassesParentThroughWhenDisabled) {
+  obs::Tracer tracer;  // never enabled
+  const obs::TraceContext parent{/*trace_id=*/7, /*span_id=*/9};
+  obs::LinkedSpan span(tracer, "disabled-span", parent);
+  // An uninstrumented hop must be transparent, not trace-breaking: the
+  // upstream context flows through unchanged (both compile modes).
+  EXPECT_EQ(span.context(), parent);
+}
+
+#if RFDUMP_OBS_ENABLED
+TEST(ObsTrace, LinkedSpanContinuesParentTraceWhenEnabled) {
+  obs::Tracer tracer;
+  tracer.Enable(16);
+  const obs::TraceContext parent{/*trace_id=*/0x1234, /*span_id=*/0x99};
+  obs::TraceContext child;
+  {
+    obs::LinkedSpan span(tracer, "child-span", parent);
+    child = span.context();
+  }
+  EXPECT_EQ(child.trace_id, 0x1234u);  // same trace as the parent
+  EXPECT_NE(child.span_id, 0u);        // but its own span id
+  EXPECT_NE(child.span_id, parent.span_id);
+  const auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, 0x1234u);
+  EXPECT_EQ(events[0].span_id, child.span_id);
+  EXPECT_EQ(events[0].parent_span, 0x99u);
+}
+
+TEST(ObsTrace, LinkedSpanRootsFreshTraceWithoutParent) {
+  obs::Tracer tracer;
+  tracer.Enable(16);
+  obs::TraceContext root;
+  {
+    obs::LinkedSpan span(tracer, "root-span", obs::TraceContext{});
+    root = span.context();
+  }
+  EXPECT_NE(root.trace_id, 0u);
+  EXPECT_NE(root.span_id, 0u);
+  const auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].parent_span, 0u);
+}
+
+TEST(ObsTrace, NewSpanIdsAreUniqueAndNonZero) {
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) ids.push_back(obs::NewSpanId());
+  std::sort(ids.begin(), ids.end());
+  EXPECT_NE(ids.front(), 0u);
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+#endif
+
+// ------------------------------------------------ fleet trace merge
+
+TEST(ObsTrace, FleetExportMergesProcessRows) {
+  // ExportFleetChromeJson is plain code over plain data, so this runs
+  // identically under RFDUMP_OBS=OFF.
+  obs::Tracer::Event sensor_span;
+  sensor_span.name = "sensor/flush_block";
+  sensor_span.ts_us = 1.0;
+  sensor_span.dur_us = 2.0;
+  sensor_span.trace_id = 0xabc;
+  sensor_span.span_id = 0x1;
+  obs::Tracer::Event agg_span;
+  agg_span.name = "agg/fuse";
+  agg_span.ts_us = 4.0;
+  agg_span.dur_us = 1.0;
+  agg_span.trace_id = 0xabc;
+  agg_span.span_id = 0x2;
+  agg_span.parent_span = 0x1;
+  const obs::ProcessTrace procs[] = {
+      {"sensor-0", 1, {sensor_span}},
+      {"aggregator", 2, {agg_span}},
+  };
+  const std::string json = obs::ExportFleetChromeJson(procs);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  // One process_name metadata event per node...
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"sensor-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"aggregator\""), std::string::npos);
+  // ...and the cross-process span link args a viewer follows.
+  EXPECT_NE(json.find("\"trace_id\":\"0xabc\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent_span_id\":\"0x1\""), std::string::npos);
+}
+
+// --------------------------------------- exposition hardening + builder
+
+TEST(ObsMetrics, EscapeLabelValueHandlesSpecials) {
+  EXPECT_EQ(obs::EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(obs::EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::EscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(obs::EscapeLabelValue("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(obs::EscapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(ObsMetrics, WithLabelMergesIntoExistingLabelSet) {
+  EXPECT_EQ(obs::WithLabel("m_total", "sensor", "3"),
+            "m_total{sensor=\"3\"}");
+  EXPECT_EQ(obs::WithLabel("m_total{proto=\"bt\"}", "sensor", "3"),
+            "m_total{proto=\"bt\",sensor=\"3\"}");
+  EXPECT_EQ(obs::WithLabel("m_total{}", "sensor", "3"),
+            "m_total{sensor=\"3\"}");
+  // Label values are escaped on the way in.
+  EXPECT_EQ(obs::WithLabel("m_total", "k", "a\"b"),
+            "m_total{k=\"a\\\"b\"}");
+}
+
+TEST(ObsMetrics, LabeledCounterEscapesValue) {
+  obs::Counter& c =
+      obs::LabeledCounter("rfdump_test_escape_total", "who", "a\"b\\c");
+  c.Inc();
+#if RFDUMP_OBS_ENABLED
+  const std::string text = obs::Registry::Default().ExpositionText();
+  EXPECT_NE(
+      text.find("rfdump_test_escape_total{who=\"a\\\"b\\\\c\"}"),
+      std::string::npos);
+#endif
+}
+
+TEST(ObsMetrics, ExpositionBuilderSortsFamiliesAndTypesThem) {
+  // Plain code: identical in both compile modes.
+  obs::ExpositionBuilder b;
+  b.Add("b_gauge{x=\"y\"}", obs::MetricKind::kGauge, 1.5);
+  b.Add("a_total", obs::MetricKind::kCounter, 3.0);
+  b.Add("a_total{q=\"z\"}", obs::MetricKind::kCounter, 2.0);
+  EXPECT_EQ(b.Text(),
+            "# TYPE a_total counter\n"
+            "a_total 3\n"
+            "a_total{q=\"z\"} 2\n"
+            "# TYPE b_gauge gauge\n"
+            "b_gauge{x=\"y\"} 1.5\n");
+}
+
+TEST(ObsMetrics, SnapshotValuesListsCountersAndGauges) {
+  obs::Registry::Default().GetCounter("rfdump_test_snap_a_total").Inc(4);
+  obs::Registry::Default().GetGauge("rfdump_test_snap_b").Set(2.5);
+  const auto values = obs::Registry::Default().SnapshotValues();
+#if RFDUMP_OBS_ENABLED
+  bool saw_counter = false, saw_gauge = false;
+  for (const auto& v : values) {
+    if (v.name == "rfdump_test_snap_a_total") {
+      saw_counter = true;
+      EXPECT_EQ(v.kind, obs::MetricKind::kCounter);
+      EXPECT_GE(v.value, 4.0);
+    }
+    if (v.name == "rfdump_test_snap_b") {
+      saw_gauge = true;
+      EXPECT_EQ(v.kind, obs::MetricKind::kGauge);
+      EXPECT_DOUBLE_EQ(v.value, 2.5);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(std::is_sorted(values.begin(), values.end(),
+                             [](const obs::MetricValue& a,
+                                const obs::MetricValue& b) {
+                               return a.name < b.name;
+                             }));
+#else
+  EXPECT_TRUE(values.empty());  // the disabled registry registers nothing
+#endif
 }
 
 }  // namespace
