@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +22,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "rfdump/core/executor.hpp"
@@ -29,7 +31,9 @@
 #include "rfdump/core/spectrogram.hpp"
 #include "rfdump/core/streaming.hpp"
 #include "rfdump/emu/frontend.hpp"
+#include "rfdump/net/endpoint.hpp"
 #include "rfdump/net/fleet.hpp"
+#include "rfdump/net/tcp.hpp"
 #include "rfdump/trace/pcap.hpp"
 #include "rfdump/mac80211/frames.hpp"
 #include "rfdump/testing/differential.hpp"
@@ -89,6 +93,23 @@ void PrintUsage(const char* argv0) {
       "  --fleet-status     with --fleet: print the one-screen fleet status\n"
       "                     table after each sensor's replay and at exit\n"
       "  --fleet-status=json  machine-readable final status instead\n"
+      "  --listen HOST:PORT run the central aggregator over real TCP:\n"
+      "                     accept sensors, fuse their event streams, print\n"
+      "                     the fused summary once every expected sensor has\n"
+      "                     drained and disconnected. --metrics DEST gets\n"
+      "                     the federated exposition. Port 0 = ephemeral\n"
+      "  --connect HOST:PORT  monitor the input (-r/--demo) and stream the\n"
+      "                     classified events to a --listen aggregator as\n"
+      "                     sensor --sensor-id, riding out resets via the\n"
+      "                     session's retransmit ring + backoff redial\n"
+      "  --sensor-id K      sensor id for --connect (default 0)\n"
+      "  --expect N         sensors --listen waits for before the fused\n"
+      "                     summary (default 1)\n"
+      "  --port-file FILE   with --listen: write the bound port to FILE\n"
+      "                     once accepting (scripts discover ephemeral\n"
+      "                     ports this way)\n"
+      "  --max-seconds S    wall-clock bound for --listen/--connect\n"
+      "                     (default 120; exit 1 on timeout)\n"
       "  --selftest         run the conformance harness: a naive-vs-rfdump\n"
       "                     differential sweep over canned scenarios plus\n"
       "                     the checked-in fuzz corpus; exit nonzero on any\n"
@@ -247,9 +268,9 @@ int RunSelfTest(const std::string& corpus_root) {
     std::printf("%s", r.Summary().c_str());
     ok = ok && r.ok();
   }
-  const rft::FuzzTarget targets[] = {rft::FuzzTarget::kPhy80211Plcp,
-                                     rft::FuzzTarget::kPhyBtPacket,
-                                     rft::FuzzTarget::kPhyZigbee};
+  const rft::FuzzTarget targets[] = {
+      rft::FuzzTarget::kPhy80211Plcp, rft::FuzzTarget::kPhyBtPacket,
+      rft::FuzzTarget::kPhyZigbee, rft::FuzzTarget::kNetFrame};
   for (const auto target : targets) {
     const std::string dir =
         corpus_root + "/" + rft::FuzzCorpusDirName(target);
@@ -506,6 +527,199 @@ int RunFleet(const dsp::SampleVec& x, int nsensors,
   return 0;
 }
 
+// "HOST:PORT" -> (host, port). Port 0 is allowed (ephemeral bind for
+// --listen); anything else out of range or non-numeric fails.
+bool ParseHostPort(const char* flag, const std::string& text,
+                   std::string* host, std::uint16_t* port) {
+  const auto colon = text.rfind(':');
+  long p = -1;
+  if (colon != std::string::npos && colon > 0) {
+    char* end = nullptr;
+    errno = 0;
+    p = std::strtol(text.c_str() + colon + 1, &end, 10);
+    if (errno != 0 || end == text.c_str() + colon + 1 || *end != '\0' ||
+        p < 0 || p > 65535) {
+      p = -1;
+    }
+  }
+  if (p < 0) {
+    std::fprintf(stderr,
+                 "error: %s expects HOST:PORT (e.g. 127.0.0.1:7001), got "
+                 "'%s'\n",
+                 flag, text.c_str());
+    return false;
+  }
+  *host = text.substr(0, colon);
+  *port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+// Central aggregator over real TCP (DESIGN.md §14): accept sensors on
+// host:port, fuse their streams, and exit once `expect` distinct sensors
+// have connected, balanced their ledgers, and disconnected. The pump runs
+// at ~2 ms per tick so the session heartbeat/RTO cadence on the other side
+// of the wire sees a live peer.
+int RunTcpListen(const std::string& host, std::uint16_t port, int expect,
+                 const std::string& metrics_path,
+                 const std::string& port_file, double max_seconds) {
+  namespace net = rfdump::net;
+  net::TcpListener listener(net::Syscalls::Real());
+  if (!listener.Listen(host, port)) {
+    std::fprintf(stderr, "error: cannot listen on %s:%u: %s\n", host.c_str(),
+                 port, std::strerror(errno));
+    return 1;
+  }
+  std::printf("[listen] aggregator on %s:%u, waiting for %d sensor%s\n",
+              host.c_str(), listener.port(), expect, expect == 1 ? "" : "s");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+    out << listener.port() << "\n";
+  }
+
+  net::AggregatorServer::Config scfg;
+  scfg.aggregator.trust_floor = 0.0;
+  net::AggregatorServer server(scfg);
+  server.set_listener(&listener);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(max_seconds);
+  std::int64_t now = 0;
+  std::size_t known_last = 0;
+  bool done = false;
+  while (!done) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr,
+                   "error: timed out after %.0f s with %zu/%d sensors\n",
+                   max_seconds, server.aggregator().sensor_ids().size(),
+                   expect);
+      return 1;
+    }
+    ++now;
+    server.Pump(now);
+    auto& agg = server.aggregator();
+    const auto ids = agg.sensor_ids();
+    if (ids.size() > known_last) {
+      for (std::size_t i = known_last; i < ids.size(); ++i) {
+        std::printf("[listen] sensor %u connected\n", ids[i]);
+      }
+      known_last = ids.size();
+    }
+    // Done when every expected sensor has shown up, balanced its ledger,
+    // and hung up (drained clients close their transport, the server reaps
+    // the EOF'd connection).
+    if (ids.size() >= static_cast<std::size_t>(expect) &&
+        server.connections() == 0) {
+      done = true;
+      for (const auto id : ids) {
+        const auto& st = agg.status(id);
+        std::uint64_t lost = 0;
+        for (const auto& r : st.lost_applied) lost += r.last - r.first + 1;
+        if (st.frames_delivered + lost != st.cum_seq) done = false;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  auto& agg = server.aggregator();
+  for (const auto id : agg.sensor_ids()) {
+    const auto& st = agg.status(id);
+    std::uint64_t lost = 0;
+    for (const auto& r : st.lost_applied) lost += r.last - r.first + 1;
+    std::printf("[listen] sensor %u: ledger balanced (%llu frames, %llu "
+                "declared lost)\n",
+                id, static_cast<unsigned long long>(st.frames_delivered),
+                static_cast<unsigned long long>(lost));
+  }
+  std::printf("[listen] fused %zu events from %zu sensors (%llu "
+              "cross-sensor merges)\n",
+              agg.fused().size(), agg.sensor_ids().size(),
+              static_cast<unsigned long long>(agg.merges()));
+  if (!metrics_path.empty()) {
+    const std::string text = agg.FederatedExposition();
+    if (metrics_path == "-") {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      std::ofstream out(metrics_path, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                     metrics_path.c_str());
+        return 1;
+      }
+      out << text;
+      std::printf("wrote federated metrics to %s\n", metrics_path.c_str());
+    }
+  }
+  return 0;
+}
+
+// Sensor over real TCP: monitor the input, publish every classified event
+// through a SensorSession, and let the SensorEndpoint ride the transport —
+// reconnecting through the session's backoff when the aggregator side
+// resets. Exits 0 only once the ledger is drained (every published frame
+// acked or declared lost).
+int RunTcpConnect(const dsp::SampleVec& x, const std::string& host,
+                  std::uint16_t port, int sensor_id,
+                  core::StreamingMonitor::Config mcfg, double max_seconds) {
+  namespace net = rfdump::net;
+  net::SensorSession::Config cfg;
+  cfg.sensor_id = static_cast<std::uint16_t>(sensor_id);
+  cfg.metrics_every_n_heartbeats = 1;  // federate local counters
+  net::SensorSession session(cfg, static_cast<std::uint64_t>(sensor_id) + 1);
+  auto& sys = net::Syscalls::Real();
+  net::SensorEndpoint endpoint(
+      session, [&sys, host, port](std::int64_t tick) {
+        return net::TcpTransport::Dial(host, port, {}, sys, tick);
+      });
+  net::MonitorSensorSink sink(session);
+  mcfg.sink = &sink;
+  core::StreamingMonitor monitor(mcfg);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(max_seconds);
+  std::int64_t now = 0;
+  const auto pump = [&] {
+    ++now;
+    endpoint.Pump(now, now * 8000);
+  };
+  std::printf("[connect] sensor %d -> %s:%u\n", sensor_id, host.c_str(),
+              port);
+  rfdump::emu::FrontEnd frontend(x, {}, /*seed=*/1);
+  while (!frontend.Done()) {
+    const auto seg = frontend.NextSegment();
+    if (!seg.samples.empty()) monitor.PushSegment(seg.start_sample, seg.samples);
+    pump();
+  }
+  monitor.Flush();
+  sink.Flush();
+  while (session.unacked() != 0 ||
+         session.state() != net::SensorSession::State::kConnected) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr,
+                   "error: timed out after %.0f s with %zu frames unacked "
+                   "(state %d)\n",
+                   max_seconds, session.unacked(),
+                   static_cast<int>(session.state()));
+      return 1;
+    }
+    pump();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto& st = session.stats();
+  std::printf("[connect] drained: %llu events in %llu frames (%llu "
+              "retransmits, %llu reconnects, %llu dials, %llu ring drops)\n",
+              static_cast<unsigned long long>(sink.events_published()),
+              static_cast<unsigned long long>(st.frames_sent),
+              static_cast<unsigned long long>(st.retransmits),
+              static_cast<unsigned long long>(st.reconnects),
+              static_cast<unsigned long long>(endpoint.stats().dials),
+              static_cast<unsigned long long>(st.ring_overflow_drops));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -525,6 +739,9 @@ int main(int argc, char** argv) {
   int threads = 1;
   int fleet_sensors = 0;
   bool fleet_status = false, fleet_status_json = false;
+  std::string listen_hp, connect_hp, port_file;
+  int sensor_id = 0, expect_sensors = 1;
+  double max_seconds = 120.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -575,6 +792,30 @@ int main(int argc, char** argv) {
     } else if (arg == "--fleet-status=json") {
       fleet_status = true;
       fleet_status_json = true;
+    } else if (arg == "--listen" && i + 1 < argc) {
+      listen_hp = argv[++i];
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect_hp = argv[++i];
+    } else if (arg == "--sensor-id" && i + 1 < argc) {
+      long v = 0;
+      if (!ParseIntFlag("--sensor-id", argv[++i], 0, &v) || v > 65535) {
+        if (v > 65535) {
+          std::fprintf(stderr,
+                       "error: --sensor-id expects an integer <= 65535\n");
+        }
+        return 2;
+      }
+      sensor_id = static_cast<int>(v);
+    } else if (arg == "--expect" && i + 1 < argc) {
+      long v = 0;
+      if (!ParseIntFlag("--expect", argv[++i], 1, &v)) return 2;
+      expect_sensors = static_cast<int>(std::min(v, 64L));
+    } else if (arg == "--port-file" && i + 1 < argc) {
+      port_file = argv[++i];
+    } else if (arg == "--max-seconds" && i + 1 < argc) {
+      if (!ParseDoubleFlag("--max-seconds", argv[++i], 1.0, &max_seconds)) {
+        return 2;
+      }
     } else if (arg == "--selftest") {
       selftest = true;
     } else if (arg == "--corpus" && i + 1 < argc) {
@@ -585,6 +826,37 @@ int main(int argc, char** argv) {
     }
   }
   if (selftest) return RunSelfTest(corpus_root);
+  if (!listen_hp.empty() && !connect_hp.empty()) {
+    std::fprintf(stderr, "error: --listen and --connect are mutually "
+                         "exclusive (one role per process)\n");
+    return 2;
+  }
+  if (!listen_hp.empty()) {
+    if (fleet_sensors > 0 || impair) {
+      std::fprintf(stderr, "error: --listen is its own mode; drop --fleet/"
+                           "--impair\n");
+      return 2;
+    }
+    std::string host;
+    std::uint16_t port = 0;
+    if (!ParseHostPort("--listen", listen_hp, &host, &port)) return 2;
+    return RunTcpListen(host, port, expect_sensors, metrics_path, port_file,
+                        max_seconds);
+  }
+  if (!connect_hp.empty()) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!ParseHostPort("--connect", connect_hp, &host, &port)) return 2;
+    if (port == 0) {
+      std::fprintf(stderr, "error: --connect needs a concrete port\n");
+      return 2;
+    }
+    if (fleet_sensors > 0 || impair) {
+      std::fprintf(stderr, "error: --connect is its own mode; drop --fleet/"
+                           "--impair\n");
+      return 2;
+    }
+  }
   if (trace_path.empty() && !demo) {
     PrintUsage(argv[0]);
     return 2;
@@ -620,6 +892,22 @@ int main(int argc, char** argv) {
     // Negative/garbage values were rejected at parse time; 0 means "auto".
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads < 1) threads = 1;
+  }
+  if (!connect_hp.empty()) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!ParseHostPort("--connect", connect_hp, &host, &port)) return 2;
+    core::StreamingMonitor::Config mcfg;
+    mcfg.pipeline.timing_detectors = (detectors != "phase");
+    mcfg.pipeline.phase_detectors = (detectors != "timing");
+    mcfg.pipeline.collision_detector = collisions;
+    mcfg.pipeline.microwave_detector = true;
+    mcfg.pipeline.noise_floor_power = noise_floor;
+    mcfg.pipeline.analysis.demodulate = !no_demod;
+    mcfg.block_samples = 400'000;
+    mcfg.overlap_samples = 160'000;
+    mcfg.threads = threads;
+    return RunTcpConnect(x, host, port, sensor_id, mcfg, max_seconds);
   }
   if (fleet_sensors > 0) {
     core::StreamingMonitor::Config mcfg;

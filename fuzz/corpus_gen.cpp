@@ -2,10 +2,10 @@
 //
 // Usage: corpus_gen OUT_ROOT [COUNT] [SEED]
 //
-// Writes COUNT (default 100) inputs per decoder target into
-// OUT_ROOT/{phy80211_plcp,phybt_packet,phyzigbee}/. Same COUNT + SEED =>
-// bit-identical files, so the checked-in corpus is always reconstructible
-// (README "Self-test & fuzzing").
+// Writes COUNT (default 100) inputs per fuzz target into
+// OUT_ROOT/{phy80211_plcp,phybt_packet,phyzigbee,net_frame}/. Same COUNT +
+// SEED => bit-identical files, so the checked-in corpus is always
+// reconstructible (README "Self-test & fuzzing").
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,9 +25,9 @@ int main(int argc, char** argv) {
       argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 1;
 
   using rfdump::testing::FuzzTarget;
-  static constexpr FuzzTarget kTargets[] = {FuzzTarget::kPhy80211Plcp,
-                                            FuzzTarget::kPhyBtPacket,
-                                            FuzzTarget::kPhyZigbee};
+  static constexpr FuzzTarget kTargets[] = {
+      FuzzTarget::kPhy80211Plcp, FuzzTarget::kPhyBtPacket,
+      FuzzTarget::kPhyZigbee, FuzzTarget::kNetFrame};
   for (const auto target : kTargets) {
     const std::string dir =
         root + "/" + rfdump::testing::FuzzCorpusDirName(target);

@@ -1,0 +1,159 @@
+#pragma once
+// Syscall boundary for the TCP transport, with seeded fault injection
+// (DESIGN.md §14).
+//
+// net/faulty_link.hpp emulates a hostile *network*; this file emulates a
+// hostile *kernel interface* — the failure modes a real deployment actually
+// hits are partial reads, EINTR storms, EAGAIN under load, connections
+// reset mid-frame, and fd exhaustion, and none of them are reachable from
+// an in-memory link. TcpTransport/TcpListener therefore issue every
+// data-path syscall through the `Syscalls` interface:
+//
+//   * Syscalls::Real() forwards to the kernel (production path);
+//   * FaultySyscalls wraps any base (normally Real()) and injects faults
+//     from one seeded Xoshiro256, recording each injection in a
+//     ground-truth log — the syscall-level analogue of FaultyLink's fault
+//     log, so the TCP chaos suite can score recovery exactly.
+//
+// Faults are injected *at the request*, keeping the contract honest: a
+// short read trims the caller's length before the real read (the kernel is
+// allowed to return less than asked at any time); EINTR/EAGAIN return -1
+// with errno set and never touch the fd; a reset closes the real fd (so
+// the peer observes EOF and cleans up) and poisons the fd number until the
+// caller Close()s it. Bind/listen are not faulted — setup failures are
+// loud and boring; the interesting chaos lives on the data path.
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "rfdump/util/rng.hpp"
+
+struct sockaddr;
+
+namespace rfdump::net {
+
+/// The data-path syscalls the TCP transport consumes. All sockets are
+/// created nonblocking; results follow kernel conventions (-1 + errno).
+class Syscalls {
+ public:
+  virtual ~Syscalls() = default;
+
+  /// The pass-through implementation (a process-lifetime singleton).
+  static Syscalls& Real();
+
+  /// New nonblocking TCP socket.
+  virtual int Socket();
+  /// Nonblocking connect: 0, or -1 with EINPROGRESS/ECONNREFUSED/...
+  virtual int Connect(int fd, const sockaddr* addr, unsigned addr_len);
+  /// Nonblocking accept: new nonblocking fd, or -1 with EAGAIN/EMFILE/...
+  virtual int Accept(int listen_fd);
+  virtual ssize_t Read(int fd, void* buf, std::size_t len);
+  virtual ssize_t Write(int fd, const void* buf, std::size_t len);
+  virtual int Close(int fd);
+  /// poll(2) on one fd. Returns >0 if an event in `events` (POLLIN/POLLOUT)
+  /// is ready, 0 on timeout, -1 on error.
+  virtual int PollOne(int fd, short events, int timeout_ms);
+  /// getsockopt(SO_ERROR): the deferred result of a nonblocking connect.
+  virtual int SockError(int fd);
+};
+
+enum class SyscallFaultKind {
+  kShortRead,       // read length trimmed before the kernel saw it
+  kShortWrite,      // write length trimmed (lands mid-header/mid-frame)
+  kEintr,           // -1/EINTR, fd untouched
+  kEagain,          // -1/EAGAIN, fd untouched
+  kReadReset,       // -1/ECONNRESET on read; real fd closed, number poisoned
+  kWriteReset,      // -1/ECONNRESET on write; real fd closed, number poisoned
+  kConnectRefused,  // -1/ECONNREFUSED, no packet ever sent
+  kConnectStalled,  // connect never completes; caller's timeout must fire
+  kAcceptFail,      // -1/EMFILE (transient) on accept
+  kFdLimit,         // socket/accept beyond max_open_fds: -1/EMFILE
+};
+
+[[nodiscard]] const char* SyscallFaultKindName(SyscallFaultKind kind);
+
+/// Ground-truth record for one injected syscall fault. `call_index` is the
+/// 0-based ordinal of the faultable call (read/write/connect/accept) the
+/// injection applied to.
+struct SyscallFaultRecord {
+  SyscallFaultKind kind = SyscallFaultKind::kEintr;
+  std::uint64_t call_index = 0;
+  int fd = -1;
+  std::size_t bytes = 0;  // requested length (short faults: trimmed-to)
+};
+
+/// Seeded fault-injecting Syscalls wrapper. Reproducible bit-for-bit from
+/// (config, seed, call sequence) — the same determinism contract as
+/// FaultyLink, one layer down.
+class FaultySyscalls final : public Syscalls {
+ public:
+  struct Config {
+    double short_read_rate = 0.0;   // P(trim read length)
+    int short_read_max = 3;         // trimmed length, uniform [1, N]
+    double short_write_rate = 0.0;  // P(trim write length)
+    int short_write_max = 5;        // trimmed length, uniform [1, N]
+    double eintr_rate = 0.0;        // P(-1/EINTR) per read/write
+    double eagain_rate = 0.0;       // P(-1/EAGAIN) per read/write
+    double read_reset_rate = 0.0;   // P(ECONNRESET) per read
+    double write_reset_rate = 0.0;  // P(ECONNRESET) per write
+    double connect_refuse_rate = 0.0;  // P(ECONNREFUSED) per connect
+    double connect_stall_rate = 0.0;   // P(connect hangs forever)
+    double accept_fail_rate = 0.0;     // P(transient EMFILE) per accept
+    /// Cap on fds opened through this shim (0 = unlimited). Socket/Accept
+    /// beyond the cap fail with EMFILE — the fd-exhaustion profile.
+    std::size_t max_open_fds = 0;
+  };
+
+  FaultySyscalls(Config config, std::uint64_t seed,
+                 Syscalls& base = Syscalls::Real());
+
+  int Socket() override;
+  int Connect(int fd, const sockaddr* addr, unsigned addr_len) override;
+  int Accept(int listen_fd) override;
+  ssize_t Read(int fd, void* buf, std::size_t len) override;
+  ssize_t Write(int fd, const void* buf, std::size_t len) override;
+  int Close(int fd) override;
+  int PollOne(int fd, short events, int timeout_ms) override;
+  int SockError(int fd) override;
+
+  /// Drain mode: stop injecting *new* faults (and stop enforcing the fd
+  /// cap) so a chaos run can converge deterministically. Already-poisoned
+  /// fds stay poisoned until closed — the damage was real.
+  void set_passthrough(bool passthrough) { passthrough_ = passthrough; }
+
+  /// Ground-truth fault log, in injection order.
+  [[nodiscard]] const std::vector<SyscallFaultRecord>& faults() const {
+    return faults_;
+  }
+  /// One JSON line per record — the artifact the TCP chaos suite dumps on
+  /// failure, next to the FaultyLink logs.
+  [[nodiscard]] std::string FaultLogJson() const;
+
+  [[nodiscard]] std::uint64_t calls() const { return calls_; }
+  [[nodiscard]] std::size_t open_fds() const { return open_fds_.size(); }
+
+ private:
+  bool Roll(double rate) {
+    return rate > 0.0 && rng_.UniformDouble() < rate;
+  }
+  void Record(SyscallFaultKind kind, int fd, std::size_t bytes);
+  /// Closes the real fd (peer sees EOF) and poisons the number so every
+  /// later op on it fails with ECONNRESET until the owner Close()s it.
+  void PoisonLocked(int fd);
+
+  Config config_;
+  util::Xoshiro256 rng_;
+  Syscalls& base_;
+  bool passthrough_ = false;
+  std::uint64_t calls_ = 0;  // faultable-call ordinal (read/write/conn/acc)
+  std::unordered_set<int> open_fds_;  // opened through this shim
+  std::unordered_set<int> poisoned_;  // reset injected; real fd closed
+  std::unordered_set<int> stalled_;   // connect stalled; never ready
+  std::vector<SyscallFaultRecord> faults_;
+};
+
+}  // namespace rfdump::net

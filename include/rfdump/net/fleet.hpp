@@ -32,6 +32,7 @@
 #include "rfdump/net/faulty_link.hpp"
 #include "rfdump/net/messages.hpp"
 #include "rfdump/net/session.hpp"
+#include "rfdump/net/transport.hpp"
 
 namespace rfdump::net {
 
@@ -130,6 +131,9 @@ class Fleet {
   FaultyLink& uplink(std::size_t i) { return nodes_[i]->uplink; }
   FaultyLink& downlink(std::size_t i) { return nodes_[i]->downlink; }
   MonitorSensorSink& sink(std::size_t i) { return nodes_[i]->sink; }
+  /// The Transport seam the pump drives (sensor side of sensor i's links);
+  /// the TCP path (net/endpoint.hpp) plugs the same interface.
+  Transport& transport(std::size_t i) { return nodes_[i]->sensor_side; }
   Aggregator& aggregator() { return aggregator_; }
   const Aggregator& aggregator() const { return aggregator_; }
   [[nodiscard]] std::uint16_t sensor_id(std::size_t i) const {
@@ -156,20 +160,28 @@ class Fleet {
   [[nodiscard]] FleetStatus StatusReport() const;
 
  private:
-  // SensorSession owns a mutex, so nodes live behind stable pointers.
+  // SensorSession owns a mutex, so nodes live behind stable pointers. The
+  // FaultyLinks stay owned here (chaos tests keep their uplink()/downlink()
+  // handles and fault logs); the two LinkTransports are the per-side views
+  // the pump actually drives, the same Transport seam the TCP path plugs
+  // into (net/endpoint.hpp).
   struct Node {
     explicit Node(SensorSpec s)
         : spec(s),
           session(s.session, s.seed),
           uplink(s.uplink, s.seed * 2 + 1),
           downlink(s.downlink, s.seed * 2 + 2),
-          sink(session) {}
+          sink(session),
+          sensor_side(uplink, downlink),
+          central_side(downlink, uplink) {}
 
     SensorSpec spec;
     SensorSession session;
     FaultyLink uplink;
     FaultyLink downlink;
     MonitorSensorSink sink;
+    LinkTransport sensor_side;   // tx = uplink, rx = downlink
+    LinkTransport central_side;  // tx = downlink, rx = uplink
   };
 
   Config config_;

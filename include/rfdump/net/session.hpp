@@ -97,6 +97,12 @@ class SensorSession {
   /// Feeds bytes arriving on the downlink (acks). Tolerates corruption.
   void HandleBytes(std::span<const std::uint8_t> bytes);
 
+  /// The transport under this session died (EOF, reset, connect failure).
+  /// Enters the epoch-bumping backoff immediately instead of waiting out
+  /// the ack timeout — the TCP endpoint's hard disconnect signal. No-op if
+  /// already backing off.
+  void OnTransportDown();
+
   /// Advances the session clock: heartbeats, retransmit timeouts, liveness
   /// check, reconnect state machine. `local_time` is the sensor's sample
   /// clock (shipped in hellos/heartbeats for the offset estimator).

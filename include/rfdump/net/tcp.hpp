@@ -1,0 +1,125 @@
+#pragma once
+// Nonblocking TCP transport carrying the frame layer over real sockets
+// (DESIGN.md §14; ROADMAP item 2's "real socket transport").
+//
+// The robustness contract, not mere connectivity:
+//
+//   * every syscall goes through net/faulty_syscalls.hpp, so the chaos
+//     suite can inject short reads, EINTR/EAGAIN, mid-frame resets, fd
+//     exhaustion and connect stalls at the exact boundary a deployment
+//     hits them;
+//   * writes are resumable: a partial write leaves the tail in a bounded
+//     send buffer and the next Poll picks up mid-byte — a frame may cross
+//     any number of write() calls (including a cut mid-header);
+//   * the send buffer has a hard cap (Config::send_buffer_limit); Send()
+//     refuses frames past it, surfacing backpressure to the session's
+//     retransmit ring instead of growing without bound behind a slow peer;
+//   * nonblocking connect with a tick-based timeout, chosen shorter than
+//     the session's ack timeout so a stalled connect feeds the session's
+//     epoch-bumping backoff rather than racing it;
+//   * EOF and ECONNRESET/EPIPE both land in State::kClosed — the owner
+//     maps that to a clean session disconnect; the transport itself never
+//     retries or reconnects.
+//
+// Single-threaded by design: one owner calls Send/Poll; concurrency lives
+// above (SensorSession's mutex) and below (the kernel).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "rfdump/net/faulty_syscalls.hpp"
+#include "rfdump/net/transport.hpp"
+
+namespace rfdump::net {
+
+class TcpTransport final : public Transport {
+ public:
+  struct Config {
+    /// Hard cap on buffered unsent bytes; Send() past it returns false.
+    std::size_t send_buffer_limit = 256 * 1024;
+    /// Bytes asked of each read(2).
+    std::size_t read_chunk = 16 * 1024;
+    /// Per-Poll ingest cap, so one firehose peer cannot starve the tick.
+    std::size_t max_read_per_poll = 256 * 1024;
+    /// Nonblocking connect deadline in ticks. Keep below the session's
+    /// ack_timeout_ticks: a dead dial should recycle through backoff
+    /// before the session gives up on the epoch.
+    int connect_timeout_ticks = 8;
+    /// EINTR retries per syscall before deferring to the next Poll.
+    int max_eintr_retries = 4;
+  };
+
+  /// Starts a nonblocking connect to host:port ("127.0.0.1", 9000).
+  /// Returns nullptr only if no socket could be created; connect errors
+  /// after that surface through state() == kClosed.
+  static std::unique_ptr<TcpTransport> Dial(const std::string& host,
+                                            std::uint16_t port, Config config,
+                                            Syscalls& sys, std::int64_t tick);
+
+  /// Adopts an fd (typically from TcpListener::Accept), already connected.
+  TcpTransport(int fd, Config config, Syscalls& sys, std::int64_t tick,
+               State initial);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  bool Send(std::span<const std::uint8_t> frame) override;
+  void Poll(std::int64_t tick, std::vector<std::uint8_t>& received) override;
+  [[nodiscard]] State state() const override { return state_; }
+  void Close() override;
+  [[nodiscard]] const Stats& stats() const override { return stats_; }
+
+  [[nodiscard]] std::size_t send_buffered() const { return send_buf_.size(); }
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  void PollConnecting(std::int64_t tick);
+  void FlushSendBuffer();
+  void ReadAvailable(std::vector<std::uint8_t>& received);
+  /// Terminal teardown; `reset` counts it as a reset, EOF stays clean.
+  void Fail(bool reset);
+
+  Config config_;
+  Syscalls& sys_;
+  int fd_ = -1;
+  State state_ = State::kConnecting;
+  std::int64_t dial_tick_ = 0;
+  std::vector<std::uint8_t> send_buf_;  // unsent tail, resumed each Poll
+  Stats stats_;
+};
+
+/// Accepting side. Bind/listen use real syscalls (setup failures are loud
+/// and immediate); Accept goes through the Syscalls shim so fd exhaustion
+/// and transient accept failures are injectable.
+class TcpListener {
+ public:
+  explicit TcpListener(Syscalls& sys = Syscalls::Real()) : sys_(sys) {}
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on host:port. Port 0 picks an ephemeral port (read
+  /// it back via port()). Returns false with the OS error in errno.
+  bool Listen(const std::string& host, std::uint16_t port, int backlog = 16);
+
+  /// Accepts one pending connection as a connected transport, or nullptr
+  /// when none is ready (or the accept was fault-injected away).
+  std::unique_ptr<TcpTransport> Accept(TcpTransport::Config config,
+                                       std::int64_t tick);
+
+  void Close();
+  [[nodiscard]] bool listening() const { return fd_ >= 0; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
+
+ private:
+  Syscalls& sys_;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace rfdump::net

@@ -11,6 +11,9 @@
 //   * kPhyBtPacket  — phybt::VerifySyncWord + phybt::ParsePacketBits on raw
 //     bits, and the full phybt::Demodulator on byte-derived IQ samples
 //   * kPhyZigbee    — phyzigbee::DecodeFrame on byte-derived IQ samples
+//   * kNetFrame     — net::FrameParser on raw byte streams (one-shot and a
+//     chunked-feed differential that must parse identically), plus every
+//     net message codec (incl. kMetrics) on frame payloads and raw bytes
 //
 // `RunFuzzInput` is the single dispatch function; the fuzz/ executables wrap
 // it in `LLVMFuzzerTestOneInput` for libFuzzer (clang builds only), and the
@@ -33,8 +36,9 @@ enum class FuzzTarget : std::uint8_t {
   kPhy80211Plcp = 0,
   kPhyBtPacket,
   kPhyZigbee,
+  kNetFrame,
 };
-inline constexpr std::size_t kFuzzTargetCount = 3;
+inline constexpr std::size_t kFuzzTargetCount = 4;
 
 [[nodiscard]] const char* FuzzTargetName(FuzzTarget t);
 

@@ -1,0 +1,188 @@
+#include "rfdump/net/endpoint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace rfdump::net {
+
+// ----------------------------------------------------- SensorEndpoint
+
+namespace {
+
+void AccumulateStats(Transport::Stats& into, const Transport::Stats& from) {
+  into.frames_accepted += from.frames_accepted;
+  into.send_rejects += from.send_rejects;
+  into.bytes_sent += from.bytes_sent;
+  into.bytes_received += from.bytes_received;
+  into.partial_writes += from.partial_writes;
+  into.partial_reads += from.partial_reads;
+  into.eintr_retries += from.eintr_retries;
+  into.eagain_yields += from.eagain_yields;
+  into.resets += from.resets;
+  into.connect_timeouts += from.connect_timeouts;
+  into.send_buffer_peak =
+      std::max(into.send_buffer_peak, from.send_buffer_peak);
+}
+
+}  // namespace
+
+void SensorEndpoint::DropTransportLocked() {
+  AccumulateStats(closed_totals_, transport_->stats());
+  transport_.reset();
+  ++stats_.transport_down;
+  session_.OnTransportDown();
+}
+
+void SensorEndpoint::Pump(std::int64_t tick, std::int64_t local_time) {
+  session_.Tick(tick, local_time);
+
+  // A transport that died since the last pump feeds the session's backoff
+  // *before* the dial decision, so this tick never redials a dead link.
+  if (transport_ && transport_->state() == Transport::State::kClosed) {
+    DropTransportLocked();
+  }
+  if (!transport_ && session_.state() != SensorSession::State::kBackoff) {
+    transport_ = dial_(tick);
+    if (transport_) ++stats_.dials;
+  }
+
+  if (!transport_) {
+    // Backoff (or a failed dial): outbound frames have nowhere to go.
+    // Dropping them here is safe — data frames live in the retransmit
+    // ring, control frames regenerate on their own cadence.
+    stats_.send_rejects += session_.TakeOutbound().size();
+    return;
+  }
+
+  for (auto& frame : session_.TakeOutbound()) {
+    if (transport_->Send(frame)) {
+      ++stats_.frames_sent;
+    } else {
+      ++stats_.send_rejects;
+    }
+  }
+
+  rx_buf_.clear();
+  transport_->Poll(tick, rx_buf_);
+  if (!rx_buf_.empty()) session_.HandleBytes(rx_buf_);
+
+  if (transport_->state() == Transport::State::kClosed) {
+    DropTransportLocked();
+  }
+}
+
+Transport::Stats SensorEndpoint::transport_totals() const {
+  Transport::Stats totals = closed_totals_;
+  if (transport_) AccumulateStats(totals, transport_->stats());
+  return totals;
+}
+
+// --------------------------------------------------- AggregatorServer
+
+AggregatorServer::AggregatorServer(Config config)
+    : config_(config), aggregator_(config_.aggregator) {}
+
+void AggregatorServer::Adopt(std::unique_ptr<Transport> transport) {
+  auto conn = std::make_unique<Connection>();
+  conn->transport = std::move(transport);
+  conn->order = next_order_++;
+  conns_.push_back(std::move(conn));
+  ++stats_.adopted;
+}
+
+void AggregatorServer::Ingest(Connection& conn,
+                              std::span<const std::uint8_t> bytes) {
+  if (conn.bound) {
+    aggregator_.HandleBytes(conn.sensor_id, bytes);
+    return;
+  }
+  // Unbound: hold the raw bytes and sniff for the first CRC-valid frame.
+  // Binding replays raw (not just this slice) into the aggregator so its
+  // own parser sees the identical stream, preamble garbage included —
+  // parse stats stay authoritative in one place.
+  conn.raw.insert(conn.raw.end(), bytes.begin(), bytes.end());
+  bool found = false;
+  std::uint16_t id = 0;
+  conn.sniffer.Feed(bytes, [&](Frame&& frame) {
+    if (!found) {
+      found = true;
+      id = frame.header.sensor_id;
+    }
+  });
+  if (found) {
+    conn.bound = true;
+    conn.sensor_id = id;
+    ++stats_.bound;
+    aggregator_.HandleBytes(conn.sensor_id, conn.raw);
+    conn.raw.clear();
+    conn.raw.shrink_to_fit();
+  } else if (conn.raw.size() > config_.max_unbound_bytes) {
+    conn.transport->Close();
+    ++stats_.unbound_dropped;
+  }
+}
+
+void AggregatorServer::Pump(std::int64_t tick) {
+  aggregator_.Tick(tick);
+
+  if (listener_ != nullptr && listener_->listening()) {
+    for (int i = 0; i < config_.max_accepts_per_pump; ++i) {
+      auto t = listener_->Accept(config_.transport, tick);
+      if (!t) break;
+      Adopt(std::move(t));
+      ++stats_.accepted;
+      --stats_.adopted;  // accepted, not injected
+    }
+  }
+
+  for (auto& conn : conns_) {
+    rx_buf_.clear();
+    conn->transport->Poll(tick, rx_buf_);
+    if (!rx_buf_.empty()) Ingest(*conn, rx_buf_);
+  }
+
+  // Second tick at the same value only drains ack_due (the same pump shape
+  // Fleet::Tick uses), so frames that just arrived are acked this cycle.
+  aggregator_.Tick(tick);
+
+  // Acks go to the newest live connection bound to each sensor: after a
+  // reconnect both the dead and the fresh connection may briefly coexist,
+  // and only the fresh one can deliver.
+  std::map<std::uint16_t, Connection*> route;
+  for (auto& conn : conns_) {
+    if (!conn->bound ||
+        conn->transport->state() == Transport::State::kClosed) {
+      continue;
+    }
+    auto [it, inserted] = route.try_emplace(conn->sensor_id, conn.get());
+    if (!inserted && conn->order > it->second->order) {
+      it->second = conn.get();
+    }
+  }
+  for (auto& [id, conn] : route) {
+    for (auto& frame : aggregator_.TakeOutbound(id)) {
+      if (conn->transport->Send(frame)) {
+        ++stats_.ack_frames_sent;
+      } else {
+        ++stats_.ack_send_rejects;
+      }
+    }
+  }
+  // Sensors with no deliverable connection (mid-reconnect): drain and drop
+  // their queued acks so the queue never grows across a long outage — acks
+  // are cumulative and regenerate, holding stale ones helps nobody.
+  for (const std::uint16_t id : aggregator_.sensor_ids()) {
+    if (route.count(id) != 0) continue;
+    stats_.ack_send_rejects += aggregator_.TakeOutbound(id).size();
+  }
+
+  const auto dead = std::remove_if(
+      conns_.begin(), conns_.end(), [](const auto& conn) {
+        return conn->transport->state() == Transport::State::kClosed;
+      });
+  stats_.closed += static_cast<std::uint64_t>(conns_.end() - dead);
+  conns_.erase(dead, conns_.end());
+}
+
+}  // namespace rfdump::net

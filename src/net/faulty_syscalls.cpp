@@ -1,0 +1,298 @@
+#include "rfdump/net/faulty_syscalls.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+
+namespace rfdump::net {
+
+namespace {
+
+int SetNonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return -1;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ Syscalls
+
+Syscalls& Syscalls::Real() {
+  static Syscalls real;
+  return real;
+}
+
+int Syscalls::Socket() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (SetNonblocking(fd) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  // Small frames fly on heartbeat cadence; don't let Nagle batch them.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+int Syscalls::Connect(int fd, const sockaddr* addr, unsigned addr_len) {
+  return ::connect(fd, addr, addr_len);
+}
+
+int Syscalls::Accept(int listen_fd) {
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) return -1;
+  if (SetNonblocking(fd) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+ssize_t Syscalls::Read(int fd, void* buf, std::size_t len) {
+  return ::read(fd, buf, len);
+}
+
+ssize_t Syscalls::Write(int fd, const void* buf, std::size_t len) {
+  // MSG_NOSIGNAL: a peer that closed mid-stream must surface as EPIPE, not
+  // kill the process with SIGPIPE.
+  return ::send(fd, buf, len, MSG_NOSIGNAL);
+}
+
+int Syscalls::Close(int fd) { return ::close(fd); }
+
+int Syscalls::PollOne(int fd, short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  const int n = ::poll(&pfd, 1, timeout_ms);
+  if (n <= 0) return n;
+  // Error conditions (POLLERR/POLLHUP) count as "ready": the follow-up
+  // read/SockError call surfaces the actual failure.
+  return (pfd.revents & (events | POLLERR | POLLHUP)) != 0 ? 1 : 0;
+}
+
+int Syscalls::SockError(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) return errno;
+  return err;
+}
+
+// ------------------------------------------------------ FaultySyscalls
+
+const char* SyscallFaultKindName(SyscallFaultKind kind) {
+  switch (kind) {
+    case SyscallFaultKind::kShortRead: return "short_read";
+    case SyscallFaultKind::kShortWrite: return "short_write";
+    case SyscallFaultKind::kEintr: return "eintr";
+    case SyscallFaultKind::kEagain: return "eagain";
+    case SyscallFaultKind::kReadReset: return "read_reset";
+    case SyscallFaultKind::kWriteReset: return "write_reset";
+    case SyscallFaultKind::kConnectRefused: return "connect_refused";
+    case SyscallFaultKind::kConnectStalled: return "connect_stalled";
+    case SyscallFaultKind::kAcceptFail: return "accept_fail";
+    case SyscallFaultKind::kFdLimit: return "fd_limit";
+  }
+  return "?";
+}
+
+FaultySyscalls::FaultySyscalls(Config config, std::uint64_t seed,
+                               Syscalls& base)
+    : config_(config), rng_(seed), base_(base) {}
+
+void FaultySyscalls::Record(SyscallFaultKind kind, int fd, std::size_t bytes) {
+  faults_.push_back({kind, calls_, fd, bytes});
+}
+
+void FaultySyscalls::PoisonLocked(int fd) {
+  // Close the real fd so the peer observes EOF and tears its side down
+  // cleanly; keep the *number* poisoned so the owner's follow-up calls see
+  // a dead connection until it calls Close().
+  base_.Close(fd);
+  poisoned_.insert(fd);
+}
+
+int FaultySyscalls::Socket() {
+  if (!passthrough_ && config_.max_open_fds > 0 &&
+      open_fds_.size() >= config_.max_open_fds) {
+    Record(SyscallFaultKind::kFdLimit, -1, 0);
+    errno = EMFILE;
+    return -1;
+  }
+  const int fd = base_.Socket();
+  if (fd >= 0) {
+    open_fds_.insert(fd);
+    // The kernel may hand back a number we poisoned and closed earlier;
+    // it's a fresh socket now.
+    poisoned_.erase(fd);
+    stalled_.erase(fd);
+  }
+  return fd;
+}
+
+int FaultySyscalls::Connect(int fd, const sockaddr* addr, unsigned addr_len) {
+  ++calls_;
+  if (!passthrough_) {
+    if (Roll(config_.connect_refuse_rate)) {
+      Record(SyscallFaultKind::kConnectRefused, fd, 0);
+      errno = ECONNREFUSED;
+      return -1;
+    }
+    if (Roll(config_.connect_stall_rate)) {
+      // Report the connect as pending but never issue it: PollOne and
+      // SockError keep it "in progress" forever, so the caller's own
+      // connect timeout is the only way out.
+      Record(SyscallFaultKind::kConnectStalled, fd, 0);
+      stalled_.insert(fd);
+      errno = EINPROGRESS;
+      return -1;
+    }
+  }
+  return base_.Connect(fd, addr, addr_len);
+}
+
+int FaultySyscalls::Accept(int listen_fd) {
+  ++calls_;
+  if (!passthrough_) {
+    if (config_.max_open_fds > 0 &&
+        open_fds_.size() >= config_.max_open_fds) {
+      Record(SyscallFaultKind::kFdLimit, listen_fd, 0);
+      errno = EMFILE;
+      return -1;
+    }
+    if (Roll(config_.accept_fail_rate)) {
+      Record(SyscallFaultKind::kAcceptFail, listen_fd, 0);
+      errno = EMFILE;
+      return -1;
+    }
+  }
+  const int fd = base_.Accept(listen_fd);
+  if (fd >= 0) {
+    open_fds_.insert(fd);
+    poisoned_.erase(fd);
+    stalled_.erase(fd);
+  }
+  return fd;
+}
+
+ssize_t FaultySyscalls::Read(int fd, void* buf, std::size_t len) {
+  ++calls_;
+  if (poisoned_.count(fd) != 0) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (!passthrough_ && len > 0) {
+    if (Roll(config_.eintr_rate)) {
+      Record(SyscallFaultKind::kEintr, fd, len);
+      errno = EINTR;
+      return -1;
+    }
+    if (Roll(config_.eagain_rate)) {
+      Record(SyscallFaultKind::kEagain, fd, len);
+      errno = EAGAIN;
+      return -1;
+    }
+    if (Roll(config_.read_reset_rate)) {
+      Record(SyscallFaultKind::kReadReset, fd, len);
+      PoisonLocked(fd);
+      errno = ECONNRESET;
+      return -1;
+    }
+    if (len > 1 && Roll(config_.short_read_rate)) {
+      const auto cap = static_cast<std::uint64_t>(std::max(
+          1, config_.short_read_max));
+      len = static_cast<std::size_t>(rng_.UniformInt(
+          1, std::min<std::uint64_t>(cap, len)));
+      Record(SyscallFaultKind::kShortRead, fd, len);
+    }
+  }
+  return base_.Read(fd, buf, len);
+}
+
+ssize_t FaultySyscalls::Write(int fd, const void* buf, std::size_t len) {
+  ++calls_;
+  if (poisoned_.count(fd) != 0) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (!passthrough_ && len > 0) {
+    if (Roll(config_.eintr_rate)) {
+      Record(SyscallFaultKind::kEintr, fd, len);
+      errno = EINTR;
+      return -1;
+    }
+    if (Roll(config_.eagain_rate)) {
+      Record(SyscallFaultKind::kEagain, fd, len);
+      errno = EAGAIN;
+      return -1;
+    }
+    if (Roll(config_.write_reset_rate)) {
+      Record(SyscallFaultKind::kWriteReset, fd, len);
+      PoisonLocked(fd);
+      errno = ECONNRESET;
+      return -1;
+    }
+    if (len > 1 && Roll(config_.short_write_rate)) {
+      const auto cap = static_cast<std::uint64_t>(std::max(
+          1, config_.short_write_max));
+      len = static_cast<std::size_t>(rng_.UniformInt(
+          1, std::min<std::uint64_t>(cap, len)));
+      Record(SyscallFaultKind::kShortWrite, fd, len);
+    }
+  }
+  return base_.Write(fd, buf, len);
+}
+
+int FaultySyscalls::Close(int fd) {
+  open_fds_.erase(fd);
+  stalled_.erase(fd);
+  if (poisoned_.erase(fd) != 0) {
+    // The real fd was already closed when the reset was injected.
+    return 0;
+  }
+  return base_.Close(fd);
+}
+
+int FaultySyscalls::PollOne(int fd, short events, int timeout_ms) {
+  if (poisoned_.count(fd) != 0) return 1;  // "ready": the op will fail
+  if (stalled_.count(fd) != 0) return 0;   // never ready
+  return base_.PollOne(fd, events, timeout_ms);
+}
+
+int FaultySyscalls::SockError(int fd) {
+  if (poisoned_.count(fd) != 0) return ECONNRESET;
+  if (stalled_.count(fd) != 0) return 0;  // still "in progress"
+  return base_.SockError(fd);
+}
+
+std::string FaultySyscalls::FaultLogJson() const {
+  std::string out;
+  char line[160];
+  for (const auto& f : faults_) {
+    std::snprintf(line, sizeof(line),
+                  "{\"kind\":\"%s\",\"call\":%" PRIu64
+                  ",\"fd\":%d,\"bytes\":%zu}\n",
+                  SyscallFaultKindName(f.kind), f.call_index, f.fd, f.bytes);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rfdump::net

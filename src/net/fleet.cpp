@@ -142,17 +142,19 @@ void Fleet::Tick() {
   // arrivals with the aggregator's current tick, and a min-filter never
   // recovers from an arrival stamped one tick early.
   aggregator_.Tick(now_);
-  // Sensor side: advance sessions, push their output into the uplinks, and
-  // deliver whatever the links release this tick to the aggregator.
+  // Sensor side: advance sessions, push their output through the sensor-side
+  // transports, and hand whatever the central-side transports surface this
+  // tick to the aggregator (a byte stream; its FrameParser owns reassembly).
+  std::vector<std::uint8_t> rx;
   for (auto& node : nodes_) {
     node->session.Tick(now_, now_ * config_.samples_per_tick +
                                  node->spec.clock_offset_samples);
     for (auto& frame : node->session.TakeOutbound()) {
-      node->uplink.Send(std::move(frame));
+      node->sensor_side.Send(frame);
     }
-    for (const auto& bytes : node->uplink.Advance(now_)) {
-      aggregator_.HandleBytes(node->spec.id, bytes);
-    }
+    rx.clear();
+    node->central_side.Poll(now_, rx);
+    if (!rx.empty()) aggregator_.HandleBytes(node->spec.id, rx);
   }
   // Aggregator side again: ack emission for frames that just arrived (the
   // second Tick at the same tick value only drains ack_due), then the
@@ -160,11 +162,11 @@ void Fleet::Tick() {
   aggregator_.Tick(now_);
   for (auto& node : nodes_) {
     for (auto& frame : aggregator_.TakeOutbound(node->spec.id)) {
-      node->downlink.Send(std::move(frame));
+      node->central_side.Send(frame);
     }
-    for (const auto& bytes : node->downlink.Advance(now_)) {
-      node->session.HandleBytes(bytes);
-    }
+    rx.clear();
+    node->sensor_side.Poll(now_, rx);
+    if (!rx.empty()) node->session.HandleBytes(rx);
   }
 }
 

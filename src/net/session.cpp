@@ -246,6 +246,12 @@ void SensorSession::HandleBytes(std::span<const std::uint8_t> bytes) {
   });
 }
 
+void SensorSession::OnTransportDown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kBackoff) return;
+  BeginBackoffLocked(now_);
+}
+
 void SensorSession::Tick(std::int64_t tick, std::int64_t local_time) {
   std::lock_guard<std::mutex> lock(mu_);
   now_ = tick;

@@ -1,0 +1,243 @@
+#include "rfdump/net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace rfdump::net {
+
+// ------------------------------------------------------- TcpTransport
+
+std::unique_ptr<TcpTransport> TcpTransport::Dial(const std::string& host,
+                                                 std::uint16_t port,
+                                                 Config config, Syscalls& sys,
+                                                 std::int64_t tick) {
+  const int fd = sys.Socket();
+  if (fd < 0) return nullptr;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    sys.Close(fd);
+    return nullptr;
+  }
+
+  auto t = std::make_unique<TcpTransport>(fd, config, sys, tick,
+                                          State::kConnecting);
+  const int rc = sys.Connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                             sizeof(addr));
+  if (rc == 0) {
+    // Loopback connects may complete synchronously.
+    t->state_ = State::kConnected;
+  } else if (errno != EINPROGRESS && errno != EINTR) {
+    // Immediate refusal (incl. an injected ECONNREFUSED): terminal, but
+    // still a constructed transport so the caller's one error path —
+    // state() == kClosed — covers it.
+    t->Fail(/*reset=*/true);
+  }
+  return t;
+}
+
+TcpTransport::TcpTransport(int fd, Config config, Syscalls& sys,
+                           std::int64_t tick, State initial)
+    : config_(config), sys_(sys), fd_(fd), state_(initial), dial_tick_(tick) {}
+
+TcpTransport::~TcpTransport() { Close(); }
+
+void TcpTransport::Close() {
+  if (fd_ >= 0) {
+    sys_.Close(fd_);
+    fd_ = -1;
+  }
+  state_ = State::kClosed;
+  send_buf_.clear();
+}
+
+void TcpTransport::Fail(bool reset) {
+  if (reset) ++stats_.resets;
+  Close();
+}
+
+bool TcpTransport::Send(std::span<const std::uint8_t> frame) {
+  if (state_ == State::kClosed ||
+      send_buf_.size() + frame.size() > config_.send_buffer_limit) {
+    ++stats_.send_rejects;
+    return false;
+  }
+  // Buffering while kConnecting is deliberate: the hello the session emits
+  // on its first tick rides the same buffer and flushes on completion.
+  send_buf_.insert(send_buf_.end(), frame.begin(), frame.end());
+  if (send_buf_.size() > stats_.send_buffer_peak) {
+    stats_.send_buffer_peak = send_buf_.size();
+  }
+  ++stats_.frames_accepted;
+  return true;
+}
+
+void TcpTransport::PollConnecting(std::int64_t tick) {
+  const int ready = sys_.PollOne(fd_, POLLOUT, 0);
+  if (ready > 0) {
+    const int err = sys_.SockError(fd_);
+    if (err == 0) {
+      state_ = State::kConnected;
+      return;
+    }
+    Fail(/*reset=*/true);
+    return;
+  }
+  if (tick - dial_tick_ >= config_.connect_timeout_ticks) {
+    ++stats_.connect_timeouts;
+    Fail(/*reset=*/false);
+  }
+}
+
+void TcpTransport::FlushSendBuffer() {
+  std::size_t off = 0;
+  int eintr_left = config_.max_eintr_retries;
+  while (off < send_buf_.size()) {
+    const ssize_t n =
+        sys_.Write(fd_, send_buf_.data() + off, send_buf_.size() - off);
+    if (n > 0) {
+      if (static_cast<std::size_t>(n) < send_buf_.size() - off) {
+        ++stats_.partial_writes;
+      }
+      stats_.bytes_sent += static_cast<std::uint64_t>(n);
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR && eintr_left-- > 0) {
+      ++stats_.eintr_retries;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                  errno == EINTR)) {
+      // Kernel buffer full (or EINTR budget spent): resume next Poll.
+      ++stats_.eagain_yields;
+      break;
+    }
+    // ECONNRESET/EPIPE/anything else: the connection is gone. Unsent
+    // bytes are lost here; sequenced frames come back from the session's
+    // retransmit ring under the new epoch.
+    send_buf_.erase(send_buf_.begin(),
+                    send_buf_.begin() + static_cast<std::ptrdiff_t>(off));
+    Fail(/*reset=*/true);
+    return;
+  }
+  send_buf_.erase(send_buf_.begin(),
+                  send_buf_.begin() + static_cast<std::ptrdiff_t>(off));
+}
+
+void TcpTransport::ReadAvailable(std::vector<std::uint8_t>& received) {
+  std::uint8_t chunk[16 * 1024];
+  const std::size_t ask =
+      std::min(sizeof(chunk), std::max<std::size_t>(config_.read_chunk, 1));
+  std::size_t total = 0;
+  int eintr_left = config_.max_eintr_retries;
+  while (total < config_.max_read_per_poll) {
+    const ssize_t n = sys_.Read(fd_, chunk, ask);
+    if (n > 0) {
+      if (static_cast<std::size_t>(n) < ask) ++stats_.partial_reads;
+      stats_.bytes_received += static_cast<std::uint64_t>(n);
+      total += static_cast<std::size_t>(n);
+      received.insert(received.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n == 0) {
+      // Orderly EOF — possibly exactly on a frame boundary, possibly not;
+      // the caller's FrameParser decides what was complete.
+      Fail(/*reset=*/false);
+      return;
+    }
+    if (errno == EINTR && eintr_left-- > 0) {
+      ++stats_.eintr_retries;
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      ++stats_.eagain_yields;
+      return;
+    }
+    Fail(/*reset=*/true);
+    return;
+  }
+}
+
+void TcpTransport::Poll(std::int64_t tick,
+                        std::vector<std::uint8_t>& received) {
+  if (state_ == State::kConnecting) PollConnecting(tick);
+  if (state_ != State::kConnected) return;
+  FlushSendBuffer();
+  if (state_ != State::kConnected) return;
+  ReadAvailable(received);
+}
+
+// -------------------------------------------------------- TcpListener
+
+TcpListener::~TcpListener() { Close(); }
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    // The listener socket was created outside the shim; close it there too.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool TcpListener::Listen(const std::string& host, std::uint16_t port,
+                         int backlog) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    errno = EINVAL;
+    return false;
+  }
+  // Nonblocking: Accept() must return "none pending" instead of parking
+  // the pump thread inside accept(2).
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0 ||
+      ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, backlog) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return false;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+  fd_ = fd;
+  return true;
+}
+
+std::unique_ptr<TcpTransport> TcpListener::Accept(TcpTransport::Config config,
+                                                  std::int64_t tick) {
+  if (fd_ < 0) return nullptr;
+  const int fd = sys_.Accept(fd_);
+  if (fd < 0) return nullptr;
+  ++accepted_;
+  return std::make_unique<TcpTransport>(fd, config, sys_, tick,
+                                        Transport::State::kConnected);
+}
+
+}  // namespace rfdump::net

@@ -47,6 +47,8 @@ TEST(FuzzCorpus, PhyBtPacket) { RunTarget(rft::FuzzTarget::kPhyBtPacket); }
 
 TEST(FuzzCorpus, PhyZigbee) { RunTarget(rft::FuzzTarget::kPhyZigbee); }
 
+TEST(FuzzCorpus, NetFrame) { RunTarget(rft::FuzzTarget::kNetFrame); }
+
 TEST(FuzzCorpus, MutatorIsDeterministicAndTotal) {
   // Same RNG state => same mutant; mutation never produces an empty input
   // (RunFuzzInput treats empty as a no-op and the corpus would rot).

@@ -1,0 +1,509 @@
+// Syscall-chaos suite for the real TCP transport (DESIGN.md §14): the
+// exact-recovery invariant the in-memory sweep proves (net_chaos_test.cpp)
+// is re-proven end-to-end over loopback sockets, with faults injected one
+// layer *lower* — at the syscall boundary, via FaultySyscalls. 13 seeded
+// profiles cover short reads, short writes (frames cut mid-header), EINTR
+// and EAGAIN storms, mid-frame connection resets on both directions,
+// stalled and refused connects, fd exhaustion and a kitchen sink. For every
+// profile, after a passthrough drain:
+//
+//   fused view == union of published events minus the losses the gap
+//   ledger records, with zero corrupt frames accepted and zero duplicates
+//
+// — the same equality, now carried by a transport whose failure modes are
+// the ones a deployment actually hits. A slow-reader test proves the
+// backpressure path: a wedged aggregator degrades the sender to bounded
+// memory (send-buffer cap held, ring overflow declared as gaps), never to
+// OOM or deadlock.
+//
+// On failure the FaultySyscalls ground-truth logs are written as JSON to
+// $RFDUMP_FAULT_LOG_DIR (or cwd), same artifact contract as the link sweep.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rfdump/net/endpoint.hpp"
+#include "rfdump/net/faulty_syscalls.hpp"
+#include "rfdump/net/tcp.hpp"
+#include "rfdump/obs/obs.hpp"
+
+namespace core = rfdump::core;
+namespace net = rfdump::net;
+
+namespace {
+
+constexpr std::int64_t kSamplesPerTick = 8000;
+constexpr std::int64_t kEventSpacing = 10'000;  // >> dedup slack (64)
+constexpr std::size_t kSensors = 3;
+
+struct SyscallProfile {
+  const char* name;
+  std::uint64_t seed;
+  net::FaultySyscalls::Config client;  // sensor-side syscalls
+  net::FaultySyscalls::Config server;  // aggregator-side syscalls
+  // Fault kinds whose presence in the logs the test asserts, so a profile
+  // that silently stopped injecting cannot keep passing vacuously.
+  std::vector<net::SyscallFaultKind> expect_client;
+  std::vector<net::SyscallFaultKind> expect_server;
+};
+
+std::vector<SyscallProfile> Profiles() {
+  using K = net::SyscallFaultKind;
+  std::vector<SyscallProfile> out;
+  auto add = [&](const char* name, std::uint64_t seed) -> SyscallProfile& {
+    SyscallProfile p;
+    p.name = name;
+    p.seed = seed;
+    out.push_back(p);
+    return out.back();
+  };
+
+  add("clean", 201);
+  {
+    auto& p = add("short-reads", 202);
+    p.server.short_read_rate = 0.5;
+    p.server.short_read_max = 3;
+    p.client.short_read_rate = 0.3;
+    p.expect_server = {K::kShortRead};
+  }
+  {
+    auto& p = add("short-writes", 203);
+    p.client.short_write_rate = 0.5;
+    p.client.short_write_max = 5;  // a 16-byte header spans >= 4 writes
+    p.server.short_write_rate = 0.3;
+    p.expect_client = {K::kShortWrite};
+  }
+  {
+    auto& p = add("eintr-storm", 204);
+    p.client.eintr_rate = 0.4;
+    p.server.eintr_rate = 0.4;
+    p.expect_client = {K::kEintr};
+    p.expect_server = {K::kEintr};
+  }
+  {
+    auto& p = add("eagain-storm", 205);
+    p.client.eagain_rate = 0.4;
+    p.server.eagain_rate = 0.4;
+    p.expect_client = {K::kEagain};
+    p.expect_server = {K::kEagain};
+  }
+  {
+    auto& p = add("read-resets", 206);
+    p.server.read_reset_rate = 0.03;  // aggregator loses inbound mid-frame
+    p.expect_server = {K::kReadReset};
+  }
+  {
+    auto& p = add("write-resets", 207);
+    p.client.write_reset_rate = 0.01;  // sensor uplink dies mid-frame
+    p.expect_client = {K::kWriteReset};
+  }
+  {
+    auto& p = add("short-both", 208);
+    p.client.short_write_rate = 0.4;
+    p.client.short_read_rate = 0.4;
+    p.server.short_write_rate = 0.4;
+    p.server.short_read_rate = 0.4;
+    p.expect_client = {K::kShortWrite, K::kShortRead};
+    p.expect_server = {K::kShortWrite, K::kShortRead};
+  }
+  {
+    auto& p = add("resets+short", 209);
+    p.client.write_reset_rate = 0.005;
+    p.client.short_write_rate = 0.3;
+    p.server.read_reset_rate = 0.005;
+    p.server.short_read_rate = 0.3;
+    p.expect_client = {K::kShortWrite};
+    p.expect_server = {K::kShortRead};
+  }
+  {
+    // Reset churn forces redials mid-chaos (the warm-up connects run
+    // faultless for clock calibration); half of those redials stall and
+    // must be reaped by the transport's connect timeout into the
+    // session's backoff.
+    auto& p = add("connect-stall", 210);
+    p.client.connect_stall_rate = 0.5;
+    p.client.write_reset_rate = 0.02;
+    p.expect_client = {K::kConnectStalled, K::kWriteReset};
+  }
+  {
+    auto& p = add("connect-refuse", 211);
+    p.client.connect_refuse_rate = 0.5;
+    p.client.write_reset_rate = 0.02;
+    p.expect_client = {K::kConnectRefused};
+  }
+  {
+    // Both flavours of fd exhaustion at once: the sensors contend for too
+    // few client sockets, and the aggregator's accept intermittently hits
+    // a transient EMFILE; reset churn keeps fds cycling through the cap.
+    auto& p = add("fd-exhaustion", 212);
+    p.client.max_open_fds = 2;  // 3 sensors contend for 2 client sockets
+    p.client.write_reset_rate = 0.005;  // churn frees fds mid-run
+    p.server.accept_fail_rate = 0.4;
+    p.expect_client = {K::kFdLimit};
+    p.expect_server = {K::kAcceptFail};
+  }
+  {
+    auto& p = add("kitchen-sink", 214);
+    p.client.short_write_rate = 0.2;
+    p.client.short_read_rate = 0.2;
+    p.client.eintr_rate = 0.1;
+    p.client.eagain_rate = 0.1;
+    p.client.write_reset_rate = 0.003;
+    p.client.connect_stall_rate = 0.2;
+    p.server.short_read_rate = 0.2;
+    p.server.eintr_rate = 0.1;
+    p.server.read_reset_rate = 0.003;
+    p.server.accept_fail_rate = 0.2;
+    p.expect_client = {K::kShortWrite};
+    p.expect_server = {K::kShortRead};
+  }
+  return out;
+}
+
+net::EventRecord TrueEvent(std::size_t index, std::int64_t clock_offset) {
+  net::EventRecord e;
+  e.protocol = core::Protocol::kWifi80211b;
+  e.channel = -1;
+  const std::int64_t true_start =
+      100'000 + static_cast<std::int64_t>(index) * kEventSpacing;
+  e.start_sample = true_start + clock_offset;
+  e.end_sample = e.start_sample + 2'000;
+  e.payload_bytes = 100;
+  e.crc_ok = true;
+  e.payload_digest = 0xE000000 + index;
+  return e;
+}
+
+bool InRanges(const std::vector<net::SeqRange>& ranges, std::uint32_t seq) {
+  for (const auto& r : ranges) {
+    if (seq >= r.first && seq <= r.last) return true;
+  }
+  return false;
+}
+
+bool LogContains(const net::FaultySyscalls& sys, net::SyscallFaultKind kind) {
+  for (const auto& f : sys.faults()) {
+    if (f.kind == kind) return true;
+  }
+  return false;
+}
+
+void DumpSyscallLogs(const SyscallProfile& profile,
+                     const net::FaultySyscalls& client,
+                     const net::FaultySyscalls& server) {
+  const char* dir = std::getenv("RFDUMP_FAULT_LOG_DIR");
+  const std::string base = dir ? std::string(dir) + "/" : std::string();
+  std::ofstream(base + "syscall_fault_log_" + profile.name + "_client.json")
+      << client.FaultLogJson();
+  std::ofstream(base + "syscall_fault_log_" + profile.name + "_server.json")
+      << server.FaultLogJson();
+}
+
+/// The full sensor fleet over loopback: one listener + AggregatorServer,
+/// three sessions behind SensorEndpoints, all syscalls through the
+/// profile's FaultySyscalls pair, pumped in a single-threaded tick loop.
+struct TcpFleet {
+  explicit TcpFleet(const SyscallProfile& profile)
+      : client_sys(profile.client, profile.seed * 2 + 1),
+        server_sys(profile.server, profile.seed * 2 + 2),
+        listener(server_sys) {
+    // The listener binds through real syscalls; only accept is faultable.
+    if (!listener.Listen("127.0.0.1", 0)) {
+      ADD_FAILURE() << "loopback listen failed";
+      return;
+    }
+    net::AggregatorServer::Config scfg;
+    scfg.aggregator.samples_per_tick = kSamplesPerTick;
+    scfg.aggregator.trust_floor = 0.0;  // equality profile: hold nothing back
+    server = std::make_unique<net::AggregatorServer>(scfg);
+    server->set_listener(&listener);
+
+    for (std::size_t i = 0; i < kSensors; ++i) {
+      registries.push_back(std::make_unique<rfdump::obs::Registry>());
+      net::SensorSession::Config cfg;
+      cfg.sensor_id = static_cast<std::uint16_t>(i);
+      cfg.retransmit_ring = 32;
+      cfg.metrics_registry = registries.back().get();
+      cfg.metrics_every_n_heartbeats = 1;
+      sessions.push_back(std::make_unique<net::SensorSession>(
+          cfg, profile.seed * 10 + i));
+      const std::uint16_t port = listener.port();
+      endpoints.push_back(std::make_unique<net::SensorEndpoint>(
+          *sessions.back(), [this, port](std::int64_t tick) {
+            net::TcpTransport::Config tcfg;
+            tcfg.connect_timeout_ticks = 8;
+            return net::TcpTransport::Dial("127.0.0.1", port, tcfg,
+                                           client_sys, tick);
+          }));
+    }
+  }
+
+  void Tick() {
+    ++now;
+    for (std::size_t i = 0; i < kSensors; ++i) {
+      endpoints[i]->Pump(now, now * kSamplesPerTick + offsets[i]);
+    }
+    server->Pump(now);
+  }
+
+  void Run(int ticks) {
+    for (int i = 0; i < ticks; ++i) Tick();
+  }
+
+  void SetPassthrough(bool pass) {
+    client_sys.set_passthrough(pass);
+    server_sys.set_passthrough(pass);
+  }
+
+  /// Lossless drain until every session is connected with an empty ring
+  /// (or the tick budget runs out — the suite then fails loudly).
+  bool Drain(int max_ticks) {
+    SetPassthrough(true);
+    for (int t = 0; t < max_ticks; ++t) {
+      Tick();
+      bool settled = true;
+      for (auto& s : sessions) {
+        if (s->unacked() != 0 ||
+            s->state() != net::SensorSession::State::kConnected) {
+          settled = false;
+          break;
+        }
+      }
+      if (settled) return true;
+    }
+    return false;
+  }
+
+  const std::int64_t offsets[kSensors] = {900, -1'300, 4'000};
+  net::FaultySyscalls client_sys;
+  net::FaultySyscalls server_sys;
+  net::TcpListener listener;
+  std::unique_ptr<net::AggregatorServer> server;
+  std::vector<std::unique_ptr<rfdump::obs::Registry>> registries;
+  std::vector<std::unique_ptr<net::SensorSession>> sessions;
+  std::vector<std::unique_ptr<net::SensorEndpoint>> endpoints;
+  std::int64_t now = 0;
+};
+
+void RunSyscallProfile(const SyscallProfile& profile) {
+  SCOPED_TRACE(profile.name);
+  TcpFleet fleet(profile);
+  if (!fleet.listener.listening()) return;
+
+  // Warm-up faultless so the clock-offset estimates converge exactly before
+  // chaos starts (calibration-before-chaos, same as the link sweep).
+  fleet.SetPassthrough(true);
+  fleet.Run(8);
+  fleet.SetPassthrough(false);
+
+  // Publish phase under fault injection.
+  std::map<std::uint16_t, std::map<std::uint32_t, std::vector<std::uint64_t>>>
+      published;  // sensor -> seq -> digests
+  std::uint64_t events_published[kSensors] = {};
+  std::size_t next_event = 0;
+  for (int t = 0; t < 40; ++t) {
+    for (std::size_t k = 0; k < 2; ++k) {
+      for (std::size_t i = 0; i < kSensors; ++i) {
+        net::EventBatchMsg batch;
+        const auto ev = TrueEvent(next_event, fleet.offsets[i]);
+        batch.block_start = ev.start_sample;
+        batch.events = {ev};
+        const auto seq = fleet.sessions[i]->PublishEvents(batch);
+        published[static_cast<std::uint16_t>(i)][seq] = {ev.payload_digest};
+        fleet.registries[i]->GetCounter("chaos_events_published_total").Inc();
+        ++events_published[i];
+      }
+      ++next_event;
+    }
+    fleet.Tick();
+  }
+
+  // Drain: no new injections; reconnects and retransmits converge.
+  const bool settled = fleet.Drain(3000);
+  EXPECT_TRUE(settled) << "fleet did not converge within the drain budget";
+
+  auto& agg = fleet.server->aggregator();
+  for (std::size_t i = 0; i < kSensors; ++i) {
+    const auto id = static_cast<std::uint16_t>(i);
+    ASSERT_TRUE(agg.Known(id)) << "sensor " << i << " never reached the "
+                               << "aggregator over TCP";
+    EXPECT_EQ(fleet.sessions[i]->unacked(), 0u) << "sensor " << i;
+    // Every applied gap was declared by the sensor; delivery + gap ledger
+    // account for every sequence number (loss explicit, never silent).
+    const auto& st = agg.status(id);
+    const auto declared = fleet.sessions[i]->lost_ranges();
+    std::uint64_t lost_frames = 0;
+    for (const auto& r : st.lost_applied) {
+      lost_frames += r.last - r.first + 1;
+      for (std::uint32_t seq = r.first; seq <= r.last; ++seq) {
+        EXPECT_TRUE(InRanges(declared, seq))
+            << "sensor " << i << " applied undeclared loss, seq " << seq;
+      }
+    }
+    EXPECT_EQ(st.frames_delivered + lost_frames, st.cum_seq)
+        << "sensor " << i;
+  }
+
+  // Exact recovery: fused == union of published minus declared loss.
+  std::set<std::uint64_t> expected;
+  for (std::size_t i = 0; i < kSensors; ++i) {
+    const auto id = static_cast<std::uint16_t>(i);
+    const auto& lost = agg.status(id).lost_applied;
+    for (const auto& [seq, digests] : published[id]) {
+      if (InRanges(lost, seq)) continue;
+      expected.insert(digests.begin(), digests.end());
+    }
+  }
+  std::set<std::uint64_t> fused;
+  for (const auto& f : agg.fused()) {
+    EXPECT_TRUE(fused.insert(f.payload_digest).second)
+        << "duplicate fused event, digest " << f.payload_digest;
+    // Zero corrupt frames accepted: nothing fused that was never published.
+    EXPECT_GE(f.payload_digest, 0xE000000u);
+    EXPECT_LT(f.payload_digest, 0xE000000u + next_event);
+  }
+  EXPECT_EQ(fused, expected);
+
+  // Metrics federation over real TCP: the last-write-wins registry must
+  // land on the exact per-sensor truth after the drain.
+#if RFDUMP_OBS_ENABLED
+  for (std::size_t i = 0; i < kSensors; ++i) {
+    const auto id = static_cast<std::uint16_t>(i);
+    double chaos_counter = -1.0;
+    for (const auto& e : agg.federated(id)) {
+      if (e.name == "chaos_events_published_total") chaos_counter = e.value;
+    }
+    EXPECT_DOUBLE_EQ(chaos_counter,
+                     static_cast<double>(events_published[i]))
+        << "sensor " << i;
+  }
+#else
+  (void)events_published;
+#endif
+
+  // The profile must have actually exercised its fault kinds — a sweep
+  // that stops injecting cannot keep passing vacuously.
+  for (const auto kind : profile.expect_client) {
+    EXPECT_TRUE(LogContains(fleet.client_sys, kind))
+        << "client log missing " << net::SyscallFaultKindName(kind);
+  }
+  for (const auto kind : profile.expect_server) {
+    EXPECT_TRUE(LogContains(fleet.server_sys, kind))
+        << "server log missing " << net::SyscallFaultKindName(kind);
+  }
+
+  if (::testing::Test::HasFailure()) {
+    DumpSyscallLogs(profile, fleet.client_sys, fleet.server_sys);
+  }
+}
+
+TEST(NetTcpChaos, SweepRecoversExactlyAcrossSyscallProfiles) {
+  const auto profiles = Profiles();
+  ASSERT_EQ(profiles.size(), 13u);
+  for (const auto& p : profiles) RunSyscallProfile(p);
+}
+
+// ------------------------------------------------------------ slow reader
+
+TEST(NetTcpChaos, SlowReaderDegradesSenderToBoundedMemory) {
+  // A wedged aggregator (its Pump simply never runs) must not OOM or
+  // deadlock the sensor: the kernel socket buffer fills, then the
+  // transport's bounded send buffer fills to its cap and Send() starts
+  // refusing, and the retransmit ring overflows into *declared* gaps.
+  SyscallProfile clean;
+  clean.name = "slow-reader";
+  clean.seed = 501;
+  TcpFleet fleet(clean);
+  ASSERT_TRUE(fleet.listener.listening());
+  fleet.SetPassthrough(true);
+
+  constexpr std::size_t kSendCap = 32 * 1024;
+  // Rebuild endpoint 0 with a small send cap so the test converges fast.
+  fleet.endpoints[0] = std::make_unique<net::SensorEndpoint>(
+      *fleet.sessions[0], [&fleet](std::int64_t tick) {
+        net::TcpTransport::Config tcfg;
+        tcfg.send_buffer_limit = kSendCap;
+        return net::TcpTransport::Dial("127.0.0.1", fleet.listener.port(),
+                                       tcfg, fleet.client_sys, tick);
+      });
+
+  fleet.Run(8);  // connect + first acks while the server still reads
+  ASSERT_EQ(fleet.sessions[0]->state(),
+            net::SensorSession::State::kConnected);
+
+  // Server wedges: pump only the sensor endpoints from here on.
+  std::map<std::uint32_t, std::uint64_t> published;  // seq -> digest
+  std::size_t next_event = 0;
+  std::size_t peak_buffered = 0;
+  for (int t = 0; t < 600; ++t) {
+    net::EventBatchMsg batch;
+    batch.events.clear();
+    for (int k = 0; k < 200; ++k) {
+      batch.events.push_back(TrueEvent(next_event++, fleet.offsets[0]));
+    }
+    batch.block_start = batch.events.front().start_sample;
+    const auto seq = fleet.sessions[0]->PublishEvents(batch);
+    published[seq] = batch.events.front().payload_digest;
+    ++fleet.now;
+    fleet.endpoints[0]->Pump(fleet.now,
+                             fleet.now * kSamplesPerTick + fleet.offsets[0]);
+    // The memory bound, checked every tick: the transport never buffers
+    // past its cap, and the session never holds more than the ring.
+    if (auto* t0 = fleet.endpoints[0]->transport()) {
+      auto* tcp = static_cast<net::TcpTransport*>(t0);
+      peak_buffered = std::max(peak_buffered, tcp->send_buffered());
+      ASSERT_LE(tcp->send_buffered(), kSendCap);
+    }
+    ASSERT_LE(fleet.sessions[0]->unacked(), 32u);
+  }
+
+  const auto totals = fleet.endpoints[0]->transport_totals();
+  const auto stats = fleet.sessions[0]->stats();
+  // The cap was genuinely reached and held: backpressure refused frames,
+  // and the ring overflowed into declared loss instead of growing.
+  EXPECT_GT(totals.send_rejects + fleet.endpoints[0]->stats().send_rejects,
+            0u);
+  EXPECT_LE(totals.send_buffer_peak, kSendCap);
+  EXPECT_GT(peak_buffered, 0u);
+  EXPECT_GT(stats.ring_overflow_drops, 0u);
+  EXPECT_FALSE(fleet.sessions[0]->lost_ranges().empty());
+
+  // The reader wakes up: drain must restore the exact-recovery equality.
+  ASSERT_TRUE(fleet.Drain(3000));
+  auto& agg = fleet.server->aggregator();
+  ASSERT_TRUE(agg.Known(0));
+  const auto& st = agg.status(0);
+  const auto declared = fleet.sessions[0]->lost_ranges();
+  std::uint64_t lost_frames = 0;
+  for (const auto& r : st.lost_applied) {
+    lost_frames += r.last - r.first + 1;
+    for (std::uint32_t seq = r.first; seq <= r.last; ++seq) {
+      EXPECT_TRUE(InRanges(declared, seq)) << "undeclared loss, seq " << seq;
+    }
+  }
+  EXPECT_EQ(st.frames_delivered + lost_frames, st.cum_seq);
+  EXPECT_EQ(fleet.sessions[0]->unacked(), 0u);
+
+  std::set<std::uint64_t> expected;
+  for (const auto& [seq, digest] : published) {
+    if (InRanges(st.lost_applied, seq)) continue;
+    expected.insert(digest);
+  }
+  std::set<std::uint64_t> fused_first;  // first event digest of each batch
+  for (const auto& f : agg.fused()) {
+    if (expected.count(f.payload_digest) != 0) {
+      fused_first.insert(f.payload_digest);
+    }
+  }
+  EXPECT_EQ(fused_first, expected);
+}
+
+}  // namespace

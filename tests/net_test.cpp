@@ -1207,6 +1207,107 @@ TEST(Aggregator, FederatedExpositionLabelsEverySensor) {
   EXPECT_NE(expo.find("rfdump_agg_live_sensors"), std::string::npos);
 }
 
+TEST(Aggregator, LyingMetricsPayloadRejectedWithoutDesyncOrCorruption) {
+  // A kMetrics frame can be CRC-valid yet lie inside its payload (hostile
+  // or version-skewed sensor): an entry count that doesn't match the bytes
+  // present, entries cut short, an absurd count. The codec must reject it,
+  // the per-sensor parser must stay in sync for the frames behind it, and
+  // the federated registry must keep its last good snapshot untouched.
+  net::Aggregator agg;
+  net::FrameHeader mh;
+  mh.type = net::FrameType::kMetrics;
+  mh.sensor_id = 3;
+
+  net::MetricsMsg good;
+  good.snapshot_id = 1;
+  good.full = 1;
+  good.entries.push_back({"demo_events_total", 0, 5.0});
+  good.entries.push_back({"demo_depth", 1, 0.25});
+  agg.HandleBytes(3, HelloFrame(3, 1, 8000));
+  agg.HandleBytes(3, net::EncodeFrame(mh, good.Encode()));
+  ASSERT_EQ(agg.status(3).metrics_snapshots_applied, 1u);
+
+  const auto value = [&](const std::string& name) -> double {
+    for (const auto& e : agg.federated(3)) {
+      if (e.name == name) return e.value;
+    }
+    return -1.0;
+  };
+  ASSERT_DOUBLE_EQ(value("demo_events_total"), 5.0);
+
+  // Three lying payloads, all framed with a *valid* CRC. Each claims a
+  // higher snapshot_id than the good one, so if any were wrongly applied
+  // the registry (or the stale-drop ledger) would show it.
+  std::vector<std::vector<std::uint8_t>> lies;
+  {
+    // Count says 2, bytes carry 1.5 entries: truncated mid-entry.
+    net::MetricsMsg m;
+    m.snapshot_id = 9;
+    m.full = 1;
+    m.entries.push_back({"demo_events_total", 0, 777.0});
+    m.entries.push_back({"demo_depth", 1, 777.0});
+    auto payload = m.Encode();
+    payload.resize(payload.size() - 5);
+    lies.push_back(net::EncodeFrame(mh, payload));
+  }
+  {
+    // Count field inflated beyond the bytes that follow.
+    net::MetricsMsg m;
+    m.snapshot_id = 10;
+    m.full = 1;
+    m.entries.push_back({"demo_events_total", 0, 888.0});
+    auto payload = m.Encode();
+    payload[8] = 0xFF;  // count MSB; count lives after snapshot_id + full
+    lies.push_back(net::EncodeFrame(mh, payload));
+  }
+  {
+    // Entry name length runs past the payload end.
+    net::MetricsMsg m;
+    m.snapshot_id = 11;
+    m.full = 1;
+    m.entries.push_back({"x", 0, 999.0});
+    auto payload = m.Encode();
+    payload[9] = 0xFF;  // first entry's u16 name length, low byte
+    payload[10] = 0x00;
+    lies.push_back(net::EncodeFrame(mh, payload));
+  }
+
+  // Each lying frame rides in the same byte stream as a valid data frame
+  // behind it: rejection must be payload-local, never a parser desync.
+  net::EventBatchMsg batch;
+  batch.block_start = 8000;
+  batch.events = {MakeEvent(8000)};
+  std::uint32_t seq = 0;
+  for (const auto& lie : lies) {
+    std::vector<std::uint8_t> stream = lie;
+    const auto data = DataFrame(3, ++seq, batch);
+    stream.insert(stream.end(), data.begin(), data.end());
+    agg.HandleBytes(3, stream);
+  }
+
+  const auto& st = agg.status(3);
+  EXPECT_EQ(st.frames_delivered, 3u);  // every trailing data frame landed
+  EXPECT_EQ(st.metrics_snapshots_applied, 1u);   // only the good snapshot
+  EXPECT_EQ(st.metrics_snapshot_id, 1u);         // ids 9/10/11 never stuck
+  EXPECT_EQ(st.metrics_stale_dropped, 0u);
+  EXPECT_DOUBLE_EQ(value("demo_events_total"), 5.0);
+  EXPECT_DOUBLE_EQ(value("demo_depth"), 0.25);
+
+  const auto& ps = agg.parse_stats(3);
+  EXPECT_EQ(ps.bad_crc, 0u);          // the lies were CRC-valid frames
+  EXPECT_EQ(ps.bad_magic_bytes, 0u);  // and never cost the parser a resync
+  EXPECT_EQ(ps.frames_ok, 2u + static_cast<std::uint64_t>(lies.size()) * 2);
+
+  // A later honest snapshot still applies normally.
+  net::MetricsMsg heal;
+  heal.snapshot_id = 2;
+  heal.full = 1;
+  heal.entries.push_back({"demo_events_total", 0, 6.0});
+  agg.HandleBytes(3, net::EncodeFrame(mh, heal.Encode()));
+  EXPECT_EQ(agg.status(3).metrics_snapshots_applied, 2u);
+  EXPECT_DOUBLE_EQ(value("demo_events_total"), 6.0);
+}
+
 // ------------------------------------------- fleet status surface (§13)
 
 // Minimal JSON reader: just enough grammar for FleetStatus::ToJson() output
