@@ -11,6 +11,7 @@
 //   example_rfdump_cli -r trace.iq --no-demod          # detection only
 //   example_rfdump_cli -r trace.iq --detectors timing  # timing|phase|both
 //   example_rfdump_cli -r trace.iq --stats             # per-stage CPU costs
+//   example_rfdump_cli -r trace.iq --protocols wifi,ble  # bundle selection
 
 #include <algorithm>
 #include <cerrno>
@@ -54,6 +55,10 @@ void PrintUsage(const char* argv0) {
       "  --demo             synthesize a demo ether instead of reading\n"
       "  --arch A           rfdump (default) | naive | energy\n"
       "  --detectors D      both (default) | timing | phase\n"
+      "  --protocols LIST   comma-separated protocol bundles to enable\n"
+      "                     (names from the registry, e.g. wifi,bt,ble;\n"
+      "                     unknown names exit 2; default = every bundle\n"
+      "                     registered as enabled-by-default)\n"
       "  --no-demod         detection stage only\n"
       "  --threads N        analysis worker threads (default 1 = serial;\n"
       "                     0 = one per hardware thread). Results are\n"
@@ -152,6 +157,39 @@ bool ParseDoubleFlag(const char* flag, const char* text, double min_value,
   return true;
 }
 
+// "--protocols wifi,bt,ble" -> bundle mask. Strict: every name must be a
+// registered bundle's cli_name, or the run stops with exit 2.
+bool ParseProtocolsFlag(const char* text, std::uint32_t* mask) {
+  const auto& registry = core::ProtocolRegistry::Instance();
+  std::uint32_t out = 0;
+  const std::string list = text;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string name =
+        list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    const core::ProtocolBundle* bundle =
+        name.empty() ? nullptr : registry.FindCli(name);
+    if (bundle == nullptr) {
+      std::string known;
+      for (const auto& b : registry.bundles()) {
+        if (!known.empty()) known += ",";
+        known += b.cli_name;
+      }
+      std::fprintf(stderr,
+                   "error: --protocols: unknown protocol '%s' (known: %s)\n",
+                   name.c_str(), known.c_str());
+      return false;
+    }
+    out |= core::BundleBit(bundle->protocol);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  *mask = out;
+  return true;
+}
+
 dsp::SampleVec DemoEther() {
   rfdump::emu::Ether ether;
   rfdump::traffic::WifiPingConfig wifi;
@@ -201,6 +239,20 @@ void PrintReport(const core::MonitorReport& report, bool stats) {
                   p.channel_index,
                   rfdump::phybt::PacketTypeName(p.packet.header.type),
                   p.packet.payload.size(), p.packet.crc_ok ? "ok" : "BAD");
+    lines.push_back({t, buf});
+  }
+  // Registry-era protocols (and ZigBee, which never had a typed line here)
+  // come from the generic protocol-tagged event view.
+  for (const auto& e : report.events) {
+    if (e.protocol == core::Protocol::kWifi80211b ||
+        e.protocol == core::Protocol::kBluetooth) {
+      continue;  // already listed via their typed shims above
+    }
+    const double t = static_cast<double>(e.start_sample) / dsp::kSampleRateHz;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%-10s ch %d %zu B crc %s",
+                  core::ProtocolName(e.protocol), e.channel, e.payload.size(),
+                  e.crc_ok ? "ok" : "BAD");
     lines.push_back({t, buf});
   }
   // Detection-only runs: list the tagged intervals instead.
@@ -258,6 +310,18 @@ bool DumpMetrics(const std::string& dest) {
 // every seed and no corpus input crashes or hangs a decoder.
 int RunSelfTest(const std::string& corpus_root) {
   namespace rft = rfdump::testing;
+  // Everything below enumerates the protocol registry: a newly registered
+  // bundle appears in this listing, joins the differential sweep via its
+  // differential_member flag, and gets its corpus replayed via its fuzz
+  // hooks — with zero edits here.
+  std::printf("[selftest] registered protocol bundles:\n");
+  for (const auto& b : core::ProtocolRegistry::Instance().bundles()) {
+    std::printf("  %-12s --protocols %-10s %s%s\n", b.name, b.cli_name,
+                b.default_enabled ? "default-on" : "opt-in",
+                b.fuzz_name != nullptr
+                    ? (std::string("  fuzz:") + b.fuzz_name).c_str()
+                    : "");
+  }
   std::printf("[selftest] differential sweep: naive vs naive+energy vs "
               "rfdump@1 vs rfdump@N\n");
   rft::DifferentialPolicy policy;
@@ -268,15 +332,11 @@ int RunSelfTest(const std::string& corpus_root) {
     std::printf("%s", r.Summary().c_str());
     ok = ok && r.ok();
   }
-  const rft::FuzzTarget targets[] = {
-      rft::FuzzTarget::kPhy80211Plcp, rft::FuzzTarget::kPhyBtPacket,
-      rft::FuzzTarget::kPhyZigbee, rft::FuzzTarget::kNetFrame};
-  for (const auto target : targets) {
-    const std::string dir =
-        corpus_root + "/" + rft::FuzzCorpusDirName(target);
+  for (const auto& target : rft::EnumerateFuzzTargets()) {
+    const std::string dir = corpus_root + "/" + target.corpus_dir;
     if (!std::filesystem::is_directory(dir)) {
       std::printf("[selftest] corpus dir %s not found; skipping %s\n",
-                  dir.c_str(), rft::FuzzTargetName(target));
+                  dir.c_str(), target.name.c_str());
       continue;
     }
     rft::CorpusRunner::Config cfg;
@@ -284,9 +344,9 @@ int RunSelfTest(const std::string& corpus_root) {
     cfg.mutation_rounds = 1;
     rft::CorpusRunner runner(cfg);
     const auto result = runner.RunDirectory(target, dir);
-    std::printf("%s", result.Summary(target).c_str());
+    std::printf("%s", result.Summary(target.name).c_str());
     if (result.inputs_run == 0) {
-      std::printf("[selftest] %s: corpus empty\n", rft::FuzzTargetName(target));
+      std::printf("[selftest] %s: corpus empty\n", target.name.c_str());
       ok = false;
     }
     ok = ok && result.ok();
@@ -736,6 +796,8 @@ int main(int argc, char** argv) {
   double noise_floor = 1.0;
   double budget = 0.0;
   double deadline = 0.0;
+  std::uint32_t protocols_mask = 0;
+  bool protocols_set = false;
   int threads = 1;
   int fleet_sensors = 0;
   bool fleet_status = false, fleet_status_json = false;
@@ -753,6 +815,9 @@ int main(int argc, char** argv) {
       arch = argv[++i];
     } else if (arg == "--detectors" && i + 1 < argc) {
       detectors = argv[++i];
+    } else if (arg == "--protocols" && i + 1 < argc) {
+      if (!ParseProtocolsFlag(argv[++i], &protocols_mask)) return 2;
+      protocols_set = true;
     } else if (arg == "--no-demod") {
       no_demod = true;
     } else if (arg == "--threads" && i + 1 < argc) {
@@ -893,6 +958,21 @@ int main(int argc, char** argv) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads < 1) threads = 1;
   }
+  // --protocols overrides the default bundle set: start from an empty mask
+  // and enable exactly the named bundles (EnableBundle also switches on the
+  // per-protocol detector/demod flags a bundle's hooks gate on).
+  const auto apply_protocols = [&](core::RFDumpPipeline::Config& cfg) {
+    if (!protocols_set) return;
+    cfg.bundle_mask = 0;
+    for (const auto& b : core::ProtocolRegistry::Instance().bundles()) {
+      if ((protocols_mask & core::BundleBit(b.protocol)) != 0) {
+        cfg.EnableBundle(b.protocol);
+      }
+    }
+  };
+  const auto apply_protocols_naive = [&](core::NaivePipeline::Config& cfg) {
+    if (protocols_set) cfg.bundle_mask = protocols_mask;
+  };
   if (!connect_hp.empty()) {
     std::string host;
     std::uint16_t port = 0;
@@ -907,6 +987,7 @@ int main(int argc, char** argv) {
     mcfg.block_samples = 400'000;
     mcfg.overlap_samples = 160'000;
     mcfg.threads = threads;
+    apply_protocols(mcfg.pipeline);
     return RunTcpConnect(x, host, port, sensor_id, mcfg, max_seconds);
   }
   if (fleet_sensors > 0) {
@@ -920,6 +1001,7 @@ int main(int argc, char** argv) {
     mcfg.block_samples = 400'000;
     mcfg.overlap_samples = 160'000;
     mcfg.threads = threads;
+    apply_protocols(mcfg.pipeline);
     return RunFleet(x, fleet_sensors, mcfg, fleet_status, fleet_status_json,
                     metrics_path, trace_path_out);
   }
@@ -944,6 +1026,7 @@ int main(int argc, char** argv) {
     mcfg.threads = threads;
     mcfg.cpu_budget = budget;
     mcfg.supervisor.demod_limits.max_cpu_seconds = deadline;
+    apply_protocols(mcfg.pipeline);
     report = MonitorImpaired(x, mcfg, metrics_path, quarantine_dir);
   } else if (arch == "naive" || arch == "energy") {
     core::NaivePipeline::Config cfg;
@@ -951,6 +1034,7 @@ int main(int argc, char** argv) {
     cfg.noise_floor_power = noise_floor;
     cfg.analysis.demodulate = !no_demod;
     cfg.executor = &executor;
+    apply_protocols_naive(cfg);
     report = core::NaivePipeline(cfg).Process(x);
   } else if (arch == "rfdump") {
     core::RFDumpPipeline::Config cfg;
@@ -961,6 +1045,7 @@ int main(int argc, char** argv) {
     cfg.noise_floor_power = noise_floor;
     cfg.analysis.demodulate = !no_demod;
     cfg.executor = &executor;
+    apply_protocols(cfg);
     report = core::RFDumpPipeline(cfg).Process(x);
   } else {
     std::fprintf(stderr, "unknown --arch %s\n", arch.c_str());

@@ -3,9 +3,10 @@
 // Usage: corpus_gen OUT_ROOT [COUNT] [SEED]
 //
 // Writes COUNT (default 100) inputs per fuzz target into
-// OUT_ROOT/{phy80211_plcp,phybt_packet,phyzigbee,net_frame}/. Same COUNT +
-// SEED => bit-identical files, so the checked-in corpus is always
-// reconstructible (README "Self-test & fuzzing").
+// OUT_ROOT/<corpus_dir>/ for every target testing::EnumerateFuzzTargets()
+// reports — each registered protocol bundle with fuzz hooks, plus net-frame.
+// Same COUNT + SEED => bit-identical files, so the checked-in corpus is
+// always reconstructible (README "Self-test & fuzzing").
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,17 +25,12 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 1;
 
-  using rfdump::testing::FuzzTarget;
-  static constexpr FuzzTarget kTargets[] = {
-      FuzzTarget::kPhy80211Plcp, FuzzTarget::kPhyBtPacket,
-      FuzzTarget::kPhyZigbee, FuzzTarget::kNetFrame};
-  for (const auto target : kTargets) {
-    const std::string dir =
-        root + "/" + rfdump::testing::FuzzCorpusDirName(target);
+  for (const auto& target : rfdump::testing::EnumerateFuzzTargets()) {
+    const std::string dir = root + "/" + target.corpus_dir;
     const std::size_t n =
         rfdump::testing::WriteSeedCorpus(target, dir, count, seed);
-    std::printf("%-14s %4zu inputs -> %s\n",
-                rfdump::testing::FuzzTargetName(target), n, dir.c_str());
+    std::printf("%-14s %4zu inputs -> %s\n", target.name.c_str(), n,
+                dir.c_str());
   }
   return 0;
 }

@@ -18,11 +18,9 @@
 
 #include "rfdump/core/collision.hpp"
 #include "rfdump/core/detections.hpp"
-#include "rfdump/core/freq_detector.hpp"
 #include "rfdump/core/peaks.hpp"
-#include "rfdump/core/phase_detectors.hpp"
+#include "rfdump/core/protocol_registry.hpp"
 #include "rfdump/core/supervisor.hpp"
-#include "rfdump/core/timing_detectors.hpp"
 #include "rfdump/phy80211/demodulator.hpp"
 #include "rfdump/phybt/demodulator.hpp"
 #include "rfdump/phyzigbee/phy.hpp"
@@ -76,9 +74,19 @@ struct HealthReport {
 struct MonitorReport {
   std::vector<Detection> detections;   // raw detector output (RFDump only)
   std::vector<Detection> dispatched;   // merged intervals sent to analysis
+  /// Legacy per-protocol decode vectors. Kept as thin shims over the generic
+  /// `events` collection below: bundles with rich typed results still fill
+  /// them (and existing tests/sinks compile unchanged), and the pipeline
+  /// derives `events` from them after analysis. Bundles without a typed
+  /// vector (e.g. BLE advertising) appear only in `events`.
   std::vector<phy80211::DecodedFrame> wifi_frames;
   std::vector<phybt::DecodedBtPacket> bt_packets;
   std::vector<phyzigbee::DecodedZbFrame> zb_frames;
+  /// Generic protocol-tagged decode events, grouped by protocol id in
+  /// registry order; within a protocol, in the same order as its typed
+  /// vector. This is the view the generic layers (oracle, differential,
+  /// net fusion, ResultSink::OnEvent) consume.
+  std::vector<ProtocolEvent> events;
   std::vector<StageCost> costs;
   std::vector<HealthReport> health;    // input-quality scan(s), see above
   std::uint64_t samples_total = 0;
@@ -98,6 +106,11 @@ struct AnalysisConfig {
   bool zigbee_demod = false;   // decode 802.15.4 frames in tagged ranges
   int bt_demods = 8;           // one per visible Bluetooth channel
   std::uint8_t bt_uap = 0x47;  // UAP known to the monitor (see DESIGN.md)
+  /// Registry bundles whose intervals the analysis stage will demodulate
+  /// (bit = BundleBit(protocol)). Defaults to all-on: the detect stage's
+  /// bundle mask already decides which protocols get tagged and dispatched,
+  /// so analysis follows detection unless a bundle is disabled here too.
+  std::uint32_t bundle_mask = 0xFFFFFFFFu;
   /// Detections below this confidence are still reported but not dispatched
   /// to demodulators. 0 dispatches everything; the streaming monitor's
   /// load-shedding controller raises it under overload (paper §2.2: when the
@@ -149,6 +162,11 @@ class RFDumpPipeline {
     /// Collision detection (paper future work): flags peaks whose power
     /// profile steps mid-burst as overlapping transmissions.
     bool collision_detector = false;
+    /// Registry bundles whose detectors run and whose detections are
+    /// dispatched (bit = BundleBit(protocol)). Defaults to the registry's
+    /// default-enabled set — the historical four protocols; non-default
+    /// bundles (e.g. BLE advertising) are opted in via EnableBundle().
+    std::uint32_t bundle_mask = DefaultBundleMask();
     double noise_floor_power = 1.0;
     double dispatch_pad_us = 40.0;  // padding around dispatched intervals
     /// Input health scan: count non-finite samples and samples at the ADC
@@ -173,6 +191,11 @@ class RFDumpPipeline {
     /// Optional live consumer: Process() emits every report entry into the
     /// sink after analysis (non-owning; see core/result_sink.hpp).
     ResultSink* sink = nullptr;
+
+    /// Enables one registry bundle: sets its bundle_mask bit and — for the
+    /// historical protocols that predate the mask — the matching legacy
+    /// detector/demod booleans, so either switch form stays consistent.
+    void EnableBundle(Protocol p);
   };
 
   RFDumpPipeline();
@@ -199,9 +222,16 @@ class NaivePipeline {
  public:
   struct Config {
     bool energy_gate = false;   // true: "naive with energy detection"
+    /// Registry bundles this naive monitor hosts: every naive_member bundle
+    /// in the mask gets a full-span interval (pure naive) or per-peak
+    /// intervals (energy gate). Same bit layout as RFDumpPipeline's mask.
+    std::uint32_t bundle_mask = DefaultBundleMask();
     double noise_floor_power = 1.0;
     double dispatch_pad_us = 40.0;
     AnalysisConfig analysis;
+
+    /// Same contract as RFDumpPipeline::Config::EnableBundle.
+    void EnableBundle(Protocol p) { bundle_mask |= BundleBit(p); }
     /// Same contract as RFDumpPipeline::Config::supervisor.
     Supervisor* supervisor = nullptr;
     /// Same contracts as RFDumpPipeline::Config::{executor, sink}.

@@ -17,12 +17,20 @@ enum class Protocol : std::uint8_t {
   kBluetooth,    // GFSK, FHSS
   kZigbee,       // 802.15.4 O-QPSK
   kMicrowave,    // residential microwave oven interference
+  kBleAdv,       // BLE advertising (1 Mbps GFSK, channels 37/38/39)
 };
 
 /// Number of Protocol enumerators (dense, starting at kUnknown = 0) — sizes
 /// per-protocol state tables (dispatch counters, supervisor breakers).
-inline constexpr std::size_t kProtocolCount = 5;
+/// The value is still a compile-time constant (wire validation and state
+/// arrays need one), but ProtocolRegistry::CheckConsistency() verifies at
+/// first use that every registered bundle fits and that the registered ids
+/// are dense up to this count, so a new bundle cannot silently desync it.
+inline constexpr std::size_t kProtocolCount = 6;
 
+/// Display name of a protocol. Derived from the bundle registry
+/// (core/protocol_registry.hpp); "unknown" for kUnknown, "?" for a protocol
+/// id with no registered bundle.
 [[nodiscard]] const char* ProtocolName(Protocol p);
 
 /// Modulation family, as distinguishable by the phase detectors.

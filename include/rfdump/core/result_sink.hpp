@@ -47,6 +47,12 @@ class ResultSink {
   virtual void OnZbFrame(const phyzigbee::DecodedZbFrame& frame) {
     (void)frame;
   }
+  /// A generic protocol-tagged decode event (MonitorReport::events entry).
+  /// Emitted for every decode, after the typed OnWifiFrame/OnBtPacket/
+  /// OnZbFrame calls for the block; protocols without a typed vector (e.g.
+  /// BLE advertising) are only visible here. Protocol-generic consumers
+  /// should override this instead of the typed trio.
+  virtual void OnEvent(const ProtocolEvent& event) { (void)event; }
   /// A raw detector tag (pre-dispatch).
   virtual void OnDetection(const Detection& detection) { (void)detection; }
   /// Block health (streaming: once per block; batch: once per health scan).
@@ -60,6 +66,7 @@ class FunctionSink final : public ResultSink {
   std::function<void(const phy80211::DecodedFrame&)> on_wifi_frame;
   std::function<void(const phybt::DecodedBtPacket&)> on_bt_packet;
   std::function<void(const phyzigbee::DecodedZbFrame&)> on_zb_frame;
+  std::function<void(const ProtocolEvent&)> on_event;
   std::function<void(const Detection&)> on_detection;
   std::function<void(const HealthReport&)> on_health;
 
@@ -71,6 +78,9 @@ class FunctionSink final : public ResultSink {
   }
   void OnZbFrame(const phyzigbee::DecodedZbFrame& frame) override {
     if (on_zb_frame) on_zb_frame(frame);
+  }
+  void OnEvent(const ProtocolEvent& event) override {
+    if (on_event) on_event(event);
   }
   void OnDetection(const Detection& detection) override {
     if (on_detection) on_detection(detection);
@@ -87,6 +97,7 @@ class CollectingSink final : public ResultSink {
   std::vector<phy80211::DecodedFrame> wifi_frames;
   std::vector<phybt::DecodedBtPacket> bt_packets;
   std::vector<phyzigbee::DecodedZbFrame> zb_frames;
+  std::vector<ProtocolEvent> events;
   std::vector<Detection> detections;
   std::vector<HealthReport> health;
 
@@ -98,6 +109,9 @@ class CollectingSink final : public ResultSink {
   }
   void OnZbFrame(const phyzigbee::DecodedZbFrame& frame) override {
     zb_frames.push_back(frame);
+  }
+  void OnEvent(const ProtocolEvent& event) override {
+    events.push_back(event);
   }
   void OnDetection(const Detection& detection) override {
     detections.push_back(detection);

@@ -262,6 +262,7 @@ class StreamingMonitor {
   void EmitWifi(const phy80211::DecodedFrame& f);
   void EmitBt(const phybt::DecodedBtPacket& p);
   void EmitZb(const phyzigbee::DecodedZbFrame& z);
+  void EmitEvent(const ProtocolEvent& e);
   void EmitDetection(const Detection& d);
   void UpdateShedding(double block_load, bool deadline_pressure,
                       bool backpressure);

@@ -77,9 +77,10 @@ class MonitorSensorSink final : public core::ResultSink {
  public:
   explicit MonitorSensorSink(SensorSession& session) : session_(session) {}
 
-  void OnWifiFrame(const phy80211::DecodedFrame& frame) override;
-  void OnBtPacket(const phybt::DecodedBtPacket& packet) override;
-  void OnZbFrame(const phyzigbee::DecodedZbFrame& frame) override;
+  /// One generic override covers every registered protocol: the pipeline's
+  /// event view already carries wifi/bt/zigbee (via their shims) plus any
+  /// registry-era protocol, so the typed sink callbacks are not needed here.
+  void OnEvent(const core::ProtocolEvent& event) override;
   void OnHealth(const core::HealthReport& report) override;
 
   /// Ships any buffered tail events. Call after StreamingMonitor::Flush().

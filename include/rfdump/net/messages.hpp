@@ -44,7 +44,10 @@ struct EventRecord {
 
 [[nodiscard]] std::uint64_t Fnv1a64(std::span<const std::uint8_t> bytes);
 
-/// Builds EventRecords from a monitor's decoded outputs.
+/// Builds EventRecords from a monitor's decoded outputs. The generic
+/// overload covers every registered protocol (the sensor sink uses it);
+/// the typed ones remain for hand-built legacy reports.
+[[nodiscard]] EventRecord ToEventRecord(const core::ProtocolEvent& ev);
 [[nodiscard]] EventRecord ToEventRecord(const phy80211::DecodedFrame& f);
 [[nodiscard]] EventRecord ToEventRecord(const phybt::DecodedBtPacket& p);
 [[nodiscard]] EventRecord ToEventRecord(const phyzigbee::DecodedZbFrame& z);

@@ -3,26 +3,27 @@
 //
 // The decoders are the part of the pipeline that parses attacker-controlled
 // bits (the paper's monitor watches *other people's* transmissions), so they
-// get a dedicated mutation-based fuzz harness. Three entry points are
-// exposed, one per decoder family:
+// get a dedicated mutation-based fuzz harness. The per-protocol targets are
+// not hand-listed here: every core::ProtocolBundle that registers fuzz hooks
+// (phy80211-plcp, phybt-packet, phyzigbee, phyble-adv, ...) is enumerated
+// via EnumerateFuzzTargets(), plus one testing-layer target:
 //
-//   * kPhy80211Plcp — phy80211::ParsePlcpHeader on raw header bits, and the
-//     full phy80211::Demodulator on byte-derived IQ samples
-//   * kPhyBtPacket  — phybt::VerifySyncWord + phybt::ParsePacketBits on raw
-//     bits, and the full phybt::Demodulator on byte-derived IQ samples
-//   * kPhyZigbee    — phyzigbee::DecodeFrame on byte-derived IQ samples
-//   * kNetFrame     — net::FrameParser on raw byte streams (one-shot and a
+//   * net-frame — net::FrameParser on raw byte streams (one-shot and a
 //     chunked-feed differential that must parse identically), plus every
 //     net message codec (incl. kMetrics) on frame payloads and raw bytes
 //
-// `RunFuzzInput` is the single dispatch function; the fuzz/ executables wrap
-// it in `LLVMFuzzerTestOneInput` for libFuzzer (clang builds only), and the
+// The fuzz/ executables wrap each target's `run` hook in
+// `LLVMFuzzerTestOneInput` for libFuzzer (clang builds only), and the
 // in-tree `CorpusRunner` drives it over the checked-in corpus plus
 // deterministic mutations with no external dependency. Everything is seeded:
 // a failing corpus run names the input file (or the master seed + round that
 // mutated it), and re-running reproduces the failure bit-for-bit.
+//
+// The FuzzTarget enum remains as a legacy shim over the first four targets;
+// registry-enumerating callers use FuzzTargetRef and never touch it.
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -45,6 +46,27 @@ inline constexpr std::size_t kFuzzTargetCount = 4;
 /// Corpus subdirectory name for a target (e.g. "phy80211_plcp").
 [[nodiscard]] const char* FuzzCorpusDirName(FuzzTarget t);
 
+/// One enumerable fuzz target: a protocol bundle's fuzz hooks, or the
+/// testing-layer net-frame target.
+struct FuzzTargetRef {
+  std::string name;        // e.g. "phyble-adv"
+  std::string corpus_dir;  // subdirectory under tests/corpus/
+  /// Runs one whole input (first byte = mode selector, by convention);
+  /// returns the number of successful decodes.
+  std::function<int(std::span<const std::uint8_t>, util::WorkBudget*)> run;
+  /// Generates the i-th seed-corpus input.
+  std::function<std::vector<std::uint8_t>(std::size_t, util::Xoshiro256&)>
+      seed_input;
+};
+
+/// Every fuzz target: registry bundles with fuzz hooks in ascending
+/// protocol-id order, then the net-frame target. Adding a protocol bundle
+/// with fuzz hooks extends this list with zero edits here.
+[[nodiscard]] std::vector<FuzzTargetRef> EnumerateFuzzTargets();
+
+/// Legacy enum -> target ref (the first three map to registry bundles).
+[[nodiscard]] FuzzTargetRef FuzzTargetRefFor(FuzzTarget t);
+
 /// Runs one fuzz input through the target decoder(s). The first byte of
 /// `data` selects the sub-mode (bit-level parser vs full sample-level
 /// demodulator); the rest is the payload, interpreted as descrambled bits or
@@ -60,14 +82,19 @@ int RunFuzzInput(FuzzTarget target, std::span<const std::uint8_t> data,
 
 /// Applies one seeded mutation (bit flip, byte splat, truncate, duplicate,
 /// insert, chunk swap) in place. Deterministic given the RNG state.
+/// (Forwards to core::FuzzMutateInput, which bundle TUs use directly.)
 void MutateInput(std::vector<std::uint8_t>& data, util::Xoshiro256& rng);
 
-/// Writes the deterministic seed corpus for `target` into `dir` (created if
+/// Writes the deterministic seed corpus for `ref` into `dir` (created if
 /// missing): structurally valid inputs (real PLCP headers, real Bluetooth
 /// packet bits, real modulated frames) plus seeded mutations and boundary
 /// cases. Returns the number of files written (>= `count`). Regeneration
 /// with the same seed is bit-identical, so the checked-in corpus under
 /// tests/corpus/ can always be rebuilt (see README).
+std::size_t WriteSeedCorpus(const FuzzTargetRef& ref, const std::string& dir,
+                            std::size_t count = 100, std::uint64_t seed = 1);
+
+/// Legacy-enum convenience overload.
 std::size_t WriteSeedCorpus(FuzzTarget target, const std::string& dir,
                             std::size_t count = 100, std::uint64_t seed = 1);
 
@@ -100,6 +127,9 @@ class CorpusRunner {
     std::string input_name;  // corpus file, or "<file>+round<k>" for mutants
     std::string detail;      // exception what() or elapsed wall time
     std::string repro_path;  // written repro file ("" if repro_dir unset)
+    /// Target name (FuzzTargetRef::name); set for every finding, including
+    /// registry targets the legacy enum cannot represent.
+    std::string target_name;
   };
 
   struct Result {
@@ -109,6 +139,7 @@ class CorpusRunner {
     std::vector<Finding> findings;
 
     [[nodiscard]] bool ok() const { return findings.empty(); }
+    [[nodiscard]] std::string Summary(const std::string& target_name) const;
     [[nodiscard]] std::string Summary(FuzzTarget target) const;
   };
 
@@ -116,10 +147,14 @@ class CorpusRunner {
 
   /// Runs every regular file in `corpus_dir` (sorted by name, so runs are
   /// order-deterministic), then `config.mutation_rounds` mutants of each.
+  [[nodiscard]] Result RunDirectory(const FuzzTargetRef& ref,
+                                    const std::string& corpus_dir);
   [[nodiscard]] Result RunDirectory(FuzzTarget target,
                                     const std::string& corpus_dir);
 
   /// Runs a single in-memory input (used by RunDirectory and by tests).
+  void RunOne(const FuzzTargetRef& ref, std::span<const std::uint8_t> data,
+              const std::string& input_name, Result& result);
   void RunOne(FuzzTarget target, std::span<const std::uint8_t> data,
               const std::string& input_name, Result& result);
 

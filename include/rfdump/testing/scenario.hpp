@@ -83,6 +83,16 @@ class ScenarioBuilder {
   ScenarioBuilder& Campus(traffic::CampusConfig cfg = {},
                           std::int64_t at_sample = -1);
 
+  /// Generic traffic op: `run(ether, start, snr_offset_db)` injects traffic
+  /// and returns the sample where its activity ended. This is how registry
+  /// bundles contribute scenario ops (core::ProtocolBundle::canned_traffic)
+  /// without the DSL naming their protocol.
+  ScenarioBuilder& Traffic(
+      std::function<std::int64_t(emu::Ether&, std::int64_t start,
+                                 double snr_offset_db)>
+          run,
+      std::int64_t at_sample = -1);
+
   /// Renders the recipe. Deterministic: same builder state + same master
   /// seed => bit-identical RenderedScenario, byte for byte.
   [[nodiscard]] RenderedScenario Render() const;
@@ -112,8 +122,10 @@ class ScenarioBuilder {
 };
 
 /// The canned mixed-protocol scenario family behind `rfdump_cli --selftest`
-/// and the differential-oracle seed sweep: interleaved 802.11b pings,
-/// a Bluetooth l2ping session and LIFS-spaced ZigBee reports — every
+/// and the differential-oracle seed sweep. Not hand-listed: every registered
+/// core::ProtocolBundle with a canned_traffic hook contributes one session
+/// (802.11b pings, a Bluetooth l2ping session, LIFS-spaced ZigBee reports,
+/// BLE advertising events, ...) in ascending protocol-id order — every
 /// protocol the demodulator bank covers, ~0.2 s of ether per seed.
 [[nodiscard]] RenderedScenario CannedMixedScenario(std::uint64_t seed);
 

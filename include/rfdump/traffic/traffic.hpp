@@ -134,4 +134,18 @@ struct ZigbeeConfig {
 SessionResult GenerateZigbee(emu::Ether& ether, const ZigbeeConfig& cfg,
                              std::int64_t start_sample);
 
+struct BleAdvConfig {
+  std::size_t count = 4;          // advertising events (3 PDUs each)
+  std::size_t adv_bytes = 24;     // payload bytes per PDU (<= 37)
+  double interval_us = 20000.0;   // advertising-event spacing
+  double snr_db = 25.0;
+  std::uint32_t flow_id = 50;
+};
+
+/// BLE advertiser: each advertising event transmits the same PDU on channels
+/// 37, 38 and 39 in turn with an inter-PDU gap, then idles until the next
+/// event. Every PDU is one ground-truth record (kind "BLE-ADV").
+SessionResult GenerateBleAdv(emu::Ether& ether, const BleAdvConfig& cfg,
+                             std::int64_t start_sample);
+
 }  // namespace rfdump::traffic

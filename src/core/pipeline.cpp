@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdlib>
 #include <deque>
 #include <exception>
 
+#include "rfdump/core/collision.hpp"
 #include "rfdump/core/executor.hpp"
 #include "rfdump/core/result_sink.hpp"
 #include "rfdump/obs/obs.hpp"
-#include "rfdump/phybt/hopping.hpp"
 
 namespace rfdump::core {
 namespace {
@@ -64,13 +65,10 @@ std::int64_t UsToSamples(double us) {
 class PerProtocolCounter {
  public:
   explicit PerProtocolCounter(const char* family) {
-    static constexpr Protocol kAll[] = {
-        Protocol::kUnknown, Protocol::kWifi80211b, Protocol::kBluetooth,
-        Protocol::kZigbee, Protocol::kMicrowave};
-    for (const Protocol p : kAll) {
-      counters_[static_cast<std::size_t>(p)] =
-          &obs::Registry::Default().GetCounter(
-              std::string(family) + "{protocol=\"" + ProtocolName(p) + "\"}");
+    for (std::size_t id = 0; id < kProtocolCount; ++id) {
+      const auto p = static_cast<Protocol>(id);
+      counters_[id] = &obs::Registry::Default().GetCounter(
+          std::string(family) + "{protocol=\"" + ProtocolName(p) + "\"}");
     }
   }
   obs::Counter& of(Protocol p) {
@@ -78,7 +76,7 @@ class PerProtocolCounter {
   }
 
  private:
-  std::array<obs::Counter*, 5> counters_{};
+  std::array<obs::Counter*, kProtocolCount> counters_{};
 };
 
 // Deduplicates frames/packets found by more than one pass over overlapping
@@ -107,14 +105,50 @@ void DedupAnalysisResults(MonitorReport& report) {
                     return std::llabs(a.start_sample - b.start_sample) < 16;
                   }),
       report.wifi_frames.end());
+  // Native generic events (bundles without a typed vector) get the same
+  // treatment as the Bluetooth vector: per-protocol, per-channel dedup.
+  std::sort(report.events.begin(), report.events.end(),
+            [](const ProtocolEvent& a, const ProtocolEvent& b) {
+              if (a.protocol != b.protocol) return a.protocol < b.protocol;
+              return a.start_sample < b.start_sample;
+            });
+  report.events.erase(
+      std::unique(report.events.begin(), report.events.end(),
+                  [](const ProtocolEvent& a, const ProtocolEvent& b) {
+                    return a.protocol == b.protocol &&
+                           a.channel == b.channel &&
+                           std::llabs(a.start_sample - b.start_sample) < 16;
+                  }),
+      report.events.end());
+}
+
+// Rebuilds MonitorReport::events as the canonical generic view: bundles with
+// a legacy typed vector contribute through their collect_events shim; native
+// events (already in report.events, committed by run_unit) are kept in
+// place. Grouped by protocol id, preserving per-protocol decode order.
+void BuildEventView(MonitorReport& report) {
+  std::vector<ProtocolEvent> native = std::move(report.events);
+  std::vector<ProtocolEvent> events;
+  for (const auto& bundle : ProtocolRegistry::Instance().bundles()) {
+    if (bundle.collect_events) {
+      bundle.collect_events(report, events);
+    } else {
+      for (auto& e : native) {
+        if (e.protocol == bundle.protocol) events.push_back(std::move(e));
+      }
+    }
+  }
+  report.events = std::move(events);
 }
 
 // Runs the demodulator bank over the given per-protocol merged intervals
 // (pass a single full-span detection per protocol for the naive paths).
-// With a supervisor, each interval's analysis runs inside a stage boundary
-// (armed WorkBudget, exception containment, breaker, quarantine); without
-// one, the closure runs directly with an unarmed (unlimited) budget, which
-// preserves the exact unsupervised batch semantics.
+// Which protocols run, how many units each interval fans out into, and what
+// a unit does all come from the interval's registry bundle. With a
+// supervisor, each interval's analysis runs inside a stage boundary (armed
+// WorkBudget, exception containment, breaker, quarantine); without one, the
+// closure runs directly with an unarmed (unlimited) budget, which preserves
+// the exact unsupervised batch semantics.
 void RunAnalysisSerial(const AnalysisConfig& analysis,
                        double noise_floor_power, Supervisor* sup,
                        const std::vector<Detection>& intervals,
@@ -131,81 +165,45 @@ void RunAnalysisSerial(const AnalysisConfig& analysis,
         fn(unlimited);
         return Outcome::kOk;
       };
-  static obs::Counter& c_zb_attempts = obs::Registry::Default().GetCounter(
-      "rfdump_phyzigbee_decode_attempts_total");
-  static obs::Counter& c_zb_frames = obs::Registry::Default().GetCounter(
-      "rfdump_phyzigbee_frames_total");
+  const auto& registry = ProtocolRegistry::Instance();
   for (const auto& d : intervals) {
+    const ProtocolBundle* bundle = registry.Find(d.protocol);
+    if (bundle == nullptr || !bundle->analysis_plan ||
+        (analysis.bundle_mask & BundleBit(d.protocol)) == 0) {
+      continue;  // no analysis stage for this protocol
+    }
+    const AnalysisPlan plan = bundle->analysis_plan(analysis);
+    if (plan.units < 0) continue;  // disabled: no supervision boundary
     const auto span = x.subspan(
         static_cast<std::size_t>(d.start_sample),
         static_cast<std::size_t>(d.end_sample - d.start_sample));
-    switch (d.protocol) {
-      case Protocol::kWifi80211b: {
-        if (!analysis.wifi_demod) break;
-        CostLedger::Scope scope(ledger, "analysis/80211-demod", span.size());
-        supervised(d, span, [&](util::WorkBudget& budget) {
-          phy80211::Demodulator::Config cfg;
-          cfg.budget = &budget;
-          phy80211::Demodulator wifi(cfg);
-          auto frames = wifi.DecodeAll(span);
-          for (auto& f : frames) {
-            f.start_sample += d.start_sample;
-            f.end_sample += d.start_sample;
-            report.wifi_frames.push_back(std::move(f));
-          }
-        });
-        break;
+    // All units of one interval share the interval's budget, so a runaway
+    // unit cannot starve the block (remaining units see the expired budget
+    // and bail when the bundle opts into the check).
+    supervised(d, span, [&](util::WorkBudget& budget) {
+      for (int unit = 0; unit < plan.units; ++unit) {
+        if (plan.check_budget && budget.expired()) break;
+        CostLedger::Scope scope(ledger, plan.stage, span.size());
+        AnalysisUnitContext ctx;
+        ctx.span = span;
+        ctx.start_sample = d.start_sample;
+        ctx.analysis = &analysis;
+        ctx.noise_floor_power = noise_floor_power;
+        ctx.budget = &budget;
+        if (AnalysisCommit commit = bundle->run_unit(ctx, unit)) {
+          commit(report);
+        }
       }
-      case Protocol::kBluetooth: {
-        // One demodulator pass per visible channel; the whole bank shares
-        // the interval's budget, so a runaway channel cannot starve the
-        // block (remaining channels see the expired budget and bail).
-        supervised(d, span, [&](util::WorkBudget& budget) {
-          for (int ch = 0; ch < analysis.bt_demods; ++ch) {
-            if (budget.expired()) break;
-            phybt::Demodulator::Config cfg;
-            cfg.channel_index = ch % phybt::kVisibleChannels;
-            cfg.expected_uap = analysis.bt_uap;
-            cfg.noise_floor_power = noise_floor_power;
-            cfg.budget = &budget;
-            phybt::Demodulator bt(cfg);
-            CostLedger::Scope scope(ledger, "analysis/bt-demod", span.size());
-            auto pkts = bt.DecodeAll(span);
-            for (auto& p : pkts) {
-              p.start_sample += d.start_sample;
-              p.end_sample += d.start_sample;
-              report.bt_packets.push_back(std::move(p));
-            }
-          }
-        });
-        break;
-      }
-      case Protocol::kZigbee: {
-        if (!analysis.zigbee_demod) break;
-        CostLedger::Scope scope(ledger, "analysis/zigbee-demod", span.size());
-        supervised(d, span, [&](util::WorkBudget&) {
-          c_zb_attempts.Inc();
-          if (auto frame = phyzigbee::DecodeFrame(span)) {
-            c_zb_frames.Inc();
-            frame->start_sample += d.start_sample;
-            frame->end_sample += d.start_sample;
-            report.zb_frames.push_back(std::move(*frame));
-          }
-        });
-        break;
-      }
-      default:
-        break;  // no analysis stage for this protocol
-    }
+    });
   }
   DedupAnalysisResults(report);
 }
 
 // The parallel analysis path (DESIGN.md §10). Each dispatched interval x
-// protocol demodulation — including every per-channel Bluetooth pass — is
-// submitted as one independent task writing into its own result slot; after
-// the batch joins, slots are merged in submission order, so the
-// result-bearing report fields are bit-identical to the serial run.
+// analysis unit — e.g. every per-channel Bluetooth pass — is submitted as
+// one independent task writing into its own result slot; after the batch
+// joins, slots are merged in submission order, so the result-bearing report
+// fields are bit-identical to the serial run.
 //
 // Supervision uses the split boundary: Admit() on this (driver) thread in
 // interval order — deterministic breaker decisions — and one Finish() per
@@ -219,11 +217,6 @@ void RunAnalysisParallel(const AnalysisConfig& analysis,
                          Executor* ex, const std::vector<Detection>& intervals,
                          dsp::const_sample_span x, CostLedger& ledger,
                          MonitorReport& report) {
-  static obs::Counter& c_zb_attempts = obs::Registry::Default().GetCounter(
-      "rfdump_phyzigbee_decode_attempts_total");
-  static obs::Counter& c_zb_frames = obs::Registry::Default().GetCounter(
-      "rfdump_phyzigbee_frames_total");
-
   // One result slot per task. Slots are written by exactly one worker each
   // and only read after Batch::Wait(), so they need no locking.
   struct UnitOut {
@@ -231,9 +224,7 @@ void RunAnalysisParallel(const AnalysisConfig& analysis,
     std::uint64_t samples = 0;
     double cpu = 0.0;
     bool ran = false;  // false: skipped on an already-expired budget
-    std::vector<phy80211::DecodedFrame> wifi;
-    std::vector<phybt::DecodedBtPacket> bt;
-    std::vector<phyzigbee::DecodedZbFrame> zb;
+    AnalysisCommit commit;  // deferred result application, run at merge
     std::exception_ptr error;
     std::string error_text;
   };
@@ -249,27 +240,20 @@ void RunAnalysisParallel(const AnalysisConfig& analysis,
   util::WorkBudget unlimited;
   std::deque<IntervalJob> jobs;  // deque: stable addresses for task captures
   Executor::Batch batch(ex);
+  const auto& registry = ProtocolRegistry::Instance();
 
   for (const auto& d : intervals) {
-    // Unit plan per protocol, mirroring the serial path exactly: protocols
-    // whose demodulation is disabled never open a supervision boundary;
-    // Bluetooth always does (even with zero channels configured).
-    int unit_count = 0;
-    switch (d.protocol) {
-      case Protocol::kWifi80211b:
-        if (!analysis.wifi_demod) continue;
-        unit_count = 1;
-        break;
-      case Protocol::kBluetooth:
-        unit_count = std::max(analysis.bt_demods, 0);
-        break;
-      case Protocol::kZigbee:
-        if (!analysis.zigbee_demod) continue;
-        unit_count = 1;
-        break;
-      default:
-        continue;  // no analysis stage for this protocol
+    // Unit plan per protocol from the registry, mirroring the serial path
+    // exactly: a disabled bundle (negative unit count) never opens a
+    // supervision boundary; a zero-unit plan (e.g. Bluetooth with zero
+    // channels configured) still does.
+    const ProtocolBundle* bundle = registry.Find(d.protocol);
+    if (bundle == nullptr || !bundle->analysis_plan ||
+        (analysis.bundle_mask & BundleBit(d.protocol)) == 0) {
+      continue;  // no analysis stage for this protocol
     }
+    const AnalysisPlan plan = bundle->analysis_plan(analysis);
+    if (plan.units < 0) continue;
 
     jobs.emplace_back();
     IntervalJob& job = jobs.back();
@@ -282,108 +266,41 @@ void RunAnalysisParallel(const AnalysisConfig& analysis,
       job.run_units = job.admission->admitted;
     }
     if (!job.run_units) continue;
-    job.units.resize(static_cast<std::size_t>(unit_count));
+    job.units.resize(static_cast<std::size_t>(plan.units));
     util::WorkBudget* budget =
         job.admission ? &job.admission->budget : &unlimited;
     const std::int64_t start = d.start_sample;
     const auto span = job.span;
 
-    switch (d.protocol) {
-      case Protocol::kWifi80211b: {
-        UnitOut* out = &job.units[0];
-        batch.Run([out, budget, span, start] {
-          out->ran = true;
-          out->stage = "analysis/80211-demod";
-          out->samples = span.size();
-          obs::Stopwatch w;
-          RFDUMP_TRACE_SPAN("analysis/80211-demod");
-          try {
-            phy80211::Demodulator::Config cfg;
-            cfg.budget = budget;
-            phy80211::Demodulator wifi(cfg);
-            auto frames = wifi.DecodeAll(span);
-            for (auto& f : frames) {
-              f.start_sample += start;
-              f.end_sample += start;
-            }
-            out->wifi = std::move(frames);
-          } catch (const std::exception& e) {
-            out->error = std::current_exception();
-            out->error_text = e.what();
-          } catch (...) {
-            out->error = std::current_exception();
-            out->error_text = "non-std exception";
-          }
-          out->cpu = w.Seconds();
-        });
-        break;
-      }
-      case Protocol::kBluetooth: {
-        for (int ch = 0; ch < unit_count; ++ch) {
-          UnitOut* out = &job.units[static_cast<std::size_t>(ch)];
-          const std::uint8_t uap = analysis.bt_uap;
-          batch.Run([out, budget, span, start, ch, uap, noise_floor_power] {
-            if (budget->expired()) return;  // the serial path's early break
-            out->ran = true;
-            out->stage = "analysis/bt-demod";
-            out->samples = span.size();
-            obs::Stopwatch w;
-            RFDUMP_TRACE_SPAN("analysis/bt-demod");
-            try {
-              phybt::Demodulator::Config cfg;
-              cfg.channel_index = ch % phybt::kVisibleChannels;
-              cfg.expected_uap = uap;
-              cfg.noise_floor_power = noise_floor_power;
-              cfg.budget = budget;
-              phybt::Demodulator bt(cfg);
-              auto pkts = bt.DecodeAll(span);
-              for (auto& p : pkts) {
-                p.start_sample += start;
-                p.end_sample += start;
-              }
-              out->bt = std::move(pkts);
-            } catch (const std::exception& e) {
-              out->error = std::current_exception();
-              out->error_text = e.what();
-            } catch (...) {
-              out->error = std::current_exception();
-              out->error_text = "non-std exception";
-            }
-            out->cpu = w.Seconds();
-          });
+    for (int unit = 0; unit < plan.units; ++unit) {
+      UnitOut* out = &job.units[static_cast<std::size_t>(unit)];
+      batch.Run([out, bundle, plan, budget, span, start, unit,
+                 noise_floor_power, &analysis] {
+        if (plan.check_budget && budget->expired()) {
+          return;  // the serial path's early break
         }
-        break;
-      }
-      case Protocol::kZigbee: {
-        UnitOut* out = &job.units[0];
-        batch.Run([out, budget, span, start] {
-          (void)budget;
-          out->ran = true;
-          out->stage = "analysis/zigbee-demod";
-          out->samples = span.size();
-          obs::Stopwatch w;
-          RFDUMP_TRACE_SPAN("analysis/zigbee-demod");
-          try {
-            c_zb_attempts.Inc();
-            if (auto frame = phyzigbee::DecodeFrame(span)) {
-              c_zb_frames.Inc();
-              frame->start_sample += start;
-              frame->end_sample += start;
-              out->zb.push_back(std::move(*frame));
-            }
-          } catch (const std::exception& e) {
-            out->error = std::current_exception();
-            out->error_text = e.what();
-          } catch (...) {
-            out->error = std::current_exception();
-            out->error_text = "non-std exception";
-          }
-          out->cpu = w.Seconds();
-        });
-        break;
-      }
-      default:
-        break;
+        out->ran = true;
+        out->stage = plan.stage;
+        out->samples = span.size();
+        obs::Stopwatch w;
+        obs::TraceSpan trace(plan.stage);
+        try {
+          AnalysisUnitContext ctx;
+          ctx.span = span;
+          ctx.start_sample = start;
+          ctx.analysis = &analysis;
+          ctx.noise_floor_power = noise_floor_power;
+          ctx.budget = budget;
+          out->commit = bundle->run_unit(ctx, unit);
+        } catch (const std::exception& e) {
+          out->error = std::current_exception();
+          out->error_text = e.what();
+        } catch (...) {
+          out->error = std::current_exception();
+          out->error_text = "non-std exception";
+        }
+        out->cpu = w.Seconds();
+      });
     }
   }
 
@@ -401,9 +318,7 @@ void RunAnalysisParallel(const AnalysisConfig& analysis,
         first_error = u.error;
         error_text = u.error_text;
       }
-      for (auto& f : u.wifi) report.wifi_frames.push_back(std::move(f));
-      for (auto& p : u.bt) report.bt_packets.push_back(std::move(p));
-      for (auto& z : u.zb) report.zb_frames.push_back(std::move(z));
+      if (u.commit) u.commit(report);
     }
     if (job.admission && job.admission->admitted) {
       Outcome outcome = Outcome::kOk;
@@ -437,6 +352,29 @@ void RunAnalysis(const AnalysisConfig& analysis, double noise_floor_power,
     RunAnalysisSerial(analysis, noise_floor_power, sup, intervals, x, ledger,
                       report);
   }
+}
+
+/// A bundle's freshly constructed detector hooks for one Detect() call.
+struct ActiveDetectors {
+  const ProtocolBundle* bundle = nullptr;
+  ProtocolDetectors hooks;
+};
+
+/// Instantiates detector hooks for every mask-enabled bundle, ordered by
+/// detect_rank (the historical detector call order).
+std::vector<ActiveDetectors> MakeActiveDetectors(std::uint32_t bundle_mask,
+                                                 const DetectorSetup& setup) {
+  std::vector<ActiveDetectors> active;
+  for (const auto& bundle : ProtocolRegistry::Instance().bundles()) {
+    if ((bundle_mask & BundleBit(bundle.protocol)) == 0) continue;
+    if (!bundle.make_detectors) continue;
+    active.push_back({&bundle, bundle.make_detectors(setup)});
+  }
+  std::stable_sort(active.begin(), active.end(),
+                   [](const ActiveDetectors& a, const ActiveDetectors& b) {
+                     return a.bundle->detect_rank < b.bundle->detect_rank;
+                   });
+  return active;
 }
 
 }  // namespace
@@ -474,6 +412,7 @@ MonitorReport AnalyzeDetections(DetectOutput det, dsp::const_sample_span x,
   }
   RunAnalysis(det.analysis, det.noise_floor_power, det.supervisor, executor,
               report.dispatched, x, ledger, report);
+  BuildEventView(report);
   report.costs = ledger.Costs();
   if (sink != nullptr) {
     for (const auto& h : report.health) sink->OnHealth(h);
@@ -481,8 +420,27 @@ MonitorReport AnalyzeDetections(DetectOutput det, dsp::const_sample_span x,
     for (const auto& f : report.wifi_frames) sink->OnWifiFrame(f);
     for (const auto& p : report.bt_packets) sink->OnBtPacket(p);
     for (const auto& z : report.zb_frames) sink->OnZbFrame(z);
+    for (const auto& e : report.events) sink->OnEvent(e);
   }
   return report;
+}
+
+void RFDumpPipeline::Config::EnableBundle(Protocol p) {
+  bundle_mask |= BundleBit(p);
+  // The historical protocols predate the bundle mask and are additionally
+  // gated by their legacy booleans; keep both switch forms consistent. New
+  // bundles are controlled by the mask alone and need no case here.
+  switch (p) {
+    case Protocol::kZigbee:
+      zigbee_detector = true;
+      analysis.zigbee_demod = true;
+      break;
+    case Protocol::kMicrowave:
+      microwave_detector = true;
+      break;
+    default:
+      break;
+  }
 }
 
 RFDumpPipeline::RFDumpPipeline() : RFDumpPipeline(Config{}) {}
@@ -533,21 +491,26 @@ DetectOutput RFDumpPipeline::Detect(dsp::const_sample_span x) {
   }
 
   // Stage 1: protocol-agnostic peak detection over 25 us chunks (with the
-  // integrated energy gate).
+  // integrated energy gate), feeding every enabled bundle's detector hooks.
   PeakDetector::Config pd_cfg;
   pd_cfg.noise_floor_power = config_.noise_floor_power;
   PeakDetector peaks(pd_cfg);
 
-  WifiTimingDetector wifi_timing;
-  BluetoothTimingDetector bt_timing;
-  MicrowaveTimingDetector mw_timing;
-  ZigbeeTimingDetector zb_timing;
-  GfskPhaseDetector gfsk_phase;
-  DbpskPhaseDetector dbpsk_phase;
-  CollisionDetector collision;
-  BluetoothFreqDetector::Config freq_cfg;
-  freq_cfg.noise_floor_power = config_.noise_floor_power;
-  BluetoothFreqDetector bt_freq(freq_cfg);
+  DetectorSetup setup;
+  setup.timing_detectors = config_.timing_detectors;
+  setup.phase_detectors = config_.phase_detectors;
+  setup.freq_detector = config_.freq_detector;
+  setup.microwave_detector = config_.microwave_detector;
+  setup.zigbee_detector = config_.zigbee_detector;
+  setup.noise_floor_power = config_.noise_floor_power;
+  std::vector<ActiveDetectors> active =
+      MakeActiveDetectors(config_.bundle_mask, setup);
+  bool any_on_peak = false;
+  for (const auto& a : active) {
+    if (a.hooks.on_peak) any_on_peak = true;
+  }
+
+  CollisionDetector collision;  // protocol-agnostic, stays pipeline-level
 
   std::vector<Detection>& detections = report.detections;
   std::uint64_t peak_cursor = 0;
@@ -567,28 +530,11 @@ DetectOutput RFDumpPipeline::Detect(dsp::const_sample_span x) {
 
   const auto handle_peaks = [&](std::span<const Peak> fresh) {
     if (fresh.empty()) return;
-    if (config_.timing_detectors) {
+    for (auto& a : active) {
+      if (!a.hooks.on_peaks) continue;
       CostLedger::Scope scope(ledger, "detect/timing", 0);
-      contain("detect/timing-wifi", [&] {
-        auto d1 = wifi_timing.OnPeaks(fresh);
-        detections.insert(detections.end(), d1.begin(), d1.end());
-      });
-      contain("detect/timing-bt", [&] {
-        auto d2 = bt_timing.OnPeaks(fresh);
-        detections.insert(detections.end(), d2.begin(), d2.end());
-      });
-    }
-    if (config_.microwave_detector) {
-      CostLedger::Scope scope(ledger, "detect/timing", 0);
-      contain("detect/timing-microwave", [&] {
-        auto d = mw_timing.OnPeaks(fresh);
-        detections.insert(detections.end(), d.begin(), d.end());
-      });
-    }
-    if (config_.zigbee_detector) {
-      CostLedger::Scope scope(ledger, "detect/timing", 0);
-      contain("detect/timing-zigbee", [&] {
-        auto d = zb_timing.OnPeaks(fresh);
+      contain(a.hooks.peaks_stage, [&] {
+        auto d = a.hooks.on_peaks(fresh);
         detections.insert(detections.end(), d.begin(), d.end());
       });
     }
@@ -608,7 +554,7 @@ DetectOutput RFDumpPipeline::Detect(dsp::const_sample_span x) {
         });
       }
     }
-    if (config_.phase_detectors) {
+    if (any_on_peak) {
       for (const Peak& p : fresh) {
         const auto s = static_cast<std::size_t>(
             std::clamp<std::int64_t>(p.start_sample, 0,
@@ -619,12 +565,12 @@ DetectOutput RFDumpPipeline::Detect(dsp::const_sample_span x) {
         if (e <= s) continue;
         const auto span = x.subspan(s, e - s);
         CostLedger::Scope scope(ledger, "detect/phase", span.size());
-        contain("detect/phase-dbpsk", [&] {
-          if (auto d = dbpsk_phase.OnPeak(p, span)) detections.push_back(*d);
-        });
-        contain("detect/phase-gfsk", [&] {
-          if (auto d = gfsk_phase.OnPeak(p, span)) detections.push_back(*d);
-        });
+        for (auto& a : active) {
+          if (!a.hooks.on_peak) continue;
+          contain(a.hooks.peak_stage, [&] {
+            if (auto d = a.hooks.on_peak(p, span)) detections.push_back(*d);
+          });
+        }
       }
     }
   };
@@ -636,9 +582,10 @@ DetectOutput RFDumpPipeline::Detect(dsp::const_sample_span x) {
       CostLedger::Scope scope(ledger, "detect/peak", n);
       peaks.PushChunk(chunk, static_cast<std::int64_t>(at));
     }
-    if (config_.freq_detector) {
+    for (auto& a : active) {
+      if (!a.hooks.on_chunk) continue;
       CostLedger::Scope scope(ledger, "detect/freq", n);
-      auto d = bt_freq.PushChunk(chunk, static_cast<std::int64_t>(at));
+      auto d = a.hooks.on_chunk(chunk, static_cast<std::int64_t>(at));
       detections.insert(detections.end(), d.begin(), d.end());
     }
     const auto fresh = peaks.CompletedSince(peak_cursor);
@@ -650,8 +597,9 @@ DetectOutput RFDumpPipeline::Detect(dsp::const_sample_span x) {
     peaks.Flush();
   }
   handle_peaks(peaks.CompletedSince(peak_cursor));
-  if (config_.freq_detector) {
-    auto d = bt_freq.Flush();
+  for (auto& a : active) {
+    if (!a.hooks.chunk_flush) continue;
+    auto d = a.hooks.chunk_flush();
     detections.insert(detections.end(), d.begin(), d.end());
   }
 
@@ -717,6 +665,15 @@ DetectOutput NaivePipeline::Detect(dsp::const_sample_span x) {
   report.samples_total = x.size();
   CostLedger ledger;
 
+  // The naive monitor hosts every mask-enabled naive_member bundle, in
+  // protocol-id order (historically: 802.11 then Bluetooth).
+  std::vector<Protocol> members;
+  for (const auto& bundle : ProtocolRegistry::Instance().bundles()) {
+    if (!bundle.naive_member) continue;
+    if ((config_.bundle_mask & BundleBit(bundle.protocol)) == 0) continue;
+    members.push_back(bundle.protocol);
+  }
+
   std::vector<Detection> intervals;
   if (config_.energy_gate) {
     // Energy filtering via the peak detector's gate; everything above the
@@ -736,19 +693,19 @@ DetectOutput NaivePipeline::Detect(dsp::const_sample_span x) {
     const std::int64_t pad = UsToSamples(config_.dispatch_pad_us);
     std::vector<Detection> raw;
     for (const Peak& p : peaks.history()) {
-      raw.push_back({Protocol::kWifi80211b, p.start_sample - pad,
-                     p.end_sample + pad, 1.0f, "energy"});
-      raw.push_back({Protocol::kBluetooth, p.start_sample - pad,
-                     p.end_sample + pad, 1.0f, "energy"});
+      for (const Protocol protocol : members) {
+        raw.push_back({protocol, p.start_sample - pad, p.end_sample + pad,
+                       1.0f, "energy"});
+      }
     }
     intervals = MergeDetections(std::move(raw), pad,
                                 static_cast<std::int64_t>(x.size()));
   } else {
     // Pure naive: the full capture goes to every demodulator.
-    intervals.push_back({Protocol::kWifi80211b, 0,
-                         static_cast<std::int64_t>(x.size()), 1.0f, "naive"});
-    intervals.push_back({Protocol::kBluetooth, 0,
-                         static_cast<std::int64_t>(x.size()), 1.0f, "naive"});
+    for (const Protocol protocol : members) {
+      intervals.push_back({protocol, 0, static_cast<std::int64_t>(x.size()),
+                           1.0f, "naive"});
+    }
   }
   report.dispatched = std::move(intervals);
   DetectOutput out;

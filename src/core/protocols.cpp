@@ -1,17 +1,14 @@
 #include "rfdump/core/protocols.hpp"
 
-#include <array>
+#include <vector>
+
+#include "rfdump/core/protocol_registry.hpp"
 
 namespace rfdump::core {
 
 const char* ProtocolName(Protocol p) {
-  switch (p) {
-    case Protocol::kUnknown: return "unknown";
-    case Protocol::kWifi80211b: return "802.11b";
-    case Protocol::kBluetooth: return "Bluetooth";
-    case Protocol::kZigbee: return "ZigBee";
-    case Protocol::kMicrowave: return "Microwave";
-  }
+  if (p == Protocol::kUnknown) return "unknown";
+  if (const auto* b = ProtocolRegistry::Instance().Find(p)) return b->name;
   return "?";
 }
 
@@ -28,22 +25,19 @@ const char* ModulationName(Modulation m) {
 }
 
 std::span<const ProtocolFeatures> FeatureTable() {
-  static const std::array<ProtocolFeatures, 7> kTable = {{
-      {Protocol::kWifi80211b, "802.11b (1 Mbps)", 20.0, 10.0,
-       Modulation::kDbpsk, "Barker", 22.0, 1e6},
-      {Protocol::kWifi80211b, "802.11b (2 Mbps)", 20.0, 10.0,
-       Modulation::kDqpsk, "Barker", 22.0, 1e6},
-      {Protocol::kWifi80211b, "802.11b (5.5 Mbps)", 20.0, 10.0,
-       Modulation::kCck, "CCK", 22.0, 1.375e6},
-      {Protocol::kWifi80211b, "802.11b (11 Mbps)", 20.0, 10.0,
-       Modulation::kCck, "CCK", 22.0, 1.375e6},
-      {Protocol::kBluetooth, "Bluetooth (1 Mbps)", 625.0, 625.0,
-       Modulation::kGfsk, "FHSS", 1.0, 1e6},
-      {Protocol::kZigbee, "802.15.4 (ZigBee)", 320.0, 192.0,
-       Modulation::kOqpsk, "DSSS-32", 5.0, 62.5e3},
-      {Protocol::kMicrowave, "Residential microwave", 16667.0, 0.0,
-       Modulation::kNoise, "-", 40.0, 0.0},
-  }};
+  // Concatenation of each bundle's rows in protocol-id order. Built once on
+  // first use, after all bundles have registered; doubles as the startup
+  // consistency check between registry and kProtocolCount.
+  static const std::vector<ProtocolFeatures> kTable = [] {
+    auto& registry = ProtocolRegistry::Instance();
+    registry.CheckConsistency();
+    std::vector<ProtocolFeatures> table;
+    for (const auto& bundle : registry.bundles()) {
+      table.insert(table.end(), bundle.features.begin(),
+                   bundle.features.end());
+    }
+    return table;
+  }();
   return kTable;
 }
 

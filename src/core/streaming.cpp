@@ -285,6 +285,11 @@ void StreamingMonitor::EmitZb(const phyzigbee::DecodedZbFrame& z) {
   if (config_.sink != nullptr) config_.sink->OnZbFrame(z);
 }
 
+void StreamingMonitor::EmitEvent(const ProtocolEvent& e) {
+  // Generic protocol-tagged channel; sink-only (no legacy callback).
+  if (config_.sink != nullptr) config_.sink->OnEvent(e);
+}
+
 void StreamingMonitor::EmitDetection(const Detection& d) {
   if (config_.sink != nullptr) config_.sink->OnDetection(d);
   if (on_detection) on_detection(d);
@@ -475,6 +480,13 @@ void StreamingMonitor::ProcessBlock(bool final_block, bool gap_cut) {
     z.end_sample += base;
     if (owned(z.start_sample) && clear_of_cut(z.end_sample, z.crc_ok)) {
       EmitZb(z);
+    }
+  }
+  for (auto& e : report.events) {
+    e.start_sample += base;
+    e.end_sample += base;
+    if (owned(e.start_sample) && clear_of_cut(e.end_sample, e.crc_ok)) {
+      EmitEvent(e);
     }
   }
   for (auto& d : report.detections) {
@@ -703,6 +715,13 @@ void StreamingMonitor::AnalyzeBlock(BlockJob& job) {
     z.end_sample += base;
     if (owned(z.start_sample) && clear_of_cut(z.end_sample, z.crc_ok)) {
       EmitZb(z);
+    }
+  }
+  for (auto& e : report.events) {
+    e.start_sample += base;
+    e.end_sample += base;
+    if (owned(e.start_sample) && clear_of_cut(e.end_sample, e.crc_ok)) {
+      EmitEvent(e);
     }
   }
   for (auto& d : report.detections) {

@@ -75,16 +75,8 @@ void MonitorSensorSink::Buffer(EventRecord record) {
   pending_.push_back(record);
 }
 
-void MonitorSensorSink::OnWifiFrame(const phy80211::DecodedFrame& frame) {
-  Buffer(ToEventRecord(frame));
-}
-
-void MonitorSensorSink::OnBtPacket(const phybt::DecodedBtPacket& packet) {
-  Buffer(ToEventRecord(packet));
-}
-
-void MonitorSensorSink::OnZbFrame(const phyzigbee::DecodedZbFrame& frame) {
-  Buffer(ToEventRecord(frame));
+void MonitorSensorSink::OnEvent(const core::ProtocolEvent& event) {
+  Buffer(ToEventRecord(event));
 }
 
 void MonitorSensorSink::OnHealth(const core::HealthReport& report) {

@@ -59,6 +59,18 @@ std::uint64_t Fnv1a64(std::span<const std::uint8_t> bytes) {
   return h;
 }
 
+EventRecord ToEventRecord(const core::ProtocolEvent& ev) {
+  EventRecord e;
+  e.protocol = ev.protocol;
+  e.channel = static_cast<std::int16_t>(ev.channel);
+  e.start_sample = ev.start_sample;
+  e.end_sample = ev.end_sample;
+  e.payload_bytes = static_cast<std::uint32_t>(ev.payload.size());
+  e.crc_ok = ev.crc_ok;
+  e.payload_digest = Fnv1a64({ev.payload.data(), ev.payload.size()});
+  return e;
+}
+
 EventRecord ToEventRecord(const phy80211::DecodedFrame& f) {
   EventRecord e;
   e.protocol = core::Protocol::kWifi80211b;

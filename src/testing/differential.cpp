@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "rfdump/core/executor.hpp"
+#include "rfdump/core/protocol_registry.hpp"
 
 namespace rfdump::testing {
 namespace {
@@ -23,17 +24,20 @@ struct Event {
   unsigned archs = 0;  // presence bitmask over the four runs
 };
 
+/// True for protocols all four architectures are expected to decode — the
+/// registry's differential_member flag, not a hand-list.
+bool DifferentialMember(core::Protocol p) {
+  const auto* bundle = core::ProtocolRegistry::Instance().Find(p);
+  return bundle != nullptr && bundle->differential_member;
+}
+
 std::vector<Event> Events(const core::MonitorReport& r, unsigned arch_bit) {
   std::vector<Event> out;
-  out.reserve(r.wifi_frames.size() + r.bt_packets.size());
-  for (const auto& f : r.wifi_frames) {
-    out.push_back({core::Protocol::kWifi80211b, f.start_sample, f.end_sample,
-                   -1, f.mpdu.size(), f.fcs_ok, arch_bit});
-  }
-  for (const auto& p : r.bt_packets) {
-    out.push_back({core::Protocol::kBluetooth, p.start_sample, p.end_sample,
-                   p.channel_index, p.packet.payload.size(), p.packet.crc_ok,
-                   arch_bit});
+  out.reserve(r.events.size());
+  for (const auto& e : r.events) {
+    if (!DifferentialMember(e.protocol)) continue;
+    out.push_back({e.protocol, e.start_sample, e.end_sample, e.channel,
+                   e.payload.size(), e.crc_ok, arch_bit});
   }
   return out;
 }
@@ -49,8 +53,13 @@ std::string EventKey(const Event& e) {
     std::snprintf(buf, sizeof(buf), "bt ch%d @%lld..%lld %zuB crc=%d",
                   e.channel, static_cast<long long>(e.start),
                   static_cast<long long>(e.end), e.payload, e.crc_ok ? 1 : 0);
-  } else {
+  } else if (e.protocol == core::Protocol::kWifi80211b) {
     std::snprintf(buf, sizeof(buf), "wifi @%lld..%lld %zuB fcs=%d",
+                  static_cast<long long>(e.start),
+                  static_cast<long long>(e.end), e.payload, e.crc_ok ? 1 : 0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s ch%d @%lld..%lld %zuB crc=%d",
+                  core::ProtocolName(e.protocol), e.channel,
                   static_cast<long long>(e.start),
                   static_cast<long long>(e.end), e.payload, e.crc_ok ? 1 : 0);
   }
@@ -116,6 +125,24 @@ std::vector<std::string> ExactFingerprint(const core::MonitorReport& r) {
     for (const auto b : z.psdu) line += "," + std::to_string(b);
     out.push_back(std::move(line));
   }
+  // Registry-era protocols commit generic events only; the three legacy
+  // protocols are already fingerprinted above via their typed shims, so
+  // skipping them here keeps legacy fingerprints byte-identical.
+  for (const auto& e : r.events) {
+    if (e.protocol == core::Protocol::kWifi80211b ||
+        e.protocol == core::Protocol::kBluetooth ||
+        e.protocol == core::Protocol::kZigbee) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "ev %s ch%d %lld %lld %d %zu",
+                  core::ProtocolName(e.protocol), e.channel,
+                  static_cast<long long>(e.start_sample),
+                  static_cast<long long>(e.end_sample), e.crc_ok,
+                  e.payload.size());
+    std::string line = buf;
+    for (const auto b : e.payload) line += "," + std::to_string(b);
+    out.push_back(std::move(line));
+  }
   return out;
 }
 
@@ -149,18 +176,28 @@ DifferentialResult RunDifferential(const RenderedScenario& scenario,
   result.scenario = scenario.name;
   const dsp::const_sample_span x(scenario.samples);
 
+  const auto& registry = core::ProtocolRegistry::Instance();
+
   core::MonitorReport reports[4];
   for (int gate = 0; gate < 2; ++gate) {
     core::NaivePipeline::Config cfg;
     cfg.energy_gate = (gate == 1);
     cfg.analysis = policy.analysis;
+    for (const auto& bundle : registry.bundles()) {
+      if (bundle.differential_member) cfg.EnableBundle(bundle.protocol);
+    }
     reports[gate] = core::NaivePipeline(cfg).Process(x);
   }
   {
     core::RFDumpPipeline::Config cfg;
-    cfg.zigbee_detector = true;
     cfg.analysis = policy.analysis;
-    cfg.analysis.zigbee_demod = true;
+    // ZigBee is not a differential member (the naive architectures cannot
+    // detect it), but the rfdump@1 vs rfdump@N exact-fingerprint comparison
+    // covers it, as it always has.
+    cfg.EnableBundle(core::Protocol::kZigbee);
+    for (const auto& bundle : registry.bundles()) {
+      if (bundle.differential_member) cfg.EnableBundle(bundle.protocol);
+    }
     reports[2] = core::RFDumpPipeline(cfg).Process(x);
 
     core::Executor wide(std::max(policy.wide_threads, 2));
@@ -168,8 +205,7 @@ DifferentialResult RunDifferential(const RenderedScenario& scenario,
     reports[3] = core::RFDumpPipeline(cfg).Process(x);
   }
   for (int i = 0; i < 4; ++i) {
-    result.decodes[i] =
-        reports[i].wifi_frames.size() + reports[i].bt_packets.size();
+    result.decodes[i] = Events(reports[i], 1u << i).size();
   }
 
   // 1. Width determinism: rfdump@1 and rfdump@N must agree exactly.

@@ -7,16 +7,10 @@
 #include <fstream>
 #include <stdexcept>
 
-#include "rfdump/dsp/types.hpp"
+#include "rfdump/core/fuzz_io.hpp"
+#include "rfdump/core/protocol_registry.hpp"
 #include "rfdump/net/messages.hpp"
 #include "rfdump/net/wire.hpp"
-#include "rfdump/phy80211/demodulator.hpp"
-#include "rfdump/phy80211/modulator.hpp"
-#include "rfdump/phy80211/plcp.hpp"
-#include "rfdump/phybt/demodulator.hpp"
-#include "rfdump/phybt/modulator.hpp"
-#include "rfdump/phybt/packet.hpp"
-#include "rfdump/phyzigbee/phy.hpp"
 
 namespace fs = std::filesystem;
 
@@ -24,131 +18,6 @@ namespace rfdump::testing {
 namespace {
 
 using net::FrameType;
-
-/// Payload bytes -> descrambled bit vector (one bit per byte, LSB).
-std::vector<std::uint8_t> BytesToBits(std::span<const std::uint8_t> data) {
-  std::vector<std::uint8_t> bits(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) bits[i] = data[i] & 1u;
-  return bits;
-}
-
-/// Payload bytes -> IQ samples: consecutive byte pairs are signed I/Q at
-/// 1/64 full scale, so the corpus reaches both sub-noise and clipping-range
-/// amplitudes. Sample count is capped so a single input stays sub-second
-/// even through the 8-channel Bluetooth scan.
-constexpr std::size_t kMaxFuzzSamples = 1u << 16;
-
-dsp::SampleVec BytesToSamples(std::span<const std::uint8_t> data) {
-  const std::size_t n = std::min(data.size() / 2, kMaxFuzzSamples);
-  dsp::SampleVec x(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    x[i] = dsp::cfloat(static_cast<float>(static_cast<std::int8_t>(data[2 * i])),
-                       static_cast<float>(
-                           static_cast<std::int8_t>(data[2 * i + 1]))) /
-           64.0f;
-  }
-  return x;
-}
-
-/// IQ samples -> corpus bytes (inverse of BytesToSamples, saturating).
-void AppendSamples(std::vector<std::uint8_t>& out, dsp::const_sample_span x,
-                   std::size_t max_samples) {
-  const std::size_t n = std::min(x.size(), max_samples);
-  out.reserve(out.size() + 2 * n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto q = [](float v) {
-      return static_cast<std::uint8_t>(static_cast<std::int8_t>(
-          std::clamp(v * 64.0f, -127.0f, 127.0f)));
-    };
-    out.push_back(q(x[i].real()));
-    out.push_back(q(x[i].imag()));
-  }
-}
-
-int RunPlcpInput(std::span<const std::uint8_t> payload, std::uint8_t mode,
-                 util::WorkBudget* budget) {
-  int decodes = 0;
-  if (mode % 2 == 0) {
-    const auto bits = BytesToBits(payload);
-    const std::span<const std::uint8_t> all(bits);
-    // Exact-size parse plus a deliberately wrong-size call (size guard).
-    if (const auto h =
-            phy80211::ParsePlcpHeader(all.first(std::min<std::size_t>(
-                bits.size(), 48)))) {
-      ++decodes;
-      (void)h->MpduBytes();
-      (void)phy80211::PlcpHeader::DurationUsFor(h->rate, h->MpduBytes());
-      (void)phy80211::PlcpHeader::ServiceFor(h->rate, h->MpduBytes());
-    }
-    (void)phy80211::ParsePlcpHeader(all);
-  } else {
-    phy80211::Demodulator::Config cfg;
-    cfg.budget = budget;
-    phy80211::Demodulator demod(cfg);
-    decodes += static_cast<int>(demod.DecodeAll(BytesToSamples(payload)).size());
-  }
-  return decodes;
-}
-
-int RunBtInput(std::span<const std::uint8_t> payload, std::uint8_t mode,
-               util::WorkBudget* budget) {
-  int decodes = 0;
-  switch (mode % 3) {
-    case 0: {
-      if (payload.size() >= 8) {
-        std::uint64_t word = 0;
-        for (int i = 0; i < 8; ++i) {
-          word |= static_cast<std::uint64_t>(payload[i]) << (8 * i);
-        }
-        const int max_errors = (mode >> 4) % 3;
-        if (const auto lap = phybt::VerifySyncWord(word, max_errors)) {
-          ++decodes;
-          (void)phybt::SyncWord(*lap);
-        }
-      }
-      const std::uint8_t uap = payload.empty() ? 0x47 : payload[0];
-      if (phybt::ParsePacketBits(BytesToBits(payload.size() > 8
-                                                 ? payload.subspan(8)
-                                                 : payload),
-                                 uap)) {
-        ++decodes;
-      }
-      break;
-    }
-    case 1: {
-      if (const auto pkt = phybt::ParsePacketBits(BytesToBits(payload), 0x47)) {
-        ++decodes;
-        (void)phybt::PacketAirBits(pkt->header.type, pkt->payload.size());
-      }
-      break;
-    }
-    default: {
-      phybt::Demodulator::Config cfg;
-      cfg.budget = budget;
-      cfg.max_sync_errors = mode >> 6;  // 0..3
-      phybt::Demodulator demod(cfg);
-      decodes +=
-          static_cast<int>(demod.DecodeAll(BytesToSamples(payload)).size());
-      break;
-    }
-  }
-  return decodes;
-}
-
-int RunZigbeeInput(std::span<const std::uint8_t> payload) {
-  int decodes = 0;
-  const auto x = BytesToSamples(payload);
-  if (const auto frame = phyzigbee::DecodeFrame(x)) {
-    ++decodes;
-    (void)phyzigbee::FrameAirtimeUs(frame->psdu.size());
-  }
-  // Also exercise the chip expansion on raw bytes (cheap, pure).
-  if (!payload.empty()) {
-    (void)phyzigbee::BytesToChips(
-        payload.first(std::min<std::size_t>(payload.size(), 64)));
-  }
-  return decodes;
-}
 
 /// Decodes a parsed frame's payload with the codec its type names; on
 /// success re-encodes and re-decodes so every accepted input proves the
@@ -259,13 +128,170 @@ int RunNetFrameInput(std::span<const std::uint8_t> payload,
   return decodes;
 }
 
-std::uint64_t Fnv1a(std::span<const std::uint8_t> data) {
-  std::uint64_t h = 0xCBF29CE484222325ull;
-  for (const std::uint8_t b : data) {
-    h ^= b;
-    h *= 0x100000001B3ull;
+std::vector<std::uint8_t> NetFrameSeedInput(std::size_t i,
+                                            util::Xoshiro256& rng) {
+  // Builds one random-but-valid message; `pick % 7` matches the
+  // selector order RunNetFrameInput's raw-codec mode uses.
+  const auto random_message = [&rng](std::size_t pick)
+      -> std::pair<FrameType, std::vector<std::uint8_t>> {
+    switch (pick % 7) {
+      case 0: {
+        net::HelloMsg m;
+        m.epoch = static_cast<std::uint32_t>(rng.UniformInt(0, 1000));
+        m.local_time = static_cast<std::int64_t>(rng.UniformInt(0, 1u << 20));
+        return {FrameType::kHello, m.Encode()};
+      }
+      case 1: {
+        net::HeartbeatMsg m;
+        m.local_time = static_cast<std::int64_t>(rng.UniformInt(0, 1u << 20));
+        m.frames_sent = rng.UniformInt(0, 4096);
+        return {FrameType::kHeartbeat, m.Encode()};
+      }
+      case 2: {
+        net::AckMsg m;
+        m.cum_seq = static_cast<std::uint32_t>(rng.UniformInt(0, 4096));
+        m.epoch = static_cast<std::uint32_t>(rng.UniformInt(0, 16));
+        return {FrameType::kAck, m.Encode()};
+      }
+      case 3: {
+        net::MetricsMsg m;
+        m.snapshot_id = static_cast<std::uint32_t>(rng.UniformInt(0, 1024));
+        m.full = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
+        const std::size_t n = rng.UniformInt(0, 12);
+        for (std::size_t k = 0; k < n; ++k) {
+          net::MetricEntry e;
+          e.name = std::string(1 + rng.UniformInt(0, 48),
+                               static_cast<char>('a' + k % 26));
+          e.kind = static_cast<std::uint8_t>(k % 2);
+          e.value = static_cast<double>(rng.UniformInt(0, 1u << 20));
+          m.entries.push_back(std::move(e));
+        }
+        return {FrameType::kMetrics, m.Encode()};
+      }
+      case 4: {
+        net::EventBatchMsg m;
+        m.block_start = static_cast<std::int64_t>(rng.UniformInt(0, 1u << 20));
+        const std::size_t n = rng.UniformInt(0, 6);
+        for (std::size_t k = 0; k < n; ++k) {
+          net::EventRecord e;
+          e.protocol = core::Protocol::kWifi80211b;
+          e.start_sample = m.block_start + static_cast<std::int64_t>(k) * 1000;
+          e.end_sample = e.start_sample + 500;
+          e.payload_bytes =
+              static_cast<std::uint32_t>(rng.UniformInt(0, 2000));
+          e.crc_ok = rng.UniformInt(0, 1) == 1;
+          e.payload_digest = rng.UniformInt(0, 1u << 30);
+          m.events.push_back(e);
+        }
+        return {FrameType::kEventBatch, m.Encode()};
+      }
+      case 5: {
+        net::HealthMsg m;
+        m.report.block_start =
+            static_cast<std::int64_t>(rng.UniformInt(0, 1u << 20));
+        m.report.block_samples = rng.UniformInt(0, 1u << 18);
+        m.report.gap_count = static_cast<std::uint32_t>(rng.UniformInt(0, 16));
+        m.report.tagged_detections = rng.UniformInt(0, 4096);
+        return {FrameType::kHealth, m.Encode()};
+      }
+      default: {
+        net::GapReportMsg m;
+        const std::size_t n = 1 + rng.UniformInt(0, 7);
+        std::uint32_t lo = 1;
+        for (std::size_t k = 0; k < n; ++k) {
+          const auto span32 =
+              static_cast<std::uint32_t>(rng.UniformInt(0, 30));
+          m.lost.push_back({lo, lo + span32});
+          lo += span32 + 2 +
+                static_cast<std::uint32_t>(rng.UniformInt(0, 100));
+        }
+        return {FrameType::kGapReport, m.Encode()};
+      }
+    }
+  };
+  switch (i % 5) {
+    case 0:
+    case 1: {  // framed stream (mode 0/1); odd ones mutated -> resync
+      std::vector<std::uint8_t> data{static_cast<std::uint8_t>(i % 2)};
+      const std::size_t nframes = 1 + rng.UniformInt(0, 2);
+      for (std::size_t f = 0; f < nframes; ++f) {
+        auto [type, payload] = random_message(rng.UniformInt(0, 6));
+        net::FrameHeader h;
+        h.type = type;
+        h.sensor_id = static_cast<std::uint16_t>(rng.UniformInt(0, 7));
+        h.seq = net::IsDataFrame(type)
+                    ? static_cast<std::uint32_t>(1 + rng.UniformInt(0, 1000))
+                    : 0;
+        const auto frame = net::EncodeFrame(h, payload);
+        data.insert(data.end(), frame.begin(), frame.end());
+      }
+      if (i % 2 == 1) core::FuzzMutateInput(data, rng);
+      return data;
+    }
+    case 2: {  // metrics-heavy frame, incl. the name-length boundary
+      net::MetricsMsg m;
+      m.snapshot_id = static_cast<std::uint32_t>(i);
+      m.full = 1;
+      const std::size_t name_len = (i % 3 == 0) ? net::kMaxMetricNameBytes
+                                                : 1 + rng.UniformInt(0, 64);
+      const std::size_t n = 1 + rng.UniformInt(0, 15);
+      for (std::size_t k = 0; k < n; ++k) {
+        net::MetricEntry e;
+        e.name = std::string(name_len, static_cast<char>('a' + k % 26));
+        e.kind = static_cast<std::uint8_t>(k % 2);
+        e.value = static_cast<double>(rng.UniformInt(0, 1u << 20));
+        m.entries.push_back(std::move(e));
+      }
+      net::FrameHeader h;
+      h.type = FrameType::kMetrics;
+      const auto frame = net::EncodeFrame(h, m.Encode());
+      std::vector<std::uint8_t> data{0};
+      data.insert(data.end(), frame.begin(), frame.end());
+      return data;
+    }
+    case 3: {  // raw codec payload (mode 2), half of them mutated
+      const std::size_t pick = rng.UniformInt(0, 6);
+      auto [type, payload] = random_message(pick);
+      (void)type;
+      std::vector<std::uint8_t> data{2, static_cast<std::uint8_t>(pick)};
+      data.insert(data.end(), payload.begin(), payload.end());
+      if (rng.UniformInt(0, 1) == 1) core::FuzzMutateInput(data, rng);
+      return data;
+    }
+    default: {  // random bytes, random mode
+      std::vector<std::uint8_t> data{
+          static_cast<std::uint8_t>(rng.UniformInt(0, 255))};
+      const std::size_t n = rng.UniformInt(0, 512);
+      for (std::size_t k = 0; k < n; ++k) {
+        data.push_back(static_cast<std::uint8_t>(rng.UniformInt(0, 255)));
+      }
+      return data;
+    }
   }
-  return h;
+}
+
+/// The one fuzz target that is not a protocol bundle: the sensor-fleet wire
+/// protocol lives in net/, above the protocol layer.
+FuzzTargetRef NetFrameTargetRef() {
+  FuzzTargetRef ref;
+  ref.name = "net-frame";
+  ref.corpus_dir = "net_frame";
+  ref.run = [](std::span<const std::uint8_t> data, util::WorkBudget* budget) {
+    (void)budget;  // byte-stream parsing is linear; no deadline hook
+    if (data.empty()) return 0;
+    return RunNetFrameInput(data.subspan(1), data[0]);
+  };
+  ref.seed_input = NetFrameSeedInput;
+  return ref;
+}
+
+FuzzTargetRef RefFromBundle(const core::ProtocolBundle& bundle) {
+  FuzzTargetRef ref;
+  ref.name = bundle.fuzz_name;
+  ref.corpus_dir = bundle.fuzz_corpus_dir;
+  ref.run = bundle.fuzz_run;
+  ref.seed_input = bundle.fuzz_seed_input;
+  return ref;
 }
 
 void WriteFile(const fs::path& path, std::span<const std::uint8_t> data) {
@@ -296,426 +322,75 @@ const char* FuzzCorpusDirName(FuzzTarget t) {
   return "?";
 }
 
+std::vector<FuzzTargetRef> EnumerateFuzzTargets() {
+  std::vector<FuzzTargetRef> out;
+  for (const auto& bundle : core::ProtocolRegistry::Instance().bundles()) {
+    if (bundle.fuzz_name == nullptr || !bundle.fuzz_run ||
+        !bundle.fuzz_seed_input) {
+      continue;
+    }
+    out.push_back(RefFromBundle(bundle));
+  }
+  out.push_back(NetFrameTargetRef());
+  return out;
+}
+
+FuzzTargetRef FuzzTargetRefFor(FuzzTarget t) {
+  core::Protocol p = core::Protocol::kUnknown;
+  switch (t) {
+    case FuzzTarget::kPhy80211Plcp: p = core::Protocol::kWifi80211b; break;
+    case FuzzTarget::kPhyBtPacket: p = core::Protocol::kBluetooth; break;
+    case FuzzTarget::kPhyZigbee: p = core::Protocol::kZigbee; break;
+    case FuzzTarget::kNetFrame: return NetFrameTargetRef();
+  }
+  const core::ProtocolBundle* bundle =
+      core::ProtocolRegistry::Instance().Find(p);
+  if (bundle == nullptr || bundle->fuzz_name == nullptr) {
+    throw std::logic_error(std::string("no fuzz bundle for target ") +
+                           FuzzTargetName(t));
+  }
+  return RefFromBundle(*bundle);
+}
+
 int RunFuzzInput(FuzzTarget target, std::span<const std::uint8_t> data,
                  util::WorkBudget* budget) {
-  if (data.empty()) return 0;
-  const std::uint8_t mode = data[0];
-  const auto payload = data.subspan(1);
-  switch (target) {
-    case FuzzTarget::kPhy80211Plcp: return RunPlcpInput(payload, mode, budget);
-    case FuzzTarget::kPhyBtPacket: return RunBtInput(payload, mode, budget);
-    case FuzzTarget::kPhyZigbee: return RunZigbeeInput(payload);
-    case FuzzTarget::kNetFrame: return RunNetFrameInput(payload, mode);
-  }
-  return 0;
+  return FuzzTargetRefFor(target).run(data, budget);
 }
 
 void MutateInput(std::vector<std::uint8_t>& data, util::Xoshiro256& rng) {
-  if (data.empty()) data.push_back(0);
-  switch (rng.UniformInt(0, 5)) {
-    case 0: {  // flip one bit
-      const auto i = rng.UniformInt(0, data.size() - 1);
-      data[i] ^= static_cast<std::uint8_t>(1u << rng.UniformInt(0, 7));
-      break;
-    }
-    case 1: {  // splat one byte
-      data[rng.UniformInt(0, data.size() - 1)] =
-          static_cast<std::uint8_t>(rng.UniformInt(0, 255));
-      break;
-    }
-    case 2: {  // truncate
-      data.resize(1 + rng.UniformInt(0, data.size() - 1));
-      break;
-    }
-    case 3: {  // duplicate a tail chunk
-      const auto from = rng.UniformInt(0, data.size() - 1);
-      const std::size_t n =
-          std::min<std::size_t>(data.size() - from, rng.UniformInt(1, 64));
-      data.insert(data.end(), data.begin() + static_cast<std::ptrdiff_t>(from),
-                  data.begin() + static_cast<std::ptrdiff_t>(from + n));
-      break;
-    }
-    case 4: {  // insert random bytes
-      const auto at = rng.UniformInt(0, data.size());
-      const std::size_t n = rng.UniformInt(1, 16);
-      std::vector<std::uint8_t> chunk(n);
-      for (auto& b : chunk) b = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
-      data.insert(data.begin() + static_cast<std::ptrdiff_t>(at), chunk.begin(),
-                  chunk.end());
-      break;
-    }
-    default: {  // swap two chunks
-      if (data.size() >= 4) {
-        const auto half = data.size() / 2;
-        const auto a = rng.UniformInt(0, half - 1);
-        const auto b = half + rng.UniformInt(0, data.size() - half - 1);
-        std::swap(data[a], data[b]);
-      }
-      break;
-    }
-  }
+  core::FuzzMutateInput(data, rng);
 }
 
-std::size_t WriteSeedCorpus(FuzzTarget target, const std::string& dir,
+std::size_t WriteSeedCorpus(const FuzzTargetRef& ref, const std::string& dir,
                             std::size_t count, std::uint64_t seed) {
   fs::create_directories(dir);
   std::size_t written = 0;
   const auto emit = [&](std::vector<std::uint8_t> data) {
     char name[64];
     std::snprintf(name, sizeof(name), "seed-%04zu-%016llx.bin", written,
-                  static_cast<unsigned long long>(Fnv1a(data)));
+                  static_cast<unsigned long long>(core::FuzzFnv1a(data)));
     WriteFile(fs::path(dir) / name, data);
     ++written;
   };
   util::Xoshiro256 rng(seed);
-
   for (std::size_t i = 0; written < count; ++i) {
-    switch (target) {
-      case FuzzTarget::kPhy80211Plcp: {
-        switch (i % 5) {
-          case 0: {  // valid header bits (rate/length grid)
-            static constexpr phy80211::Rate kRates[] = {
-                phy80211::Rate::k1Mbps, phy80211::Rate::k2Mbps,
-                phy80211::Rate::k5_5Mbps, phy80211::Rate::k11Mbps};
-            phy80211::PlcpHeader h;
-            h.rate = kRates[i % 4];
-            const std::size_t bytes = 1 + rng.UniformInt(0, 256);
-            h.length_us = phy80211::PlcpHeader::DurationUsFor(h.rate, bytes);
-            h.service = phy80211::PlcpHeader::ServiceFor(h.rate, bytes);
-            const auto bits = phy80211::BuildPlcpBits(h);
-            std::vector<std::uint8_t> data{0};  // mode: bit parse
-            data.insert(data.end(), bits.end() - 48, bits.end());
-            emit(std::move(data));
-            break;
-          }
-          case 1: {  // corrupted header bits
-            phy80211::PlcpHeader h;
-            h.rate = phy80211::Rate::k2Mbps;
-            h.length_us = phy80211::PlcpHeader::DurationUsFor(
-                h.rate, 1 + rng.UniformInt(0, 64));
-            const auto bits = phy80211::BuildPlcpBits(h);
-            std::vector<std::uint8_t> data{0};
-            data.insert(data.end(), bits.end() - 48, bits.end());
-            MutateInput(data, rng);
-            emit(std::move(data));
-            break;
-          }
-          case 2: {  // random bit-mode bytes (short, long, empty payload)
-            std::vector<std::uint8_t> data{0};
-            const std::size_t n = rng.UniformInt(0, 96);
-            for (std::size_t k = 0; k < n; ++k) {
-              data.push_back(static_cast<std::uint8_t>(rng.UniformInt(0, 255)));
-            }
-            emit(std::move(data));
-            break;
-          }
-          case 3: {  // modulated frame samples (truncated)
-            phy80211::Modulator mod;
-            std::vector<std::uint8_t> mpdu(8 + rng.UniformInt(0, 24));
-            for (auto& b : mpdu) {
-              b = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
-            }
-            const auto x = mod.Modulate(mpdu, phy80211::Rate::k1Mbps);
-            std::vector<std::uint8_t> data{1};  // mode: demodulator
-            AppendSamples(data, x, 1200 + rng.UniformInt(0, 1000));
-            emit(std::move(data));
-            break;
-          }
-          default: {  // random sample bytes
-            std::vector<std::uint8_t> data{1};
-            const std::size_t n = 2 * (64 + rng.UniformInt(0, 1024));
-            for (std::size_t k = 0; k < n; ++k) {
-              data.push_back(static_cast<std::uint8_t>(rng.UniformInt(0, 255)));
-            }
-            emit(std::move(data));
-            break;
-          }
-        }
-        break;
-      }
-      case FuzzTarget::kPhyBtPacket: {
-        switch (i % 5) {
-          case 0: {  // valid packet bits, straight parse mode
-            phybt::DeviceAddress addr{0x9E8B33, 0x47};
-            phybt::PacketHeader h;
-            h.type = (i % 2 == 0) ? phybt::PacketType::kDh1
-                                  : phybt::PacketType::kDh3;
-            std::vector<std::uint8_t> payload(1 + rng.UniformInt(0, 17));
-            for (auto& b : payload) {
-              b = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
-            }
-            const auto bits = phybt::BuildPacketBits(
-                addr, h, payload,
-                static_cast<std::uint8_t>(rng.UniformInt(0, 63)));
-            std::vector<std::uint8_t> data{1};  // mode: ParsePacketBits
-            data.insert(data.end(), bits.begin() + 68, bits.end());
-            emit(std::move(data));
-            break;
-          }
-          case 1: {  // mutated packet bits
-            phybt::DeviceAddress addr{0x9E8B33, 0x47};
-            phybt::PacketHeader h;
-            const auto bits = phybt::BuildPacketBits(addr, h, {}, 0);
-            std::vector<std::uint8_t> data{1};
-            data.insert(data.end(), bits.begin() + 68, bits.end());
-            MutateInput(data, rng);
-            emit(std::move(data));
-            break;
-          }
-          case 2: {  // sync word + trailing bits, verify mode
-            const std::uint64_t word =
-                phybt::SyncWord(static_cast<std::uint32_t>(
-                    rng.UniformInt(0, 0xFFFFFF)));
-            std::vector<std::uint8_t> data{
-                static_cast<std::uint8_t>(rng.UniformInt(0, 255) & ~0x03u)};
-            data[0] = static_cast<std::uint8_t>((data[0] / 3) * 3);  // mode 0
-            for (int k = 0; k < 8; ++k) {
-              data.push_back(static_cast<std::uint8_t>(word >> (8 * k)));
-            }
-            const std::size_t n = rng.UniformInt(0, 200);
-            for (std::size_t k = 0; k < n; ++k) {
-              data.push_back(static_cast<std::uint8_t>(rng.UniformInt(0, 1)));
-            }
-            emit(std::move(data));
-            break;
-          }
-          case 3: {  // modulated burst samples
-            phybt::DeviceAddress addr{0x9E8B33, 0x47};
-            phybt::PacketHeader h;
-            std::vector<std::uint8_t> payload(1 + rng.UniformInt(0, 9));
-            for (auto& b : payload) {
-              b = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
-            }
-            // clk values land on different hop channels; skip off-band ones.
-            phybt::BtBurst burst;
-            for (int tries = 0; tries < 32 && burst.samples.empty(); ++tries) {
-              burst = phybt::ModulatePacket(
-                  addr, h, payload,
-                  static_cast<std::uint32_t>(rng.UniformInt(0, 4095)));
-            }
-            std::vector<std::uint8_t> data{2};  // mode: full demodulator
-            AppendSamples(data, burst.samples, 1600);
-            emit(std::move(data));
-            break;
-          }
-          default: {  // random sample bytes
-            std::vector<std::uint8_t> data{2};
-            const std::size_t n = 2 * (64 + rng.UniformInt(0, 1024));
-            for (std::size_t k = 0; k < n; ++k) {
-              data.push_back(static_cast<std::uint8_t>(rng.UniformInt(0, 255)));
-            }
-            emit(std::move(data));
-            break;
-          }
-        }
-        break;
-      }
-      case FuzzTarget::kPhyZigbee: {
-        switch (i % 3) {
-          case 0: {  // modulated frame samples
-            std::vector<std::uint8_t> psdu(3 + rng.UniformInt(0, 29));
-            for (auto& b : psdu) {
-              b = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
-            }
-            const auto x = phyzigbee::ModulateFrame(psdu);
-            std::vector<std::uint8_t> data{0};
-            AppendSamples(data, x, kMaxFuzzSamples);
-            emit(std::move(data));
-            break;
-          }
-          case 1: {  // truncated/mutated frame samples
-            std::vector<std::uint8_t> psdu(4);
-            for (auto& b : psdu) {
-              b = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
-            }
-            const auto x = phyzigbee::ModulateFrame(psdu);
-            std::vector<std::uint8_t> data{0};
-            AppendSamples(data, x, 400 + rng.UniformInt(0, 2000));
-            MutateInput(data, rng);
-            emit(std::move(data));
-            break;
-          }
-          default: {  // random sample bytes
-            std::vector<std::uint8_t> data{0};
-            const std::size_t n = 2 * (64 + rng.UniformInt(0, 1024));
-            for (std::size_t k = 0; k < n; ++k) {
-              data.push_back(static_cast<std::uint8_t>(rng.UniformInt(0, 255)));
-            }
-            emit(std::move(data));
-            break;
-          }
-        }
-        break;
-      }
-      case FuzzTarget::kNetFrame: {
-        // Builds one random-but-valid message; `pick % 7` matches the
-        // selector order RunNetFrameInput's raw-codec mode uses.
-        const auto random_message = [&rng](std::size_t pick)
-            -> std::pair<FrameType, std::vector<std::uint8_t>> {
-          switch (pick % 7) {
-            case 0: {
-              net::HelloMsg m;
-              m.epoch = static_cast<std::uint32_t>(rng.UniformInt(0, 1000));
-              m.local_time =
-                  static_cast<std::int64_t>(rng.UniformInt(0, 1u << 20));
-              return {FrameType::kHello, m.Encode()};
-            }
-            case 1: {
-              net::HeartbeatMsg m;
-              m.local_time =
-                  static_cast<std::int64_t>(rng.UniformInt(0, 1u << 20));
-              m.frames_sent = rng.UniformInt(0, 4096);
-              return {FrameType::kHeartbeat, m.Encode()};
-            }
-            case 2: {
-              net::AckMsg m;
-              m.cum_seq = static_cast<std::uint32_t>(rng.UniformInt(0, 4096));
-              m.epoch = static_cast<std::uint32_t>(rng.UniformInt(0, 16));
-              return {FrameType::kAck, m.Encode()};
-            }
-            case 3: {
-              net::MetricsMsg m;
-              m.snapshot_id =
-                  static_cast<std::uint32_t>(rng.UniformInt(0, 1024));
-              m.full = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
-              const std::size_t n = rng.UniformInt(0, 12);
-              for (std::size_t k = 0; k < n; ++k) {
-                net::MetricEntry e;
-                e.name = std::string(1 + rng.UniformInt(0, 48),
-                                     static_cast<char>('a' + k % 26));
-                e.kind = static_cast<std::uint8_t>(k % 2);
-                e.value =
-                    static_cast<double>(rng.UniformInt(0, 1u << 20));
-                m.entries.push_back(std::move(e));
-              }
-              return {FrameType::kMetrics, m.Encode()};
-            }
-            case 4: {
-              net::EventBatchMsg m;
-              m.block_start =
-                  static_cast<std::int64_t>(rng.UniformInt(0, 1u << 20));
-              const std::size_t n = rng.UniformInt(0, 6);
-              for (std::size_t k = 0; k < n; ++k) {
-                net::EventRecord e;
-                e.protocol = core::Protocol::kWifi80211b;
-                e.start_sample = m.block_start +
-                                 static_cast<std::int64_t>(k) * 1000;
-                e.end_sample = e.start_sample + 500;
-                e.payload_bytes =
-                    static_cast<std::uint32_t>(rng.UniformInt(0, 2000));
-                e.crc_ok = rng.UniformInt(0, 1) == 1;
-                e.payload_digest = rng.UniformInt(0, 1u << 30);
-                m.events.push_back(e);
-              }
-              return {FrameType::kEventBatch, m.Encode()};
-            }
-            case 5: {
-              net::HealthMsg m;
-              m.report.block_start =
-                  static_cast<std::int64_t>(rng.UniformInt(0, 1u << 20));
-              m.report.block_samples = rng.UniformInt(0, 1u << 18);
-              m.report.gap_count =
-                  static_cast<std::uint32_t>(rng.UniformInt(0, 16));
-              m.report.tagged_detections = rng.UniformInt(0, 4096);
-              return {FrameType::kHealth, m.Encode()};
-            }
-            default: {
-              net::GapReportMsg m;
-              const std::size_t n = 1 + rng.UniformInt(0, 7);
-              std::uint32_t lo = 1;
-              for (std::size_t k = 0; k < n; ++k) {
-                const auto span32 =
-                    static_cast<std::uint32_t>(rng.UniformInt(0, 30));
-                m.lost.push_back({lo, lo + span32});
-                lo += span32 + 2 +
-                      static_cast<std::uint32_t>(rng.UniformInt(0, 100));
-              }
-              return {FrameType::kGapReport, m.Encode()};
-            }
-          }
-        };
-        switch (i % 5) {
-          case 0:
-          case 1: {  // framed stream (mode 0/1); odd ones mutated -> resync
-            std::vector<std::uint8_t> data{static_cast<std::uint8_t>(i % 2)};
-            const std::size_t nframes = 1 + rng.UniformInt(0, 2);
-            for (std::size_t f = 0; f < nframes; ++f) {
-              auto [type, payload] = random_message(rng.UniformInt(0, 6));
-              net::FrameHeader h;
-              h.type = type;
-              h.sensor_id =
-                  static_cast<std::uint16_t>(rng.UniformInt(0, 7));
-              h.seq = net::IsDataFrame(type)
-                          ? static_cast<std::uint32_t>(
-                                1 + rng.UniformInt(0, 1000))
-                          : 0;
-              const auto frame = net::EncodeFrame(h, payload);
-              data.insert(data.end(), frame.begin(), frame.end());
-            }
-            if (i % 2 == 1) MutateInput(data, rng);
-            emit(std::move(data));
-            break;
-          }
-          case 2: {  // metrics-heavy frame, incl. the name-length boundary
-            net::MetricsMsg m;
-            m.snapshot_id = static_cast<std::uint32_t>(i);
-            m.full = 1;
-            const std::size_t name_len =
-                (i % 3 == 0) ? net::kMaxMetricNameBytes
-                             : 1 + rng.UniformInt(0, 64);
-            const std::size_t n = 1 + rng.UniformInt(0, 15);
-            for (std::size_t k = 0; k < n; ++k) {
-              net::MetricEntry e;
-              e.name =
-                  std::string(name_len, static_cast<char>('a' + k % 26));
-              e.kind = static_cast<std::uint8_t>(k % 2);
-              e.value = static_cast<double>(rng.UniformInt(0, 1u << 20));
-              m.entries.push_back(std::move(e));
-            }
-            net::FrameHeader h;
-            h.type = FrameType::kMetrics;
-            const auto frame = net::EncodeFrame(h, m.Encode());
-            std::vector<std::uint8_t> data{0};
-            data.insert(data.end(), frame.begin(), frame.end());
-            emit(std::move(data));
-            break;
-          }
-          case 3: {  // raw codec payload (mode 2), half of them mutated
-            const std::size_t pick = rng.UniformInt(0, 6);
-            auto [type, payload] = random_message(pick);
-            (void)type;
-            std::vector<std::uint8_t> data{
-                2, static_cast<std::uint8_t>(pick)};
-            data.insert(data.end(), payload.begin(), payload.end());
-            if (rng.UniformInt(0, 1) == 1) MutateInput(data, rng);
-            emit(std::move(data));
-            break;
-          }
-          default: {  // random bytes, random mode
-            std::vector<std::uint8_t> data{
-                static_cast<std::uint8_t>(rng.UniformInt(0, 255))};
-            const std::size_t n = rng.UniformInt(0, 512);
-            for (std::size_t k = 0; k < n; ++k) {
-              data.push_back(
-                  static_cast<std::uint8_t>(rng.UniformInt(0, 255)));
-            }
-            emit(std::move(data));
-            break;
-          }
-        }
-        break;
-      }
-    }
+    emit(ref.seed_input(i, rng));
   }
   return written;
 }
 
-std::string CorpusRunner::Result::Summary(FuzzTarget target) const {
+std::size_t WriteSeedCorpus(FuzzTarget target, const std::string& dir,
+                            std::size_t count, std::uint64_t seed) {
+  return WriteSeedCorpus(FuzzTargetRefFor(target), dir, count, seed);
+}
+
+std::string CorpusRunner::Result::Summary(
+    const std::string& target_name) const {
   char buf[192];
   std::snprintf(buf, sizeof(buf),
                 "%s: %zu inputs, %zu decodes, %zu budget expiries, %zu "
                 "findings\n",
-                FuzzTargetName(target), inputs_run, decodes, budget_expiries,
+                target_name.c_str(), inputs_run, decodes, budget_expiries,
                 findings.size());
   std::string out = buf;
   for (const auto& f : findings) {
@@ -726,7 +401,11 @@ std::string CorpusRunner::Result::Summary(FuzzTarget target) const {
   return out;
 }
 
-void CorpusRunner::RunOne(FuzzTarget target,
+std::string CorpusRunner::Result::Summary(FuzzTarget target) const {
+  return Summary(std::string(FuzzTargetName(target)));
+}
+
+void CorpusRunner::RunOne(const FuzzTargetRef& ref,
                           std::span<const std::uint8_t> data,
                           const std::string& input_name, Result& result) {
   util::WorkBudget budget;
@@ -735,7 +414,7 @@ void CorpusRunner::RunOne(FuzzTarget target,
 
   const auto record = [&](const char* kind, std::string detail) {
     Finding f;
-    f.target = target;
+    f.target_name = ref.name;
     f.kind = kind;
     f.input_name = input_name;
     f.detail = std::move(detail);
@@ -743,8 +422,8 @@ void CorpusRunner::RunOne(FuzzTarget target,
       fs::create_directories(config_.repro_dir);
       char name[96];
       std::snprintf(name, sizeof(name), "%s-%s-%016llx.bin",
-                    FuzzCorpusDirName(target), kind,
-                    static_cast<unsigned long long>(Fnv1a(data)));
+                    ref.corpus_dir.c_str(), kind,
+                    static_cast<unsigned long long>(core::FuzzFnv1a(data)));
       const fs::path path = fs::path(config_.repro_dir) / name;
       WriteFile(path, data);
       f.repro_path = path.string();
@@ -754,8 +433,8 @@ void CorpusRunner::RunOne(FuzzTarget target,
 
   const auto t0 = std::chrono::steady_clock::now();
   try {
-    result.decodes += static_cast<std::size_t>(
-        std::max(0, RunFuzzInput(target, data, &budget)));
+    result.decodes +=
+        static_cast<std::size_t>(std::max(0, ref.run(data, &budget)));
   } catch (const std::exception& e) {
     record("crash", e.what());
   } catch (...) {
@@ -773,8 +452,18 @@ void CorpusRunner::RunOne(FuzzTarget target,
   }
 }
 
-CorpusRunner::Result CorpusRunner::RunDirectory(FuzzTarget target,
-                                                const std::string& corpus_dir) {
+void CorpusRunner::RunOne(FuzzTarget target,
+                          std::span<const std::uint8_t> data,
+                          const std::string& input_name, Result& result) {
+  const std::size_t before = result.findings.size();
+  RunOne(FuzzTargetRefFor(target), data, input_name, result);
+  for (std::size_t i = before; i < result.findings.size(); ++i) {
+    result.findings[i].target = target;
+  }
+}
+
+CorpusRunner::Result CorpusRunner::RunDirectory(
+    const FuzzTargetRef& ref, const std::string& corpus_dir) {
   Result result;
   std::vector<fs::path> files;
   if (fs::exists(corpus_dir)) {
@@ -788,19 +477,26 @@ CorpusRunner::Result CorpusRunner::RunDirectory(FuzzTarget target,
     std::ifstream in(path, std::ios::binary);
     std::vector<std::uint8_t> data(
         (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-    RunOne(target, data, path.filename().string(), result);
+    RunOne(ref, data, path.filename().string(), result);
 
     // Deterministic mutation rounds: the mutant is identified by the source
     // file, round index, and master seed, so any finding is reproducible.
-    util::Xoshiro256 rng(config_.seed ^ Fnv1a(data));
+    util::Xoshiro256 rng(config_.seed ^ core::FuzzFnv1a(data));
     std::vector<std::uint8_t> mutant = data;
     for (int round = 0; round < config_.mutation_rounds; ++round) {
-      MutateInput(mutant, rng);
-      RunOne(target, mutant,
+      core::FuzzMutateInput(mutant, rng);
+      RunOne(ref, mutant,
              path.filename().string() + "+round" + std::to_string(round),
              result);
     }
   }
+  return result;
+}
+
+CorpusRunner::Result CorpusRunner::RunDirectory(FuzzTarget target,
+                                                const std::string& corpus_dir) {
+  Result result = RunDirectory(FuzzTargetRefFor(target), corpus_dir);
+  for (auto& f : result.findings) f.target = target;
   return result;
 }
 

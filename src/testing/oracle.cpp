@@ -4,6 +4,8 @@
 #include <array>
 #include <cstdio>
 
+#include "rfdump/core/protocol_registry.hpp"
+
 namespace rfdump::testing {
 namespace {
 
@@ -103,29 +105,42 @@ ConformanceReport ScoreReport(const std::vector<emu::TruthRecord>& truth,
                               const MatchPolicy& policy) {
   ConformanceReport out;
 
-  std::vector<Interval> wifi, bt, zb;
-  wifi.reserve(report.wifi_frames.size());
-  for (const auto& f : report.wifi_frames) {
-    wifi.push_back({f.start_sample, f.end_sample, f.fcs_ok});
-  }
-  bt.reserve(report.bt_packets.size());
-  for (const auto& p : report.bt_packets) {
-    bt.push_back({p.start_sample, p.end_sample, p.packet.crc_ok});
-  }
-  zb.reserve(report.zb_frames.size());
-  for (const auto& z : report.zb_frames) {
-    zb.push_back({z.start_sample, z.end_sample, z.crc_ok});
+  // Decode intervals per protocol, from the generic protocol-tagged event
+  // view when the pipeline produced one. Hand-built reports (tests) that
+  // only fill the legacy typed vectors fall back to those.
+  std::array<std::vector<Interval>, core::kProtocolCount> decodes;
+  if (!report.events.empty()) {
+    for (const auto& e : report.events) {
+      const auto idx = static_cast<std::size_t>(e.protocol);
+      if (idx < decodes.size()) {
+        decodes[idx].push_back({e.start_sample, e.end_sample, e.crc_ok});
+      }
+    }
+  } else {
+    auto& wifi = decodes[static_cast<std::size_t>(core::Protocol::kWifi80211b)];
+    wifi.reserve(report.wifi_frames.size());
+    for (const auto& f : report.wifi_frames) {
+      wifi.push_back({f.start_sample, f.end_sample, f.fcs_ok});
+    }
+    auto& bt = decodes[static_cast<std::size_t>(core::Protocol::kBluetooth)];
+    bt.reserve(report.bt_packets.size());
+    for (const auto& p : report.bt_packets) {
+      bt.push_back({p.start_sample, p.end_sample, p.packet.crc_ok});
+    }
+    auto& zb = decodes[static_cast<std::size_t>(core::Protocol::kZigbee)];
+    zb.reserve(report.zb_frames.size());
+    for (const auto& z : report.zb_frames) {
+      zb.push_back({z.start_sample, z.end_sample, z.crc_ok});
+    }
   }
 
-  const struct {
-    core::Protocol protocol;
-    std::vector<Interval>* decodes;
-  } kSlots[] = {{core::Protocol::kWifi80211b, &wifi},
-                {core::Protocol::kBluetooth, &bt},
-                {core::Protocol::kZigbee, &zb}};
-  for (const auto& slot : kSlots) {
-    auto c = MatchProtocol(slot.protocol, truth, total_samples,
-                           std::move(*slot.decodes), policy);
+  // Not hand-listed: every registered bundle that opts into oracle scoring
+  // gets a precision/recall row.
+  for (const auto& bundle : core::ProtocolRegistry::Instance().bundles()) {
+    if (!bundle.oracle_scored) continue;
+    auto c = MatchProtocol(
+        bundle.protocol, truth, total_samples,
+        std::move(decodes[static_cast<std::size_t>(bundle.protocol)]), policy);
     // Keep the report small: only protocols that appear on either side.
     if (c.truth_packets > 0 || c.decoded > 0) out.protocols.push_back(c);
   }

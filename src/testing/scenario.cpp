@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "rfdump/core/protocol_registry.hpp"
+
 namespace rfdump::testing {
 namespace {
 
@@ -128,6 +130,12 @@ ScenarioBuilder& ScenarioBuilder::Campus(traffic::CampusConfig cfg,
               at_sample});
 }
 
+ScenarioBuilder& ScenarioBuilder::Traffic(
+    std::function<std::int64_t(emu::Ether&, std::int64_t, double)> run,
+    std::int64_t at_sample) {
+  return Add({std::move(run), at_sample});
+}
+
 RenderedScenario ScenarioBuilder::Render() const {
   emu::Ether ether(ether_config_, seed_);
   std::int64_t latest = 0;
@@ -151,28 +159,23 @@ RenderedScenario ScenarioBuilder::Render() const {
 }
 
 RenderedScenario CannedMixedScenario(std::uint64_t seed) {
-  traffic::WifiPingConfig wifi;
-  wifi.count = 4;
-  wifi.interval_us = 10'000.0;
-  wifi.snr_db = 25.0;
-  traffic::L2PingConfig bt;
-  bt.count = 16;
-  bt.snr_db = 25.0;
-  traffic::ZigbeeConfig zb;
-  zb.count = 6;
-  zb.snr_db = 20.0;
-  zb.interval_us = 0.0;  // LIFS-spaced so the ZigBee timing detector fires
   // The sessions are auto-staggered, not overlapped: simultaneous
   // cross-protocol transmissions are collisions, which the paper's detectors
   // explicitly do not resolve (future work, §6) — a collision-heavy canned
   // scenario would make the naive-vs-RFDump differential fail for reasons
   // the architecture never claimed to handle.
-  return ScenarioBuilder(seed, "canned-mixed")
-      .WifiPing(wifi, 8'000)
-      .L2Ping(bt)
-      .Zigbee(zb)
-      .TailPadding(8'000)
-      .Render();
+  //
+  // Each registered bundle with a canned_traffic hook contributes one
+  // session, in ascending protocol-id order. That order also preserves the
+  // ether RNG draw sequence of the original hand-listed recipe (wifi, bt,
+  // zigbee) for the legacy seeds, so per-seed streams stay bit-identical
+  // when new bundles only append.
+  ScenarioBuilder builder(seed, "canned-mixed");
+  for (const auto& bundle : core::ProtocolRegistry::Instance().bundles()) {
+    if (!bundle.canned_traffic) continue;
+    builder.Traffic(bundle.canned_traffic, bundle.canned_at);
+  }
+  return builder.TailPadding(8'000).Render();
 }
 
 }  // namespace rfdump::testing

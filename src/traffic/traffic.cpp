@@ -5,6 +5,7 @@
 #include "rfdump/mac80211/frames.hpp"
 #include "rfdump/mac80211/timing.hpp"
 #include "rfdump/phy80211/modulator.hpp"
+#include "rfdump/phyble/adv.hpp"
 #include "rfdump/phybt/hopping.hpp"
 #include "rfdump/phybt/modulator.hpp"
 #include "rfdump/phyzigbee/phy.hpp"
@@ -359,6 +360,44 @@ SessionResult GenerateZigbee(emu::Ether& ether, const ZigbeeConfig& cfg,
         std::max(cfg.interval_us,
                  phyzigbee::FrameAirtimeUs(cfg.psdu_bytes) +
                      phyzigbee::kLifsUs));
+  }
+  result.end_sample = t;
+  return result;
+}
+
+SessionResult GenerateBleAdv(emu::Ether& ether, const BleAdvConfig& cfg,
+                             std::int64_t start_sample) {
+  // Gap between the three PDUs of one advertising event (the spec allows up
+  // to 10 ms; kept short so one event fits comfortably in a capture block).
+  constexpr double kInterPduGapUs = 150.0;
+  SessionResult result;
+  std::int64_t t = start_sample;
+  const std::size_t adv_bytes =
+      std::min(cfg.adv_bytes, phyble::kMaxAdvPayloadBytes);
+  for (std::size_t i = 0; i < cfg.count; ++i) {
+    // Same deterministic payload on all three channels of one event.
+    std::vector<std::uint8_t> payload(adv_bytes);
+    for (std::size_t b = 0; b < payload.size(); ++b) {
+      payload[b] = static_cast<std::uint8_t>((i * 11 + b) & 0xFF);
+    }
+    std::int64_t at = t;
+    for (std::size_t leg = 0; leg < std::size(phyble::kAdvChannels); ++leg) {
+      const int channel = phyble::kAdvChannels[leg];
+      const auto burst =
+          phyble::ModulateAdv(channel, phyble::AdvPduType::kAdvNonconnInd,
+                              payload);
+      emu::TruthRecord meta;
+      meta.protocol = core::Protocol::kBleAdv;
+      meta.flow_id = cfg.flow_id;
+      meta.packet_id = i * std::size(phyble::kAdvChannels) + leg;
+      meta.kind = "BLE-ADV";
+      ether.AddBurst(burst.samples, at, cfg.snr_db, meta);
+      ++result.packets;
+      at += UsToSamples(phyble::AdvAirtimeUs(adv_bytes) + kInterPduGapUs);
+    }
+    t += std::max(
+        UsToSamples(cfg.interval_us),
+        at - t);
   }
   result.end_sample = t;
   return result;

@@ -49,6 +49,38 @@ TEST(FuzzCorpus, PhyZigbee) { RunTarget(rft::FuzzTarget::kPhyZigbee); }
 
 TEST(FuzzCorpus, NetFrame) { RunTarget(rft::FuzzTarget::kNetFrame); }
 
+TEST(FuzzCorpus, RegistryTargetsReplay) {
+  // Registry-enumerated targets beyond the four legacy enum values above
+  // (today: the BLE advertising bundle; tomorrow: any new bundle with fuzz
+  // hooks). Covered here with zero per-protocol edits — registering the
+  // bundle is enough to put its corpus under this suite.
+  const char* const legacy[] = {"phy80211_plcp", "phybt_packet", "phyzigbee",
+                                "net_frame"};
+  std::size_t registry_only = 0;
+  for (const auto& target : rft::EnumerateFuzzTargets()) {
+    bool is_legacy = false;
+    for (const char* dir : legacy) is_legacy |= target.corpus_dir == dir;
+    if (is_legacy) continue;  // already replayed by the pinned tests above
+    ++registry_only;
+
+    rft::CorpusRunner::Config cfg;
+    cfg.repro_dir =
+        (fs::path(::testing::TempDir()) / "rfdump_fuzz_repro").string();
+    cfg.mutation_rounds = 1;
+    cfg.seed = 1;
+    rft::CorpusRunner runner(cfg);
+    const std::string dir = std::string(RFDUMP_SOURCE_DIR) +
+                            "/tests/corpus/" + target.corpus_dir;
+    const auto result = runner.RunDirectory(target, dir);
+    EXPECT_GE(result.inputs_run, 200u)
+        << "corpus missing or truncated at " << dir;
+    EXPECT_TRUE(result.ok()) << result.Summary(target.name);
+    EXPECT_GT(result.decodes, 0u) << result.Summary(target.name);
+  }
+  // The BLE advertising bundle must be enumerated.
+  EXPECT_GE(registry_only, 1u);
+}
+
 TEST(FuzzCorpus, MutatorIsDeterministicAndTotal) {
   // Same RNG state => same mutant; mutation never produces an empty input
   // (RunFuzzInput treats empty as a no-op and the corpus would rot).

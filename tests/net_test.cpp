@@ -884,11 +884,12 @@ TEST(Fleet, MonitorSensorSinkBatchesPerBlock) {
   core::HealthReport h1;
   h1.block_start = 0;
   sink.OnHealth(h1);
-  rfdump::phy80211::DecodedFrame wifi;
+  core::ProtocolEvent wifi;
+  wifi.protocol = core::Protocol::kWifi80211b;
   wifi.start_sample = 1'000;
   wifi.end_sample = 2'000;
-  wifi.fcs_ok = true;
-  sink.OnWifiFrame(wifi);
+  wifi.crc_ok = true;
+  sink.OnEvent(wifi);
   // Block 2's health flushes block 1's events as one batch.
   core::HealthReport h2;
   h2.block_start = 400'000;
