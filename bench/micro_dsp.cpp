@@ -1,9 +1,18 @@
 // google-benchmark microbenches of the DSP primitives, each reported with a
 // derived "x real time" counter against the 8 Msps front-end rate. These are
 // the per-sample costs Table 1 and Figure 9 are built from.
+//
+// main() first runs the scalar-vs-SIMD kernel speedup table (DESIGN.md §16)
+// and writes it to BENCH_micro_dsp.json; the binary exits nonzero unless at
+// least two of {barker, energy, fir, gfsk-discriminator} reach a 2x speedup
+// over the scalar conformance tier. The google-benchmark suites run after.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
 #include "rfdump/channel/channel.hpp"
 #include "rfdump/core/peaks.hpp"
 #include "rfdump/core/phase_detectors.hpp"
@@ -12,6 +21,8 @@
 #include "rfdump/dsp/fir.hpp"
 #include "rfdump/dsp/phase.hpp"
 #include "rfdump/dsp/resampler.hpp"
+#include "rfdump/dsp/simd.hpp"
+#include "rfdump/obs/obs.hpp"
 #include "rfdump/phybt/gfsk.hpp"
 #include "rfdump/util/rng.hpp"
 
@@ -142,6 +153,144 @@ void BM_Awgn(benchmark::State& state) {
 }
 BENCHMARK(BM_Awgn);
 
+// ------------------------------------------------- kernel speedup table
+// Times each dsp::simd kernel once through the scalar table and once through
+// the best supported tier (function pointers taken directly from Table(), so
+// the global dispatch state is untouched) and writes the per-kernel speedups
+// to BENCH_micro_dsp.json.
+
+namespace simd = rfdump::dsp::simd;
+
+/// Best-of-reps seconds per call of `f` (amortized over `inner` calls).
+template <class F>
+double TimeKernel(F&& f, int inner = 64, int reps = 5) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    rfdump::obs::Stopwatch w;
+    for (int i = 0; i < inner; ++i) f();
+    best = std::min(best, w.Seconds() / inner);
+  }
+  return best;
+}
+
+struct KernelRow {
+  const char* kernel = "";
+  bool gate_member = false;  // counts toward the 2-of-4 speedup gate
+  double scalar_ns_per_sample = 0.0;
+  double simd_ns_per_sample = 0.0;
+  double speedup = 0.0;
+};
+
+int RunSpeedupTable() {
+  bench::PrintHeader("DSP kernel speedup: scalar conformance tier vs best "
+                     "dispatch tier");
+  const simd::Tier best_tier = simd::DetectBestTier();
+  const simd::Kernels& scalar = simd::Table(simd::Tier::kScalar);
+  const simd::Kernels& fast = simd::Table(best_tier);
+  std::printf("best tier: %s\n\n", simd::TierName(best_tier));
+
+  constexpr std::size_t kN = 8192;
+  const auto x = NoiseBuffer(kN, 42);
+  const auto taps = dsp::DesignLowPass(600e3, dsp::kSampleRateHz, 21);
+  dsp::SampleVec cout_buf(kN);
+  std::vector<float> fout_buf(kN);
+
+  std::vector<KernelRow> rows;
+  auto measure = [&](const char* name, bool gate_member, auto&& run) {
+    KernelRow row;
+    row.kernel = name;
+    row.gate_member = gate_member;
+    row.scalar_ns_per_sample =
+        TimeKernel([&] { run(scalar); }) * 1e9 / static_cast<double>(kN);
+    row.simd_ns_per_sample =
+        TimeKernel([&] { run(fast); }) * 1e9 / static_cast<double>(kN);
+    row.speedup = row.simd_ns_per_sample > 0.0
+                      ? row.scalar_ns_per_sample / row.simd_ns_per_sample
+                      : 0.0;
+    std::printf("%-20s scalar %7.3f ns/sample  %s %7.3f ns/sample  -> "
+                "%5.2fx%s\n",
+                name, row.scalar_ns_per_sample, simd::TierName(best_tier),
+                row.simd_ns_per_sample, row.speedup,
+                gate_member ? "  [gate]" : "");
+    rows.push_back(row);
+  };
+
+  measure("barker", true, [&](const simd::Kernels& k) {
+    k.correlate_chips(x.data(), kN - dsp::kBarker11.size() + 1,
+                      dsp::kBarker11.data(), dsp::kBarker11.size(),
+                      cout_buf.data());
+    benchmark::DoNotOptimize(cout_buf.data());
+  });
+  measure("energy", true, [&](const simd::Kernels& k) {
+    double e = k.sum_finite_power(x.data(), kN);
+    benchmark::DoNotOptimize(e);
+  });
+  measure("fir", true, [&](const simd::Kernels& k) {
+    k.fir_complex(x.data(), kN - taps.size() + 1, taps.data(), taps.size(),
+                  cout_buf.data());
+    benchmark::DoNotOptimize(cout_buf.data());
+  });
+  measure("gfsk-discriminator", true, [&](const simd::Kernels& k) {
+    k.phase_diff(x.data(), kN, fout_buf.data());
+    benchmark::DoNotOptimize(fout_buf.data());
+  });
+  measure("instant-phase", false, [&](const simd::Kernels& k) {
+    k.instant_phase(x.data(), kN, fout_buf.data());
+    benchmark::DoNotOptimize(fout_buf.data());
+  });
+  measure("power-plane", false, [&](const simd::Kernels& k) {
+    k.power_plane(x.data(), kN, fout_buf.data());
+    benchmark::DoNotOptimize(fout_buf.data());
+  });
+  measure("health-scan", false, [&](const simd::Kernels& k) {
+    std::uint64_t nonfinite = 0, saturated = 0;
+    k.health_scan(x.data(), kN, 0.98f * 64.0f, &nonfinite, &saturated);
+    benchmark::DoNotOptimize(nonfinite + saturated);
+  });
+  measure("conj-mul-sum", false, [&](const simd::Kernels& k) {
+    dsp::cfloat s = k.conj_mul_sum(x.data(), kN);
+    benchmark::DoNotOptimize(&s);
+  });
+
+  int gate_hits = 0;
+  for (const auto& r : rows) {
+    if (r.gate_member && r.speedup >= 2.0) ++gate_hits;
+  }
+  const bool gate_ok = gate_hits >= 2;
+  std::printf("\ngate: %d of 4 gate kernels at >=2x (need 2): %s\n", gate_hits,
+              gate_ok ? "PASS" : "FAIL");
+
+  std::vector<std::string> kernel_objs;
+  for (const auto& r : rows) {
+    kernel_objs.push_back(bench::JsonObj({
+        {"kernel", bench::JsonStr(r.kernel)},
+        {"gate_member", r.gate_member ? "true" : "false"},
+        {"scalar_ns_per_sample", bench::JsonNum(r.scalar_ns_per_sample)},
+        {"simd_ns_per_sample", bench::JsonNum(r.simd_ns_per_sample)},
+        {"speedup", bench::JsonNum(r.speedup)},
+    }));
+  }
+  bench::WriteBenchJson(
+      "micro_dsp",
+      bench::JsonObj({
+          {"bench", bench::JsonStr("micro_dsp")},
+          {"samples", bench::JsonInt(static_cast<long long>(kN))},
+          {"best_tier", bench::JsonStr(simd::TierName(best_tier))},
+          {"kernels", bench::JsonArr(kernel_objs)},
+          {"gate_kernels_at_2x", bench::JsonInt(gate_hits)},
+          {"gate_passed", gate_ok ? "true" : "false"},
+      }));
+  std::printf("\n");
+  return gate_ok ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const int gate = RunSpeedupTable();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return gate;
+}

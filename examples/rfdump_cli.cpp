@@ -28,6 +28,7 @@
 
 #include "rfdump/core/executor.hpp"
 #include "rfdump/core/pipeline.hpp"
+#include "rfdump/dsp/simd.hpp"
 #include "rfdump/obs/obs.hpp"
 #include "rfdump/core/spectrogram.hpp"
 #include "rfdump/core/streaming.hpp"
@@ -56,6 +57,9 @@ void PrintUsage(const char* argv0) {
       "  --arch A           rfdump (default) | naive | energy\n"
       "  --detectors D      both (default) | timing | phase\n"
       "  --protocols LIST   comma-separated protocol bundles to enable\n"
+      "  --simd TIER        force the DSP kernel dispatch tier:\n"
+      "                     scalar|sse2|avx2|auto (default: RFDUMP_SIMD env\n"
+      "                     or CPU detection; all tiers are bit-identical)\n"
       "                     (names from the registry, e.g. wifi,bt,ble;\n"
       "                     unknown names exit 2; default = every bundle\n"
       "                     registered as enabled-by-default)\n"
@@ -818,6 +822,23 @@ int main(int argc, char** argv) {
     } else if (arg == "--protocols" && i + 1 < argc) {
       if (!ParseProtocolsFlag(argv[++i], &protocols_mask)) return 2;
       protocols_set = true;
+    } else if (arg == "--simd" && i + 1 < argc) {
+      const char* name = argv[++i];
+      rfdump::dsp::simd::Tier tier;
+      if (std::string(name) == "auto") {
+        tier = rfdump::dsp::simd::DetectBestTier();
+      } else if (!rfdump::dsp::simd::ParseTier(name, tier)) {
+        std::fprintf(stderr,
+                     "--simd: unknown tier '%s' (want scalar|sse2|avx2|auto)\n",
+                     name);
+        return 2;
+      }
+      if (!rfdump::dsp::simd::TierSupported(tier)) {
+        std::fprintf(stderr, "--simd: tier '%s' not supported on this CPU\n",
+                     name);
+        return 2;
+      }
+      rfdump::dsp::simd::ForceTier(tier);
     } else if (arg == "--no-demod") {
       no_demod = true;
     } else if (arg == "--threads" && i + 1 < argc) {

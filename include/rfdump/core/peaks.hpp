@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <vector>
 
 #include "rfdump/dsp/energy.hpp"
@@ -72,6 +73,12 @@ class PeakDetector {
   /// Chunks must be fed in order. Returns the chunk's metadata.
   ChunkMeta PushChunk(dsp::const_sample_span chunk, std::int64_t start_sample);
 
+  /// Same, with the chunk's power plane (FinitePower per sample) already
+  /// computed — the block pipeline computes it once per chunk and shares it.
+  /// `power.size()` must equal `chunk.size()`.
+  ChunkMeta PushChunk(dsp::const_sample_span chunk,
+                      std::span<const float> power, std::int64_t start_sample);
+
   /// Flushes any open peak at end of stream.
   void Flush();
 
@@ -89,7 +96,7 @@ class PeakDetector {
   [[nodiscard]] double GatePower() const;
 
  private:
-  void ProcessSamples(dsp::const_sample_span chunk, std::int64_t start);
+  void ProcessSamples(std::span<const float> power, std::int64_t start);
   void ClosePeak(std::int64_t end);
 
   Config config_;
@@ -102,6 +109,7 @@ class PeakDetector {
   std::int64_t last_sample_ = 0;   // last absolute sample index processed
   std::deque<Peak> history_;
   std::uint64_t completed_ = 0;
+  std::vector<float> plane_;  // reusable per-chunk power plane
 };
 
 }  // namespace rfdump::core

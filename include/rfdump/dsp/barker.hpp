@@ -35,4 +35,11 @@ inline constexpr std::array<int, 13> kBarker13 = {+1, +1, +1, +1, +1, -1, -1,
 [[nodiscard]] std::vector<float> NormalizedCorrelateChips(
     const_sample_span x, std::span<const int> chips);
 
+/// One-pass variant producing both the complex correlations and the
+/// normalized magnitudes (the 802.11b sync scan needs both). `corr` and
+/// `norm` are resized to x.size() - chips.size() + 1; reusing the same
+/// buffers across calls avoids per-window allocation.
+void CorrelateChipsNormalized(const_sample_span x, std::span<const int> chips,
+                              SampleVec& corr, std::vector<float>& norm);
+
 }  // namespace rfdump::dsp

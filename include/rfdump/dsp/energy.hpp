@@ -40,6 +40,10 @@ class MovingAveragePower {
   /// window fills, the average is over the samples seen so far.
   float Push(cfloat sample);
 
+  /// Same, for a power value precomputed with FinitePower (the SIMD pipeline
+  /// computes a whole block's power plane once and feeds it here).
+  float Push(float power);
+
   /// Current average without pushing.
   float Average() const;
 

@@ -43,6 +43,7 @@ class FirFilter {
  private:
   std::vector<float> taps_;
   SampleVec history_;  // last (taps-1) input samples
+  SampleVec work_;     // reusable [history | input] convolution buffer
 };
 
 /// Windowed-sinc low-pass design. `cutoff_hz` is the -6 dB edge, `sample_rate`

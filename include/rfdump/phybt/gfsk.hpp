@@ -25,6 +25,10 @@ inline constexpr double kGaussianBt = 0.5;
 /// (phase difference of consecutive samples), length x.size()-1.
 [[nodiscard]] std::vector<float> FmDiscriminate(dsp::const_sample_span x);
 
+/// Allocation-free variant: resizes `out` to x.size()-1 (reuse one buffer
+/// across the 79-channel scan instead of allocating per channel).
+void FmDiscriminateInto(dsp::const_sample_span x, std::vector<float>& out);
+
 /// Demodulates a discriminator output back to bits given the sample offset of
 /// the first symbol center. Slices the sign of the averaged per-symbol
 /// frequency. Returns as many whole symbols as available.

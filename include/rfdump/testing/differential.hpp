@@ -87,4 +87,12 @@ struct DifferentialResult {
 [[nodiscard]] std::vector<DifferentialResult> RunDifferentialSweep(
     std::span<const std::uint64_t> seeds, const DifferentialPolicy& policy = {});
 
+/// Byte-exact, result-bearing fingerprint of a report: one line per
+/// detection/decode/event including payload bytes. Equal fingerprints mean
+/// the reports are interchangeable. Used for the rfdump@1 vs rfdump@N
+/// determinism gate and for the forced-scalar vs forced-SIMD dispatch-tier
+/// differential (DESIGN.md §16).
+[[nodiscard]] std::vector<std::string> ExactFingerprint(
+    const core::MonitorReport& r);
+
 }  // namespace rfdump::testing

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "rfdump/dsp/db.hpp"
+#include "rfdump/dsp/simd.hpp"
 #include "rfdump/obs/metrics.hpp"
 
 namespace rfdump::core {
@@ -38,6 +39,16 @@ double PeakDetector::GatePower() const {
 
 ChunkMeta PeakDetector::PushChunk(dsp::const_sample_span chunk,
                                   std::int64_t start_sample) {
+  // Deinterleave the chunk's power once (SIMD power-plane kernel); every
+  // per-sample consumer below reads the plane instead of recomputing |x|^2.
+  plane_.resize(chunk.size());
+  dsp::simd::Active().power_plane(chunk.data(), chunk.size(), plane_.data());
+  return PushChunk(chunk, std::span<const float>(plane_), start_sample);
+}
+
+ChunkMeta PeakDetector::PushChunk(dsp::const_sample_span chunk,
+                                  std::span<const float> power,
+                                  std::int64_t start_sample) {
   ChunkMeta meta;
   meta.start_sample = start_sample;
   meta.n_samples = chunk.size();
@@ -52,7 +63,7 @@ ChunkMeta PeakDetector::PushChunk(dsp::const_sample_span chunk,
   const std::size_t w = std::min(config_.averaging_window, chunk.size());
   double tail_power = 0.0;
   for (std::size_t i = chunk.size() - w; i < chunk.size(); ++i) {
-    tail_power += dsp::FinitePower(chunk[i]);
+    tail_power += power[i];
   }
   tail_power = (w > 0) ? tail_power / static_cast<double>(w) : 0.0;
   meta.window_power = static_cast<float>(tail_power);
@@ -67,13 +78,13 @@ ChunkMeta PeakDetector::PushChunk(dsp::const_sample_span chunk,
     return meta;
   }
 
-  ProcessSamples(chunk, start_sample);
+  ProcessSamples(power, start_sample);
   meta.peaks_completed =
       static_cast<std::uint32_t>(completed_ - completed_before);
   return meta;
 }
 
-void PeakDetector::ProcessSamples(dsp::const_sample_span chunk,
+void PeakDetector::ProcessSamples(std::span<const float> power,
                                   std::int64_t start) {
   const double gate = GatePower();
   // Start-edge refinement threshold: at the 4 dB gate, noise samples exceed
@@ -81,10 +92,10 @@ void PeakDetector::ProcessSamples(dsp::const_sample_span chunk,
   // the full gate keeps that to ~8% while still catching the true rise.
   const double instant_gate =
       gate * std::max(config_.instant_factor, 1.0);
-  for (std::size_t i = 0; i < chunk.size(); ++i) {
+  for (std::size_t i = 0; i < power.size(); ++i) {
     const std::int64_t n = start + static_cast<std::int64_t>(i);
-    const float p = dsp::FinitePower(chunk[i]);
-    const float avg = avg_.Push(chunk[i]);
+    const float p = power[i];
+    const float avg = avg_.Push(p);
     if (!in_peak_) {
       if (avg_.Count() >= config_.averaging_window / 2 && avg > gate) {
         in_peak_ = true;
@@ -97,8 +108,7 @@ void PeakDetector::ProcessSamples(dsp::const_sample_span chunk,
         const std::int64_t window_start =
             std::max<std::int64_t>(refined, start);
         for (std::int64_t m = window_start; m <= n; ++m) {
-          const float ip =
-              dsp::FinitePower(chunk[static_cast<std::size_t>(m - start)]);
+          const float ip = power[static_cast<std::size_t>(m - start)];
           if (ip > instant_gate) {
             refined = m;
             break;

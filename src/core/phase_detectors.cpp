@@ -7,6 +7,7 @@
 
 #include "rfdump/dsp/barker.hpp"
 #include "rfdump/dsp/phase.hpp"
+#include "rfdump/dsp/simd.hpp"
 #include "rfdump/phybt/hopping.hpp"
 
 namespace rfdump::core {
@@ -38,10 +39,7 @@ PhaseInfo ComputePhaseInfo(dsp::const_sample_span x, std::size_t max_samples,
   // (immune to phase wrapping), so the burst can be translated near DC before
   // smoothing — a boxcar applied directly to a band-edge channel would
   // otherwise attenuate the signal below the noise.
-  dsp::cfloat zsum{0.0f, 0.0f};
-  for (std::size_t i = 1; i < n; ++i) {
-    zsum += x[i] * std::conj(x[i - 1]);
-  }
+  const dsp::cfloat zsum = dsp::simd::Active().conj_mul_sum(x.data(), n);
   const float coarse = std::arg(zsum);
   dsp::SampleVec derotated(n);
   {

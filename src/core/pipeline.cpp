@@ -6,11 +6,14 @@
 #include <cstdlib>
 #include <deque>
 #include <exception>
+#include <limits>
 
 #include "rfdump/core/collision.hpp"
 #include "rfdump/core/executor.hpp"
 #include "rfdump/core/result_sink.hpp"
+#include "rfdump/dsp/simd.hpp"
 #include "rfdump/obs/obs.hpp"
+#include "rfdump/util/scratch.hpp"
 
 namespace rfdump::core {
 namespace {
@@ -472,17 +475,14 @@ DetectOutput RFDumpPipeline::Detect(dsp::const_sample_span x) {
     CostLedger::Scope scope(ledger, "detect/health", x.size());
     HealthReport h;
     h.block_samples = x.size();
-    const float rail = 0.98f * config_.saturation_amplitude;
+    // rail = +inf disables the saturation count (|v| >= +inf only holds for
+    // +inf, and non-finite samples are classified before the rail test).
+    const float rail = config_.saturation_amplitude > 0.0f
+                           ? 0.98f * config_.saturation_amplitude
+                           : std::numeric_limits<float>::infinity();
     std::uint64_t saturated = 0;
-    for (const dsp::cfloat& s : x) {
-      const float re = s.real(), im = s.imag();
-      if (!std::isfinite(re) || !std::isfinite(im)) {
-        ++h.nonfinite_samples;
-      } else if (config_.saturation_amplitude > 0.0f &&
-                 (std::fabs(re) >= rail || std::fabs(im) >= rail)) {
-        ++saturated;
-      }
-    }
+    dsp::simd::Active().health_scan(x.data(), x.size(), rail,
+                                    &h.nonfinite_samples, &saturated);
     h.saturation_fraction =
         x.empty() ? 0.0
                   : static_cast<double>(saturated) /
@@ -575,12 +575,21 @@ DetectOutput RFDumpPipeline::Detect(dsp::const_sample_span x) {
     }
   };
 
+  // Deinterleave |x|^2 once for the whole block (SoA power plane); the peak
+  // detector's per-sample stage reads the plane instead of touching I/Q.
+  struct DetectPlaneTag {};
+  auto& plane = util::Scratch<float, DetectPlaneTag>();
+  plane.resize(x.size());
+  dsp::simd::Active().power_plane(x.data(), x.size(), plane.data());
+
   for (std::size_t at = 0; at < x.size(); at += kChunkSamples) {
     const std::size_t n = std::min(kChunkSamples, x.size() - at);
     const auto chunk = x.subspan(at, n);
     {
       CostLedger::Scope scope(ledger, "detect/peak", n);
-      peaks.PushChunk(chunk, static_cast<std::int64_t>(at));
+      peaks.PushChunk(chunk,
+                      std::span<const float>(plane).subspan(at, n),
+                      static_cast<std::int64_t>(at));
     }
     for (auto& a : active) {
       if (!a.hooks.on_chunk) continue;
@@ -681,10 +690,16 @@ DetectOutput NaivePipeline::Detect(dsp::const_sample_span x) {
     PeakDetector::Config pd_cfg;
     pd_cfg.noise_floor_power = config_.noise_floor_power;
     PeakDetector peaks(pd_cfg);
+    struct NaivePlaneTag {};
+    auto& plane = util::Scratch<float, NaivePlaneTag>();
+    plane.resize(x.size());
+    dsp::simd::Active().power_plane(x.data(), x.size(), plane.data());
     for (std::size_t at = 0; at < x.size(); at += kChunkSamples) {
       const std::size_t n = std::min(kChunkSamples, x.size() - at);
       CostLedger::Scope scope(ledger, "detect/energy", n);
-      peaks.PushChunk(x.subspan(at, n), static_cast<std::int64_t>(at));
+      peaks.PushChunk(x.subspan(at, n),
+                      std::span<const float>(plane).subspan(at, n),
+                      static_cast<std::int64_t>(at));
     }
     {
       CostLedger::Scope scope(ledger, "detect/energy", 0);

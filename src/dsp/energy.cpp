@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "rfdump/dsp/simd.hpp"
+
 namespace rfdump::dsp {
 
 double MeanPower(const_sample_span x) {
@@ -10,9 +12,7 @@ double MeanPower(const_sample_span x) {
 }
 
 double TotalEnergy(const_sample_span x) {
-  double sum = 0.0;
-  for (const cfloat s : x) sum += FinitePower(s);
-  return sum;
+  return simd::Active().sum_finite_power(x.data(), x.size());
 }
 
 MovingAveragePower::MovingAveragePower(std::size_t window) : window_(window) {
@@ -31,10 +31,14 @@ void MovingAveragePower::Reset() {
 }
 
 float MovingAveragePower::Push(cfloat sample) {
-  const float p = FinitePower(sample);
+  return Push(FinitePower(sample));
+}
+
+float MovingAveragePower::Push(float power) {
+  const float p = power;
   sum_ += p - ring_[head_];
   ring_[head_] = p;
-  head_ = (head_ + 1) % window_;
+  if (++head_ == window_) head_ = 0;
   if (count_ < window_) ++count_;
   // Rebuild the running sum occasionally to cancel accumulated float error.
   if (++pushes_since_rebuild_ >= 1u << 20) {

@@ -5,6 +5,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "rfdump/dsp/simd.hpp"
+
 namespace rfdump::dsp {
 
 FirFilter::FirFilter(std::vector<float> taps) : taps_(std::move(taps)) {
@@ -19,23 +21,19 @@ void FirFilter::Reset() {
 void FirFilter::Process(const_sample_span input, SampleVec& out) {
   const std::size_t nt = taps_.size();
   const std::size_t hist = nt - 1;
-  // Build a contiguous [history | input] view for branch-free convolution.
-  SampleVec work;
-  work.reserve(hist + input.size());
-  work.insert(work.end(), history_.begin(), history_.end());
-  work.insert(work.end(), input.begin(), input.end());
+  // Build a contiguous [history | input] buffer for branch-free convolution.
+  // work_ is a member so repeated chunked calls reuse its capacity instead of
+  // allocating per chunk.
+  work_.clear();
+  work_.reserve(hist + input.size());
+  work_.insert(work_.end(), history_.begin(), history_.end());
+  work_.insert(work_.end(), input.begin(), input.end());
 
   const std::size_t start = out.size();
   out.resize(start + input.size());
-  for (std::size_t n = 0; n < input.size(); ++n) {
-    cfloat acc{0.0f, 0.0f};
-    // y[n] = sum_k taps[k] * x[n - k]; x index in `work` is n + hist - k.
-    const cfloat* x = work.data() + n;
-    for (std::size_t k = 0; k < nt; ++k) {
-      acc += taps_[k] * x[nt - 1 - k];
-    }
-    out[start + n] = acc;
-  }
+  // y[n] = sum_k taps[k] * x[n - k]; x index in work_ is n + hist - k.
+  simd::Active().fir_complex(work_.data(), input.size(), taps_.data(), nt,
+                             out.data() + start);
   // Save the last `hist` input samples for the next call.
   if (hist > 0) {
     if (input.size() >= hist) {

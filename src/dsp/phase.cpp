@@ -2,22 +2,20 @@
 
 #include <cmath>
 
+#include "rfdump/dsp/simd.hpp"
+
 namespace rfdump::dsp {
 
 std::vector<float> InstantPhase(const_sample_span x) {
   std::vector<float> out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    out[i] = std::arg(x[i]);
-  }
+  simd::Active().instant_phase(x.data(), x.size(), out.data());
   return out;
 }
 
 std::vector<float> PhaseDiff(const_sample_span x) {
   if (x.size() < 2) return {};
   std::vector<float> out(x.size() - 1);
-  for (std::size_t i = 1; i < x.size(); ++i) {
-    out[i - 1] = std::arg(x[i] * std::conj(x[i - 1]));
-  }
+  simd::Active().phase_diff(x.data(), x.size(), out.data());
   return out;
 }
 

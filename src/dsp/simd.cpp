@@ -1,0 +1,158 @@
+#include "rfdump/dsp/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "simd_common.hpp"
+
+namespace rfdump::dsp::simd {
+
+#if defined(__x86_64__) || defined(__i386__)
+#define RFDUMP_SIMD_X86 1
+#else
+#define RFDUMP_SIMD_X86 0
+#endif
+
+namespace {
+
+const Kernels* TablePtr(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return &detail::kScalarKernels;
+#if RFDUMP_SIMD_X86
+    case Tier::kSse2:
+      return &detail::kSse2Kernels;
+    case Tier::kAvx2:
+      return &detail::kAvx2Kernels;
+#else
+    case Tier::kSse2:
+    case Tier::kAvx2:
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+bool CpuSupports(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+#if RFDUMP_SIMD_X86
+    case Tier::kSse2:
+      return true;  // Guaranteed by the x86-64 ABI; probed at startup on i386.
+    case Tier::kAvx2:
+      return detail::kAvx2Built && __builtin_cpu_supports("avx2") != 0;
+#else
+    case Tier::kSse2:
+    case Tier::kAvx2:
+      return false;
+#endif
+  }
+  return false;
+}
+
+Tier ResolveEnvOrDetect() {
+  if (const char* env = std::getenv("RFDUMP_SIMD");
+      env != nullptr && env[0] != '\0' && std::strcmp(env, "auto") != 0) {
+    Tier tier;
+    if (!ParseTier(env, tier)) {
+      throw std::runtime_error(std::string("RFDUMP_SIMD: unknown tier '") +
+                               env + "' (want scalar|sse2|avx2|auto)");
+    }
+    if (!TierSupported(tier)) {
+      throw std::runtime_error(std::string("RFDUMP_SIMD: tier '") + env +
+                               "' not supported on this CPU/build");
+    }
+    return tier;
+  }
+  return DetectBestTier();
+}
+
+// Resolved once on first Active()/ActiveTier() call; ForceTier() overrides.
+std::atomic<const Kernels*> g_active{nullptr};
+
+const Kernels* ResolveActive() {
+  const Kernels* table = TablePtr(ResolveEnvOrDetect());
+  const Kernels* expected = nullptr;
+  // Another thread may have resolved (or forced) concurrently; first wins.
+  g_active.compare_exchange_strong(expected, table, std::memory_order_acq_rel);
+  return g_active.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSse2:
+      return "sse2";
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ParseTier(const char* name, Tier& out) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) {
+    out = Tier::kScalar;
+  } else if (std::strcmp(name, "sse2") == 0) {
+    out = Tier::kSse2;
+  } else if (std::strcmp(name, "avx2") == 0) {
+    out = Tier::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool TierSupported(Tier tier) {
+  return TablePtr(tier) != nullptr && CpuSupports(tier);
+}
+
+Tier DetectBestTier() {
+  static const Tier best = [] {
+    if (TierSupported(Tier::kAvx2)) return Tier::kAvx2;
+    if (TierSupported(Tier::kSse2)) return Tier::kSse2;
+    return Tier::kScalar;
+  }();
+  return best;
+}
+
+Tier ActiveTier() { return Active().tier; }
+
+void ForceTier(Tier tier) {
+  if (!TierSupported(tier)) {
+    throw std::runtime_error(std::string("ForceTier: tier '") +
+                             TierName(tier) +
+                             "' not supported on this CPU/build");
+  }
+  g_active.store(TablePtr(tier), std::memory_order_release);
+}
+
+void ClearForcedTier() {
+  g_active.store(TablePtr(ResolveEnvOrDetect()), std::memory_order_release);
+}
+
+const Kernels& Active() {
+  const Kernels* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) table = ResolveActive();
+  return *table;
+}
+
+const Kernels& Table(Tier tier) {
+  const Kernels* table = TablePtr(tier);
+  if (table == nullptr || !CpuSupports(tier)) {
+    throw std::runtime_error(std::string("Table: tier '") + TierName(tier) +
+                             "' not supported on this CPU/build");
+  }
+  return *table;
+}
+
+float CanonicalAtan2(float y, float x) { return detail::ScalarAtan2(y, x); }
+
+}  // namespace rfdump::dsp::simd

@@ -312,25 +312,12 @@ std::vector<DecodedFrame> Demodulator::DecodeAll(dsp::const_sample_span x) {
   }
   if (chips.size() < 2 * 11) return frames;
 
-  // 2. Sliding Barker correlation with per-window normalization.
-  const std::size_t ncorr = chips.size() - 11 + 1;
-  dsp::SampleVec corr(ncorr);
-  std::vector<float> norm(ncorr);
-  double window_energy = 0.0;
-  for (std::size_t k = 0; k < 11; ++k) window_energy += std::norm(chips[k]);
-  for (std::size_t i = 0; i < ncorr; ++i) {
-    cfloat acc{0.0f, 0.0f};
-    for (std::size_t k = 0; k < 11; ++k) {
-      acc += static_cast<float>(dsp::kBarker11[k]) * chips[i + k];
-    }
-    corr[i] = acc;
-    norm[i] = static_cast<float>(
-        std::abs(acc) / std::sqrt(11.0 * std::max(window_energy, 1e-30)));
-    if (i + 11 < chips.size()) {
-      window_energy += std::norm(chips[i + 11]) - std::norm(chips[i]);
-      if (window_energy < 0.0) window_energy = 0.0;
-    }
-  }
+  // 2. Sliding Barker correlation with per-window normalization (the shared
+  // SIMD-dispatched correlator; same recurrence this loop used to inline).
+  dsp::SampleVec corr;
+  std::vector<float> norm;
+  dsp::CorrelateChipsNormalized(chips, dsp::kBarker11, corr, norm);
+  const std::size_t ncorr = corr.size();
 
   // 3. Scan for DSSS activity and attempt frame sync at each candidate.
   std::size_t scan = 0;

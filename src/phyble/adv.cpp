@@ -6,6 +6,8 @@
 #include "rfdump/dsp/energy.hpp"
 #include "rfdump/dsp/fir.hpp"
 #include "rfdump/dsp/nco.hpp"
+#include "rfdump/dsp/simd.hpp"
+#include "rfdump/util/scratch.hpp"
 #include "rfdump/obs/obs.hpp"
 #include "rfdump/phybt/gfsk.hpp"
 #include "rfdump/phybt/packet.hpp"
@@ -185,20 +187,36 @@ void AdvDemodulator::ScanChannel(dsp::const_sample_span x, int channel,
   if (budget && !budget->Charge(x.size())) return;
 
   // Channelize: translate the advertising channel to DC, low-pass to ~1 MHz.
-  dsp::SampleVec ch(x.begin(), x.end());
+  // Scratch-arena buffers, as in the phybt channel scan: the 3-channel sweep
+  // reuses one set of allocations per thread.
+  struct ChTag {};
+  auto& ch = util::Scratch<dsp::cfloat, ChTag>();
+  ch.assign(x.begin(), x.end());
   dsp::Nco nco(-*AdvChannelOffsetHz(channel), dsp::kSampleRateHz);
   nco.Mix(ch);
   static const std::vector<float> kChanTaps =
       dsp::DesignLowPass(600e3, dsp::kSampleRateHz, 21);
   dsp::FirFilter lp(kChanTaps);
-  const dsp::SampleVec filtered = lp.Filtered(ch);
+  struct FilteredTag {};
+  auto& filtered = util::Scratch<dsp::cfloat, FilteredTag>();
+  filtered.clear();
+  lp.Process(ch, filtered);
 
-  const std::vector<float> freq = phybt::FmDiscriminate(filtered);
-  std::vector<float> power(filtered.size());
+  struct FreqTag {};
+  auto& freq = util::Scratch<float, FreqTag>();
+  phybt::FmDiscriminateInto(filtered, freq);
+  struct PowerTag {};
+  auto& power = util::Scratch<float, PowerTag>();
+  power.resize(filtered.size());
+  struct PlaneTag {};
+  auto& plane = util::Scratch<float, PlaneTag>();
+  plane.resize(filtered.size());
+  dsp::simd::Active().power_plane(filtered.data(), filtered.size(),
+                                  plane.data());
   {
     dsp::MovingAveragePower ma(16);
     for (std::size_t n = 0; n < filtered.size(); ++n) {
-      power[n] = ma.Push(filtered[n]);
+      power[n] = ma.Push(plane[n]);
     }
   }
   double floor_est = 0.0;

@@ -1,5 +1,8 @@
 #include "rfdump/phybt/demodulator.hpp"
 
+#include "rfdump/dsp/simd.hpp"
+#include "rfdump/util/scratch.hpp"
+
 #include <algorithm>
 #include <bit>
 #include <cmath>
@@ -62,22 +65,39 @@ void Demodulator::ScanChannel(dsp::const_sample_span x, int idx,
   util::WorkBudget* budget = config_.budget;
   if (budget && !budget->Charge(x.size())) return;
 
-  // Channelize: translate the channel to DC and low-pass to ~1 MHz.
-  dsp::SampleVec ch(x.begin(), x.end());
+  // Channelize: translate the channel to DC and low-pass to ~1 MHz. All the
+  // per-channel buffers come from the thread-local scratch arena — the
+  // 79-channel scan reuses one set of allocations instead of 4 per channel.
+  struct ChTag {};
+  auto& ch = util::Scratch<dsp::cfloat, ChTag>();
+  ch.assign(x.begin(), x.end());
   dsp::Nco nco(-VisibleIndexOffsetHz(idx), dsp::kSampleRateHz);
   nco.Mix(ch);
   static const std::vector<float> kChanTaps =
       dsp::DesignLowPass(600e3, dsp::kSampleRateHz, 21);
   dsp::FirFilter lp(kChanTaps);
-  const dsp::SampleVec filtered = lp.Filtered(ch);
+  struct FilteredTag {};
+  auto& filtered = util::Scratch<dsp::cfloat, FilteredTag>();
+  filtered.clear();
+  lp.Process(ch, filtered);
 
-  // Instantaneous frequency + a cheap in-channel energy track for gating.
-  const std::vector<float> freq = FmDiscriminate(filtered);
-  std::vector<float> power(filtered.size());
+  // Instantaneous frequency + a cheap in-channel energy track for gating,
+  // both via the SIMD kernels (power plane feeds the moving average).
+  struct FreqTag {};
+  auto& freq = util::Scratch<float, FreqTag>();
+  FmDiscriminateInto(filtered, freq);
+  struct PowerTag {};
+  auto& power = util::Scratch<float, PowerTag>();
+  power.resize(filtered.size());
+  struct PlaneTag {};
+  auto& plane = util::Scratch<float, PlaneTag>();
+  plane.resize(filtered.size());
+  dsp::simd::Active().power_plane(filtered.data(), filtered.size(),
+                                  plane.data());
   {
     dsp::MovingAveragePower ma(16);
     for (std::size_t n = 0; n < filtered.size(); ++n) {
-      power[n] = ma.Push(filtered[n]);
+      power[n] = ma.Push(plane[n]);
     }
   }
   // Noise floor in-channel: either derived from the known full-band floor

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "rfdump/dsp/fir.hpp"
+#include "rfdump/dsp/simd.hpp"
 
 namespace rfdump::phybt {
 
@@ -60,10 +61,17 @@ dsp::SampleVec GfskModulate(std::span<const std::uint8_t> bits,
 std::vector<float> FmDiscriminate(dsp::const_sample_span x) {
   if (x.size() < 2) return {};
   std::vector<float> out(x.size() - 1);
-  for (std::size_t n = 1; n < x.size(); ++n) {
-    out[n - 1] = std::arg(x[n] * std::conj(x[n - 1]));
-  }
+  dsp::simd::Active().phase_diff(x.data(), x.size(), out.data());
   return out;
+}
+
+void FmDiscriminateInto(dsp::const_sample_span x, std::vector<float>& out) {
+  if (x.size() < 2) {
+    out.clear();
+    return;
+  }
+  out.resize(x.size() - 1);
+  dsp::simd::Active().phase_diff(x.data(), x.size(), out.data());
 }
 
 util::BitVec SliceSymbols(std::span<const float> freq,

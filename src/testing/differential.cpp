@@ -85,8 +85,11 @@ bool TruthBacked(const Event& e, const std::vector<emu::TruthRecord>& truth) {
   return false;
 }
 
-/// Result-bearing fingerprint of a report, for the exact rfdump@1 vs
-/// rfdump@N comparison (same fields tests/parallel_test.cpp checks).
+}  // namespace
+
+// Result-bearing fingerprint of a report, for the exact rfdump@1 vs
+// rfdump@N comparison (same fields tests/parallel_test.cpp checks) and for
+// the forced-scalar vs forced-SIMD dispatch-tier differential.
 std::vector<std::string> ExactFingerprint(const core::MonitorReport& r) {
   std::vector<std::string> out;
   char buf[160];
@@ -145,8 +148,6 @@ std::vector<std::string> ExactFingerprint(const core::MonitorReport& r) {
   }
   return out;
 }
-
-}  // namespace
 
 std::string DifferentialResult::Summary() const {
   char buf[256];

@@ -12,6 +12,8 @@
 
 #include "rfdump/core/executor.hpp"
 #include "rfdump/core/pipeline.hpp"
+#include "rfdump/core/protocol_registry.hpp"
+#include "rfdump/dsp/simd.hpp"
 #include "rfdump/core/streaming.hpp"
 #include "rfdump/testing/differential.hpp"
 #include "rfdump/testing/oracle.hpp"
@@ -192,6 +194,51 @@ TEST(Differential, TenSeedSweepHasNoFrameSetMismatches) {
     // is asserted inside RunDifferential).
     EXPECT_EQ(r.decodes[2], r.decodes[3]) << r.Summary();
   }
+}
+
+TEST(Differential, ForcedScalarVsForcedSimdFingerprintsBitIdentical) {
+  // The SIMD dispatch acceptance gate (DESIGN.md §16): with every registered
+  // bundle enabled, a forced-scalar run and a forced-best-tier run of the
+  // full pipeline must produce byte-identical result fingerprints on every
+  // seed. Skips (trivially passes) on hosts whose best tier is scalar.
+  namespace simd = rfdump::dsp::simd;
+  const simd::Tier best = simd::DetectBestTier();
+  static constexpr std::uint64_t kSeeds[] = {301, 302, 303, 304, 305,
+                                             306, 307, 308, 309, 310};
+  auto run_with_tier = [](const rft::RenderedScenario& s, simd::Tier tier) {
+    simd::ForceTier(tier);
+    core::RFDumpPipeline::Config cfg;
+    for (const auto& bundle : core::ProtocolRegistry::Instance().bundles()) {
+      cfg.EnableBundle(bundle.protocol);
+    }
+    core::RFDumpPipeline pipeline(cfg);
+    auto report = pipeline.Process(s.samples);
+    simd::ClearForcedTier();
+    return rft::ExactFingerprint(report);
+  };
+  std::size_t nonempty = 0;
+  for (const std::uint64_t seed : kSeeds) {
+    const auto scenario = rft::CannedMixedScenario(seed);
+    const auto scalar_fp = run_with_tier(scenario, simd::Tier::kScalar);
+    for (int t = 1; t < simd::kTierCount; ++t) {
+      const auto tier = static_cast<simd::Tier>(t);
+      if (!simd::TierSupported(tier)) continue;
+      const auto vec_fp = run_with_tier(scenario, tier);
+      ASSERT_EQ(scalar_fp.size(), vec_fp.size())
+          << "seed=" << seed << " tier=" << simd::TierName(tier);
+      for (std::size_t i = 0; i < scalar_fp.size(); ++i) {
+        ASSERT_EQ(scalar_fp[i], vec_fp[i])
+            << "seed=" << seed << " tier=" << simd::TierName(tier)
+            << " line " << i;
+      }
+    }
+    nonempty += !scalar_fp.empty();
+  }
+  // The sweep decoded something — an all-empty sweep would pass vacuously.
+  EXPECT_GT(nonempty, 0u);
+  // And the differential actually compared a vector tier on this host (the
+  // CI runners are all x86-64, where SSE2 is architecturally guaranteed).
+  EXPECT_TRUE(best == simd::Tier::kScalar || simd::TierSupported(best));
 }
 
 TEST(Differential, SummaryCarriesReproducingSeed) {

@@ -6,6 +6,7 @@
 
 #include "rfdump/channel/channel.hpp"
 #include "rfdump/core/peaks.hpp"
+#include "rfdump/dsp/simd.hpp"
 #include "rfdump/dsp/db.hpp"
 #include "rfdump/dsp/energy.hpp"
 #include "rfdump/phy80211/demodulator.hpp"
@@ -111,6 +112,90 @@ INSTANTIATE_TEST_SUITE_P(
                                          bt::PacketType::kDh3,
                                          bt::PacketType::kDh5),
                        ::testing::Values(0, 3, 7)));
+
+// ---------------------------------------- SIMD dispatch-tier PHY differential
+
+// Per-PHY companion to the full-pipeline fingerprint differential in
+// tests/conformance_test.cpp: for seeded noisy loopbacks, every supported
+// dispatch tier must decode byte-identical frames to the forced-scalar
+// reference. Catches tier drift at the layer where it would first surface.
+class DispatchTierSeedSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void TearDown() override { dsp::simd::ClearForcedTier(); }
+
+  static std::vector<dsp::simd::Tier> VectorTiers() {
+    std::vector<dsp::simd::Tier> tiers;
+    for (int t = 1; t < dsp::simd::kTierCount; ++t) {
+      const auto tier = static_cast<dsp::simd::Tier>(t);
+      if (dsp::simd::TierSupported(tier)) tiers.push_back(tier);
+    }
+    return tiers;
+  }
+};
+
+TEST_P(DispatchTierSeedSweep, WifiDecodesBitIdenticalAcrossTiers) {
+  const std::uint64_t seed = GetParam();
+  const auto mpdu = MpduWithFcs(40 + seed % 100, seed);
+  phy::Modulator mod;
+  auto samples = mod.Modulate(mpdu, phy::Rate::k1Mbps);
+  Xoshiro256 rng(seed * 2 + 1);
+  rfdump::channel::AddAwgn(samples, 3e-3, rng);
+
+  dsp::simd::ForceTier(dsp::simd::Tier::kScalar);
+  phy::Demodulator ref_demod;
+  const auto ref = ref_demod.DecodeAll(samples);
+  for (const auto tier : VectorTiers()) {
+    dsp::simd::ForceTier(tier);
+    phy::Demodulator demod;
+    const auto got = demod.DecodeAll(samples);
+    ASSERT_EQ(got.size(), ref.size()) << dsp::simd::TierName(tier);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(got[i].start_sample, ref[i].start_sample);
+      EXPECT_EQ(got[i].end_sample, ref[i].end_sample);
+      EXPECT_EQ(got[i].fcs_ok, ref[i].fcs_ok);
+      EXPECT_EQ(got[i].mpdu, ref[i].mpdu) << dsp::simd::TierName(tier);
+    }
+  }
+}
+
+TEST_P(DispatchTierSeedSweep, BtDecodesBitIdenticalAcrossTiers) {
+  const std::uint64_t seed = GetParam();
+  bt::DeviceAddress addr{0x2A96EF, 0x47};
+  bt::PacketHeader hdr;
+  hdr.type = bt::PacketType::kDh1;
+  std::vector<std::uint8_t> payload(17);
+  Xoshiro256 prng(seed);
+  for (auto& b : payload) {
+    b = static_cast<std::uint8_t>(prng.UniformInt(0, 255));
+  }
+  const auto burst = bt::ModulatePacket(addr, hdr, payload, 0);
+  dsp::SampleVec band(1500, dsp::cfloat{0.0f, 0.0f});
+  band.insert(band.end(), burst.samples.begin(), burst.samples.end());
+  band.insert(band.end(), 1500, dsp::cfloat{0.0f, 0.0f});
+  Xoshiro256 rng(seed * 2 + 1);
+  rfdump::channel::AddAwgn(band, 1e-3, rng);
+
+  dsp::simd::ForceTier(dsp::simd::Tier::kScalar);
+  bt::Demodulator ref_demod;
+  const auto ref = ref_demod.DecodeAll(band);
+  for (const auto tier : VectorTiers()) {
+    dsp::simd::ForceTier(tier);
+    bt::Demodulator demod;
+    const auto got = demod.DecodeAll(band);
+    ASSERT_EQ(got.size(), ref.size()) << dsp::simd::TierName(tier);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(got[i].channel_index, ref[i].channel_index);
+      EXPECT_EQ(got[i].start_sample, ref[i].start_sample);
+      EXPECT_EQ(got[i].packet.crc_ok, ref[i].packet.crc_ok);
+      EXPECT_EQ(got[i].packet.payload, ref[i].packet.payload)
+          << dsp::simd::TierName(tier);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TenSeeds, DispatchTierSeedSweep,
+                         ::testing::Values(201, 202, 203, 204, 205, 206, 207,
+                                           208, 209, 210));
 
 // -------------------------------------------------- peak detector invariants
 
